@@ -1,0 +1,150 @@
+(* Shared infrastructure for the figure benchmarks: run a workload
+   program on any memory system and report the simulated time of its
+   measured [work] function, normalized against the native run. *)
+module Ir = Mira_mir.Ir
+module Machine = Mira_interp.Machine
+module Value = Mira_interp.Value
+module C = Mira.Controller
+module Table = Mira_util.Table
+
+type system =
+  | Native
+  | Fastswap
+  | Leap
+  | Aifm of (Ir.program -> int -> int)  (** granularity per site *)
+  | Mira_sys of (C.options -> C.options)  (** option tweak (ablation) *)
+
+let system_name = function
+  | Native -> "native"
+  | Fastswap -> "fastswap"
+  | Leap -> "leap"
+  | Aifm _ -> "aifm"
+  | Mira_sys _ -> "mira"
+
+type outcome = Time of float | Failed of string
+
+type ctx = {
+  params : Mira_sim.Params.t;
+  far_capacity : int;
+  prog : Ir.program;
+  verbose : bool;
+  mira_iterations : int;
+  nthreads : int;
+}
+
+let make_ctx ?(params = Mira_sim.Params.default) ?(verbose = false)
+    ?(mira_iterations = 4) ?(nthreads = 1) ~far_bytes prog =
+  {
+    params;
+    far_capacity = Mira_util.Misc.round_up (4 * far_bytes) 4096;
+    prog;
+    verbose;
+    mira_iterations;
+    nthreads;
+  }
+
+let measured ctx = Mira_passes.Instrument.run_only ctx.prog ~names:[ C.work_function ctx.prog ]
+
+(* Simulated work time for one system at one local-memory budget. *)
+let run ctx ~budget system =
+  let p = ctx.params in
+  try
+    match system with
+    | Native ->
+      let ms = Mira_baselines.Native.create ~params:p ~capacity:ctx.far_capacity () in
+      let machine = Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx) in
+      Time (snd (C.measure_work ms machine))
+    | Fastswap ->
+      let ms =
+        Mira_baselines.Fastswap.create ~params:p ~local_budget:budget
+          ~far_capacity:ctx.far_capacity ()
+      in
+      let machine = Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx) in
+      Time (snd (C.measure_work ms machine))
+    | Leap ->
+      let ms =
+        Mira_baselines.Leap.create ~params:p ~local_budget:budget
+          ~far_capacity:ctx.far_capacity ()
+      in
+      let machine = Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx) in
+      Time (snd (C.measure_work ms machine))
+    | Aifm gran ->
+      let ms =
+        Mira_baselines.Aifm.create ~params:p ~gran:(gran ctx.prog)
+          ~local_budget:budget ~far_capacity:ctx.far_capacity ()
+      in
+      let machine = Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx) in
+      Time (snd (C.measure_work ms machine))
+    | Mira_sys tweak ->
+      let opts =
+        tweak
+          { (C.options_default ~local_budget:budget ~far_capacity:ctx.far_capacity) with
+            C.params = p;
+            max_iterations = ctx.mira_iterations;
+            nthreads = ctx.nthreads;
+            verbose = ctx.verbose }
+      in
+      let compiled = C.optimize opts ctx.prog in
+      Time (snd (C.run compiled))
+  with
+  | Mira_baselines.Aifm.Oom _ -> Failed "OOM"
+  | e -> Failed (Printexc.to_string e)
+
+let cell ~native = function
+  | Time t -> Printf.sprintf "%.2fx" (t /. native)
+  | Failed msg -> msg
+
+let cell_ms = function
+  | Time t -> Printf.sprintf "%.3f" (t /. 1e6)
+  | Failed msg -> msg
+
+(* Sweep local-memory ratios for a list of systems; prints relative
+   slowdown vs native (1.00x = full-local-memory speed). *)
+let sweep ctx ~far_bytes ~ratios ~systems ~title =
+  Printf.printf "\n### %s\n" title;
+  let native =
+    match run ctx ~budget:ctx.far_capacity Native with
+    | Time t -> t
+    | Failed m -> failwith ("native run failed: " ^ m)
+  in
+  Printf.printf "native work time: %.3f ms (all cells = slowdown vs native)\n"
+    (native /. 1e6);
+  let t =
+    Table.create ~header:("local memory" :: List.map system_name systems)
+  in
+  List.iter
+    (fun ratio ->
+      let budget =
+        max (10 * 4096) (int_of_float (float_of_int far_bytes *. ratio))
+      in
+      let row =
+        Printf.sprintf "%.0f%%" (ratio *. 100.0)
+        :: List.map (fun s -> cell ~native (run ctx ~budget s)) systems
+      in
+      Table.add_row t row)
+    ratios;
+  Table.print t
+
+let checksum_guard ctx ~budget =
+  (* every system must compute the same program result *)
+  let value system =
+    match system with
+    | Native ->
+      let ms = Mira_baselines.Native.create ~params:ctx.params ~capacity:ctx.far_capacity () in
+      Some (Machine.run (Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx)))
+    | _ -> (
+      try
+        match system with
+        | Fastswap ->
+          let ms =
+            Mira_baselines.Fastswap.create ~params:ctx.params ~local_budget:budget
+              ~far_capacity:ctx.far_capacity ()
+          in
+          Some (Machine.run (Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx)))
+        | _ -> None
+      with _ -> None)
+  in
+  match (value Native, value Fastswap) with
+  | Some a, Some b when not (Value.equal a b) ->
+    failwith "checksum mismatch between systems"
+  | _ -> ()

@@ -1,0 +1,92 @@
+(* Bechamel micro-benchmarks of the runtime's real (wall-clock) hot
+   paths: cache lookups per structure, the swap fault path, pointer
+   encoding, and the value codec.  These measure the simulator itself,
+   complementing the simulated-time figures. *)
+module Section = Mira_cache.Section
+module Swap = Mira_cache.Swap_section
+module Rptr = Mira_runtime.Rptr
+open Bechamel
+open Toolkit
+
+let make_section structure =
+  let net = Mira_sim.Net.create Mira_sim.Params.default in
+  let far = Mira_sim.Far_store.create ~capacity:(1 lsl 22) in
+  let clock = Mira_sim.Clock.create () in
+  let s =
+    Section.create net far
+      { (Section.config_default ~sec_id:1 ~name:"b" ~line:256 ~size:(1 lsl 18)) with
+        Section.structure }
+  in
+  (* warm it *)
+  for i = 0 to 255 do
+    Section.store s ~clock ~addr:(i * 256) ~len:8 (Int64.of_int i)
+  done;
+  (s, clock)
+
+let bench_section_hit name structure =
+  let s, clock = make_section structure in
+  let i = ref 0 in
+  Test.make ~name (Staged.stage (fun () ->
+      i := (!i + 1) land 255;
+      ignore (Section.load s ~clock ~addr:(!i * 256) ~len:8)))
+
+let bench_swap_hit =
+  let net = Mira_sim.Net.create Mira_sim.Params.default in
+  let far = Mira_sim.Far_store.create ~capacity:(1 lsl 22) in
+  let clock = Mira_sim.Clock.create () in
+  let sw =
+    Swap.create net far
+      { Swap.page = 4096; capacity = 1 lsl 20; side = Mira_sim.Net.One_sided }
+  in
+  for i = 0 to 127 do
+    Swap.store sw ~clock ~addr:(i * 4096) ~len:8 1L
+  done;
+  let i = ref 0 in
+  Test.make ~name:"swap hit path" (Staged.stage (fun () ->
+      i := (!i + 1) land 127;
+      ignore (Swap.load sw ~clock ~addr:(!i * 4096) ~len:8)))
+
+let bench_rptr =
+  let i = ref 0 in
+  Test.make ~name:"rptr encode+decode" (Staged.stage (fun () ->
+      incr i;
+      let v = Rptr.encode ~section:(!i land 0xFF) ~offset:(!i land 0xFFFFF) in
+      ignore (Rptr.section v + Rptr.offset v)))
+
+let bench_value_codec =
+  let i = ref 0 in
+  Test.make ~name:"value encode+decode" (Staged.stage (fun () ->
+      incr i;
+      let v = Mira_interp.Value.Vint (Int64.of_int !i) in
+      let bits = Mira_interp.Value.encode Mira_mir.Types.I64 v in
+      ignore (Mira_interp.Value.decode Mira_mir.Types.I64 bits)))
+
+let tests () =
+  Test.make_grouped ~name:"runtime hot paths"
+    [
+      bench_section_hit "section hit (direct)" Section.Direct;
+      bench_section_hit "section hit (set8)" (Section.Set_assoc 8);
+      bench_section_hit "section hit (full)" Section.Full_assoc;
+      bench_swap_hit;
+      bench_rptr;
+      bench_value_codec;
+    ]
+
+let run () =
+  Printf.printf "\n### Microbenchmarks: real (wall-clock) runtime hot paths\n%!";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-40s %8.1f ns/op\n" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        tbl)
+    results

@@ -1,0 +1,125 @@
+(* Command-line driver: run one of the paper's workloads on every
+   memory system at a chosen local-memory ratio.
+
+     dune exec bin/mira_compare.exe -- --workload graph --ratio 0.2
+     dune exec bin/mira_compare.exe -- -w mcf -r 0.12 -i 4 -v *)
+
+module C = Mira.Controller
+module Machine = Mira_interp.Machine
+
+type workload = {
+  name : string;
+  program : Mira_mir.Ir.program;
+  far_bytes : int;
+  aifm_gran : Mira_mir.Ir.program -> int -> int;
+  params : Mira_sim.Params.t;
+}
+
+let workload_of = function
+  | "graph" ->
+    let module W = Mira_workloads.Graph_traversal in
+    let cfg = W.config_default in
+    { name = "graph"; program = W.build cfg; far_bytes = W.far_bytes cfg;
+      aifm_gran = (fun p s -> max 128 (Mira_workloads.Workload_util.elem_gran p s));
+      params = Mira_sim.Params.default }
+  | "dataframe" ->
+    let module W = Mira_workloads.Dataframe in
+    let cfg = W.config_default in
+    { name = "dataframe"; program = W.build cfg; far_bytes = W.far_bytes cfg;
+      aifm_gran = W.aifm_gran; params = Mira_sim.Params.default }
+  | "mcf" ->
+    let module W = Mira_workloads.Mcf in
+    let cfg = W.config_default in
+    { name = "mcf"; program = W.build cfg; far_bytes = W.far_bytes cfg;
+      aifm_gran = W.aifm_gran; params = Mira_sim.Params.default }
+  | "gpt2" ->
+    let module W = Mira_workloads.Gpt2 in
+    let cfg = { W.config_default with W.layers = 6; d_model = 32; seq = 16 } in
+    { name = "gpt2"; program = W.build cfg; far_bytes = W.far_bytes cfg;
+      aifm_gran = W.aifm_gran;
+      params =
+        { Mira_sim.Params.default with Mira_sim.Params.native_op_ns = 0.05;
+          native_mem_ns = 0.3 } }
+  | other -> failwith ("unknown workload: " ^ other)
+
+let compare_systems wname ratio iterations threads verbose =
+  let w = workload_of wname in
+  let far_capacity = 4 * w.far_bytes in
+  let budget =
+    max (10 * 4096) (int_of_float (float_of_int w.far_bytes *. ratio))
+  in
+  Printf.printf "%s: %d KB far data, local budget %d KB (%.0f%%), %d thread(s)\n\n"
+    w.name (w.far_bytes / 1024) (budget / 1024) (ratio *. 100.0) threads;
+  let measured =
+    Mira_passes.Instrument.run_only w.program
+      ~names:[ C.work_function w.program ]
+  in
+  let time name ms =
+    let machine = Machine.create ~nthreads:threads ~seed:42 ms measured in
+    let v, ns = C.measure_work ms machine in
+    Printf.printf "%-10s %12.3f ms   checksum=%s\n%!" name (ns /. 1e6)
+      (Format.asprintf "%a" Mira_interp.Value.pp v);
+    ns
+  in
+  let native =
+    time "native"
+      (Mira_baselines.Native.create ~params:w.params ~capacity:far_capacity ())
+  in
+  ignore
+    (time "fastswap"
+       (Mira_baselines.Fastswap.create ~params:w.params ~local_budget:budget
+          ~far_capacity ()));
+  ignore
+    (time "leap"
+       (Mira_baselines.Leap.create ~params:w.params ~local_budget:budget
+          ~far_capacity ()));
+  (try
+     ignore
+       (time "aifm"
+          (Mira_baselines.Aifm.create ~params:w.params ~gran:(w.aifm_gran w.program)
+             ~local_budget:budget ~far_capacity ()))
+   with Mira_baselines.Aifm.Oom msg -> Printf.printf "%-10s %s\n" "aifm" msg);
+  let opts =
+    { (C.options_default ~local_budget:budget ~far_capacity) with
+      C.params = w.params; max_iterations = iterations; nthreads = threads;
+      verbose }
+  in
+  let compiled = C.optimize opts w.program in
+  let rt, machine = C.instantiate compiled in
+  let ms = Mira_runtime.Runtime.memsys rt in
+  let v, mira = C.measure_work ms machine in
+  Printf.printf "%-10s %12.3f ms   checksum=%s  (%.2fx native)\n\n" "mira"
+    (mira /. 1e6)
+    (Format.asprintf "%a" Mira_interp.Value.pp v)
+    (mira /. native);
+  print_string (Mira.Report.describe compiled);
+  if verbose then begin
+    print_newline ();
+    print_string (Mira.Report.runtime_stats rt)
+  end
+
+open Cmdliner
+
+let workload_arg =
+  Arg.(value & opt string "graph"
+       & info [ "w"; "workload" ] ~doc:"graph | dataframe | mcf | gpt2")
+
+let ratio_arg =
+  Arg.(value & opt float 0.25
+       & info [ "r"; "ratio" ] ~doc:"local memory as a fraction of far data")
+
+let iter_arg =
+  Arg.(value & opt int 4 & info [ "i"; "iterations" ] ~doc:"controller iterations")
+
+let threads_arg =
+  Arg.(value & opt int 1 & info [ "t"; "threads" ] ~doc:"simulated threads")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"controller log")
+
+let cmd =
+  let doc = "compare memory systems on a Mira workload" in
+  Cmd.v (Cmd.info "mira_compare" ~doc)
+    Term.(const compare_systems $ workload_arg $ ratio_arg $ iter_arg
+          $ threads_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,60 @@
+(* Pointer-intensive far memory: the MCF vehicle-scheduling kernel.
+   Shows the behaviour the paper reports in §6.1: at large local memory
+   Mira keeps the generic swap section (its iterative controller rolls
+   back section configs that do not pay off); at small local memory it
+   switches the node array to a set-associative section with
+   pointer-following prefetch — and AIFM's per-element metadata makes it
+   fail outright.
+
+   Run with:  dune exec examples/pointer_chasing.exe [ratio] *)
+
+module M = Mira_workloads.Mcf
+module C = Mira.Controller
+module Machine = Mira_interp.Machine
+
+let run_at ratio =
+  let cfg = { M.config_default with M.num_nodes = 6_000; num_arcs = 40_000 } in
+  let prog = M.build cfg in
+  let far_bytes = M.far_bytes cfg in
+  let far_capacity = 4 * far_bytes in
+  let budget = int_of_float (float_of_int far_bytes *. ratio) in
+  let measured = Mira_passes.Instrument.run_only prog ~names:[ "work" ] in
+  let time name ms =
+    let machine = Machine.create ~seed:5 ms measured in
+    let _, ns = C.measure_work ms machine in
+    Printf.printf "  %-9s %10.3f ms\n%!" name (ns /. 1e6);
+    ns
+  in
+  Printf.printf "local memory = %.0f%% of the %d KB graph:\n" (ratio *. 100.0)
+    (far_bytes / 1024);
+  let native = time "native" (Mira_baselines.Native.create ~capacity:far_capacity ()) in
+  ignore (time "fastswap" (Mira_baselines.Fastswap.create ~local_budget:budget ~far_capacity ()));
+  ignore (time "leap" (Mira_baselines.Leap.create ~local_budget:budget ~far_capacity ()));
+  (try
+     ignore
+       (time "aifm"
+          (Mira_baselines.Aifm.create ~gran:(M.aifm_gran prog) ~local_budget:budget
+             ~far_capacity ()))
+   with Mira_baselines.Aifm.Oom _ ->
+     Printf.printf "  %-9s fails: remoteable-pointer metadata exceeds local memory\n"
+       "aifm");
+  let opts =
+    { (C.options_default ~local_budget:budget ~far_capacity) with
+      C.max_iterations = 4 }
+  in
+  let compiled = C.optimize opts prog in
+  let _, mira = C.run compiled in
+  Printf.printf "  %-9s %10.3f ms  (%.1fx native; %s)\n\n" "mira" (mira /. 1e6)
+    (mira /. native)
+    (if compiled.C.c_assignments = [] then
+       "kept the generic swap section"
+     else
+       Printf.sprintf "%d custom section(s)" (List.length compiled.C.c_assignments))
+
+let () =
+  match Sys.argv with
+  | [| _ |] ->
+    run_at 0.7;
+    run_at 0.12
+  | [| _; r |] -> run_at (float_of_string r)
+  | _ -> prerr_endline "usage: pointer_chasing.exe [ratio]"

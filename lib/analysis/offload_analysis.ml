@@ -1,0 +1,82 @@
+module Ir = Mira_mir.Ir
+
+type score = {
+  o_name : string;
+  o_compute_weight : float;
+  o_far_accesses : float;
+  o_sites : int list;
+  o_benefit_ns : float;
+}
+
+(* Dynamic estimates: ops inside a loop are weighted by its constant trip
+   count, or [default_trip] when unknown. *)
+let rec weigh_block ~default_trip block =
+  List.fold_left
+    (fun (ops, accesses) op ->
+      let o, a = weigh_op ~default_trip op in
+      (ops +. o, accesses +. a))
+    (0.0, 0.0) block
+
+and weigh_op ~default_trip op =
+  match op with
+  | Ir.Load _ | Ir.Store _ -> (1.0, 1.0)
+  | Ir.For { lo; hi; step; body; _ } | Ir.ParFor { lo; hi; step; body; _ } ->
+    let trip =
+      match (lo, hi, step) with
+      | Ir.Oint l, Ir.Oint h, Ir.Oint s when Int64.compare s 0L > 0 ->
+        Int64.to_float (Int64.div (Int64.sub h l) s)
+      | _, _, _ -> float_of_int default_trip
+    in
+    let ops, accesses = weigh_block ~default_trip body in
+    (trip *. (ops +. 1.0), trip *. accesses)
+  | Ir.While { cond; body; _ } ->
+    let o1, a1 = weigh_block ~default_trip cond in
+    let o2, a2 = weigh_block ~default_trip body in
+    let trip = float_of_int default_trip in
+    (trip *. (o1 +. o2 +. 1.0), trip *. (a1 +. a2))
+  | Ir.If { then_; else_; _ } ->
+    let o1, a1 = weigh_block ~default_trip then_ in
+    let o2, a2 = weigh_block ~default_trip else_ in
+    (1.0 +. Float.max o1 o2, Float.max a1 a2)
+  | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.I2f _
+  | Ir.F2i _ | Ir.Mov _ | Ir.Alloc _ | Ir.Free _ | Ir.Gep _ | Ir.Call _
+  | Ir.Ret _ | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _
+  | Ir.ProfEnter _ | Ir.ProfExit _ ->
+    (1.0, 0.0)
+
+let analyze program ~params ?(default_trip = 64) ?(miss_rate = 0.5) () =
+  let remotable = Remotable_flow.remotable_functions program in
+  let sites_by_fn = Remotable_flow.function_sites program in
+  List.filter_map
+    (fun (name, f) ->
+      if not (List.mem name remotable) then None
+      else begin
+        let compute, far = weigh_block ~default_trip f.Ir.f_body in
+        let p = params in
+        (* Not offloaded: each far access pays the expected miss cost. *)
+        let miss_cost = p.Mira_sim.Params.one_sided_rtt_ns in
+        let local_cost = far *. miss_rate *. miss_cost in
+        (* Offloaded: compute slows down, far accesses are node-local,
+           plus the fixed RPC + flush cost. *)
+        let slowdown = p.Mira_sim.Params.remote_compute_slowdown -. 1.0 in
+        let remote_cost =
+          (compute *. p.Mira_sim.Params.native_op_ns *. slowdown)
+          +. p.Mira_sim.Params.rpc_overhead_ns
+          +. (2.0 *. p.Mira_sim.Params.two_sided_rtt_ns)
+        in
+        let benefit = local_cost -. remote_cost in
+        Some
+          {
+            o_name = name;
+            o_compute_weight = compute;
+            o_far_accesses = far;
+            o_sites =
+              (match List.assoc_opt name sites_by_fn with
+              | Some s -> s
+              | None -> []);
+            o_benefit_ns = benefit;
+          }
+      end)
+    program.Ir.p_funcs
+
+let should_offload s = s.o_benefit_ns > 0.0

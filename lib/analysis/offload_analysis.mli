@@ -1,0 +1,28 @@
+(** Function-offloading selection (§4.8).
+
+    Scores each remotable function by its computation weight versus the
+    network traffic its far-memory accesses would generate if executed
+    on the compute node.  Offloading wins when the function is
+    communication-bound: the far accesses it performs locally-at-the-
+    far-node outweigh the slower far-node CPU plus the RPC overhead. *)
+
+type score = {
+  o_name : string;
+  o_compute_weight : float;  (** dynamic-op estimate (trip-count weighted) *)
+  o_far_accesses : float;  (** dynamic far-access estimate *)
+  o_sites : int list;  (** sites touched (for the flush barrier) *)
+  o_benefit_ns : float;  (** estimated saved ns per call; > 0 = offload *)
+}
+
+val analyze :
+  Mira_mir.Ir.program ->
+  params:Mira_sim.Params.t ->
+  ?default_trip:int ->
+  ?miss_rate:float ->
+  unit ->
+  score list
+(** Scores for every remotable function.  [miss_rate] estimates the
+    fraction of far accesses that would miss the local cache when NOT
+    offloaded (default 0.5; profiling refines it in the controller). *)
+
+val should_offload : score -> bool

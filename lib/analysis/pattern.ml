@@ -1,0 +1,473 @@
+module Ir = Mira_mir.Ir
+module Types = Mira_mir.Types
+
+type gep_shape =
+  | Idx_iv
+  | Idx_iv_plus of int64
+  | Idx_affine of { c0 : int64; terms : (int * int64) list }
+  | Idx_loaded of simple_gep
+  | Idx_const of int64
+  | Idx_other
+
+and simple_gep = {
+  g_base : Ir.operand;
+  g_elem : Types.ty;
+  g_field : int;
+  g_site : int;
+  g_index : gep_shape;
+}
+
+type access = {
+  a_site : int;
+  a_rw : [ `R | `W ];
+  a_ty : Types.ty;
+  a_elem : int;
+  a_field : int;
+  a_stride : int64 option;
+  a_indirect_via : int option;
+  a_pointer_chase : bool;
+  a_gep : simple_gep option;
+}
+
+type loop_info = {
+  l_iv : Ir.reg;
+  l_depth : int;
+  l_parallel : bool;
+  l_lo : Ir.operand;
+  l_hi : Ir.operand;
+  l_trip : int option;
+  l_body_ops : int;
+  l_accesses : access list;
+  l_children : loop_info list;
+}
+
+type kind =
+  | Sequential of int
+  | Strided of int
+  | Indirect of int
+  | Pointer_chase
+  | Random
+
+type site_summary = {
+  ss_site : int;
+  ss_kind : kind;
+  ss_reads : int;
+  ss_writes : int;
+  ss_fields_read : int list;
+  ss_fields_written : int list;
+  ss_elem : int;
+  ss_read_only : bool;
+  ss_write_only : bool;
+}
+
+type result = {
+  r_loops : loop_info list;
+  r_summaries : site_summary list;
+  r_sites : int list;
+  r_unresolved : int;
+}
+
+(* --- walker environment -------------------------------------------------- *)
+
+type ptr_info = {
+  p_site : int;
+  p_off : Scev.t;  (* byte offset within the object, if affine *)
+  p_chased : bool;  (* the base pointer was loaded from memory *)
+  p_indirect : int option;  (* index values loaded from this site *)
+  p_elem : int;  (* element size of the producing gep (bytes) *)
+  p_field : int;  (* field offset of the producing gep *)
+  p_gep : simple_gep option;  (* reconstructible shape *)
+}
+
+type binding =
+  | Bnone
+  | Bsym of { sym : Scev.t; from_gep : simple_gep option }
+  | Bptr of ptr_info
+
+type ctx = {
+  site_of_ty : Types.ty -> int option;
+  elem_of_site : int -> int;
+  env : binding array;
+  mutable all_accesses : access list;
+  mutable unresolved : int;
+  mutable loop : (int * Scev.t) option;  (* innermost For: (depth, iv sym) *)
+  mutable depth : int;  (* loop depth including While bodies *)
+}
+
+let operand_sym ctx = function
+  | Ir.Oint i -> Scev.const i
+  | Ir.Obool b -> Scev.const (if b then 1L else 0L)
+  | Ir.Ofloat _ | Ir.Ounit -> Scev.Unknown
+  | Ir.Oreg r ->
+    (match ctx.env.(r) with
+    | Bsym { sym; _ } -> sym
+    | Bptr _ | Bnone -> Scev.Unknown)
+
+let operand_binding ctx = function
+  | Ir.Oreg r -> ctx.env.(r)
+  | (Ir.Oint _ | Ir.Ofloat _ | Ir.Obool _ | Ir.Ounit) as o ->
+    Bsym { sym = operand_sym ctx o; from_gep = None }
+
+let index_shape ctx index =
+  let sym = operand_sym ctx index in
+  match Scev.const_value sym with
+  | Some c -> Idx_const c
+  | None ->
+    (match ctx.loop with
+    | None ->
+      (match operand_binding ctx index with
+      | Bsym { from_gep = Some g; _ } -> Idx_loaded g
+      | Bsym _ | Bptr _ | Bnone -> Idx_other)
+    | Some (_, iv_sym) ->
+      if Scev.equal sym iv_sym then Idx_iv
+      else begin
+        match Scev.const_value (Scev.sub sym iv_sym) with
+        | Some c -> Idx_iv_plus c
+        | None ->
+          (match operand_binding ctx index with
+          | Bsym { from_gep = Some g; _ } -> Idx_loaded g
+          | Bsym _ | Bptr _ | Bnone ->
+            (match sym with
+            | Scev.Affine { c0; terms } when terms <> [] -> Idx_affine { c0; terms }
+            | Scev.Affine _ | Scev.Loaded _ | Scev.Unknown -> Idx_other))
+      end)
+
+let access_of ctx ~rw ~ty (p : ptr_info) =
+  let stride =
+    match ctx.loop with
+    | Some (depth, _) -> Scev.innermost_stride p.p_off ~depth
+    | None -> None
+  in
+  {
+    a_site = p.p_site;
+    a_rw = rw;
+    a_ty = ty;
+    a_elem = p.p_elem;
+    a_field = p.p_field;
+    a_stride = stride;
+    a_indirect_via = p.p_indirect;
+    a_pointer_chase = p.p_chased;
+    a_gep = p.p_gep;
+  }
+
+(* --- the walk ------------------------------------------------------------ *)
+
+(* Returns the accesses recorded in the direct body (not nested loops)
+   and the loop subtree found in the block. *)
+let rec walk_block ctx block : access list * loop_info list =
+  List.fold_left
+    (fun (accs, loops) op ->
+      let a, l = walk_op ctx op in
+      (accs @ a, loops @ l))
+    ([], []) block
+
+and walk_op ctx op : access list * loop_info list =
+  match op with
+  | Ir.Bin (r, o, a, b) ->
+    let sa = operand_sym ctx a and sb = operand_sym ctx b in
+    let sym =
+      match o with
+      | Ir.Add -> Scev.add sa sb
+      | Ir.Sub -> Scev.sub sa sb
+      | Ir.Mul -> Scev.mul sa sb
+      | Ir.Div | Ir.Rem | Ir.Land | Ir.Lor | Ir.Lxor | Ir.Shl | Ir.Shr ->
+        Scev.Unknown
+    in
+    (* Preserve indirection provenance through simple arithmetic: if one
+       operand was loaded from a site and the other is constant, the
+       result still indexes "via" that site. *)
+    let from_gep =
+      match (operand_binding ctx a, operand_binding ctx b) with
+      | Bsym { from_gep = Some g; _ }, Bsym { sym = s; _ }
+        when Scev.const_value s <> None ->
+        Some g
+      | Bsym { sym = s; _ }, Bsym { from_gep = Some g; _ }
+        when Scev.const_value s <> None ->
+        Some g
+      | _, _ -> None
+    in
+    set ctx r (Bsym { sym; from_gep });
+    ([], [])
+  | Ir.Fbin (r, _, _, _) | Ir.Fcmp (r, _, _, _) | Ir.I2f (r, _) ->
+    set_sym ctx r Scev.Unknown;
+    ([], [])
+  | Ir.Cmp (r, _, _, _) | Ir.Not (r, _) | Ir.F2i (r, _) ->
+    set_sym ctx r Scev.Unknown;
+    ([], [])
+  | Ir.Mov (r, a) ->
+    set ctx r (operand_binding ctx a);
+    ([], [])
+  | Ir.Alloc { dst; site; elem; _ } ->
+    set ctx dst
+      (Bptr
+         {
+           p_site = site;
+           p_off = Scev.const 0L;
+           p_chased = false;
+           p_indirect = None;
+           p_elem = Types.size_of elem;
+           p_field = 0;
+           p_gep = None;
+         });
+    ([], [])
+  | Ir.Free _ -> ([], [])
+  | Ir.Gep { dst; base; index; elem; field_off } ->
+    (match operand_binding ctx base with
+    | Bptr p ->
+      let elem_bytes = Types.size_of elem in
+      let shape = index_shape ctx index in
+      let idx_sym = operand_sym ctx index in
+      let off, indirect =
+        match shape with
+        | Idx_loaded g -> (Scev.Unknown, Some g.g_site)
+        | Idx_iv | Idx_iv_plus _ | Idx_affine _ | Idx_const _ | Idx_other ->
+          ( Scev.add p.p_off
+              (Scev.add
+                 (Scev.mul idx_sym (Scev.const (Int64.of_int elem_bytes)))
+                 (Scev.const (Int64.of_int field_off))),
+            p.p_indirect )
+      in
+      let gep =
+        Some
+          { g_base = base; g_elem = elem; g_field = field_off;
+            g_site = p.p_site; g_index = shape }
+      in
+      set ctx dst
+        (Bptr
+           {
+             p_site = p.p_site;
+             p_off = off;
+             p_chased = p.p_chased;
+             p_indirect = indirect;
+             p_elem = elem_bytes;
+             p_field = field_off;
+             p_gep = gep;
+           })
+    | Bsym _ | Bnone -> set ctx dst Bnone);
+    ([], [])
+  | Ir.Load { dst; ty; ptr; _ } ->
+    (match operand_binding ctx ptr with
+    | Bptr p when p.p_site >= 0 ->
+      let acc = access_of ctx ~rw:`R ~ty p in
+      ctx.all_accesses <- acc :: ctx.all_accesses;
+      (match ty with
+      | Types.Ptr pointee ->
+        (* Loaded a pointer: type-based aliasing gives the target site. *)
+        let target_site =
+          match ctx.site_of_ty pointee with Some s -> s | None -> -1
+        in
+        set ctx dst
+          (Bptr
+             {
+               p_site = target_site;
+               p_off = Scev.Unknown;
+               p_chased = true;
+               p_indirect = None;
+               p_elem = Types.size_of pointee;
+               p_field = 0;
+               p_gep = None;
+             })
+      | Types.Unit | Types.Bool | Types.I64 | Types.F64 | Types.Struct _ ->
+        set ctx dst (Bsym { sym = Scev.Loaded p.p_site; from_gep = p.p_gep }));
+      ([ acc ], [])
+    | Bptr _ | Bsym _ | Bnone ->
+      ctx.unresolved <- ctx.unresolved + 1;
+      set_sym ctx dst Scev.Unknown;
+      ([], []))
+  | Ir.Store { ty; ptr; _ } ->
+    (match operand_binding ctx ptr with
+    | Bptr p when p.p_site >= 0 ->
+      let acc = access_of ctx ~rw:`W ~ty p in
+      ctx.all_accesses <- acc :: ctx.all_accesses;
+      ([ acc ], [])
+    | Bptr _ | Bsym _ | Bnone ->
+      ctx.unresolved <- ctx.unresolved + 1;
+      ([], []))
+  | Ir.Call { dst; callee; args = _ } ->
+    (* Intra-procedural: the callee's effects are summarized separately;
+       a returned pointer gets a type-based site if resolvable. *)
+    ignore callee;
+    set_sym ctx dst Scev.Unknown;
+    ([], [])
+  | Ir.For { iv; lo; hi; step; body } ->
+    ([], [ walk_loop ctx ~iv ~lo ~hi ~step ~body ~parallel:false ])
+  | Ir.ParFor { iv; lo; hi; step; body } ->
+    ([], [ walk_loop ctx ~iv ~lo ~hi ~step ~body ~parallel:true ])
+  | Ir.While { cond; cond_val = _; body } ->
+    let saved_loop = ctx.loop in
+    let saved_depth = ctx.depth in
+    ctx.loop <- None;
+    ctx.depth <- ctx.depth + 1;
+    let a1, l1 = walk_block ctx cond in
+    let a2, l2 = walk_block ctx body in
+    ctx.loop <- saved_loop;
+    ctx.depth <- saved_depth;
+    (a1 @ a2, l1 @ l2)
+  | Ir.If { cond = _; then_; else_ } ->
+    let a1, l1 = walk_block ctx then_ in
+    let a2, l2 = walk_block ctx else_ in
+    (a1 @ a2, l1 @ l2)
+  | Ir.Ret _ | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _
+  | Ir.ProfEnter _ | Ir.ProfExit _ ->
+    ([], [])
+
+and walk_loop ctx ~iv ~lo ~hi ~step ~body ~parallel =
+  let saved_loop = ctx.loop in
+  let saved_depth = ctx.depth in
+  let depth = ctx.depth in
+  let lo_sym = operand_sym ctx lo in
+  let step_sym = operand_sym ctx step in
+  let iv_sym = Scev.iv ~depth ~lo:lo_sym ~step:step_sym in
+  set_sym ctx iv iv_sym;
+  ctx.loop <- Some (depth, iv_sym);
+  ctx.depth <- depth + 1;
+  let accesses, children = walk_block ctx body in
+  ctx.loop <- saved_loop;
+  ctx.depth <- saved_depth;
+  let trip =
+    match
+      ( Scev.const_value lo_sym,
+        Scev.const_value (operand_sym ctx hi),
+        Scev.const_value step_sym )
+    with
+    | Some l, Some h, Some s when Int64.compare s 0L > 0 ->
+      Some
+        (Int64.to_int
+           (Int64.div (Int64.sub h l) s)
+        + (if Int64.rem (Int64.sub h l) s <> 0L then 1 else 0))
+    | _, _, _ -> None
+  in
+  {
+    l_iv = iv;
+    l_depth = depth;
+    l_parallel = parallel;
+    l_lo = lo;
+    l_hi = hi;
+    l_trip = trip;
+    l_body_ops = Ir.op_count body;
+    l_accesses = accesses;
+    l_children = children;
+  }
+
+and set ctx r b = ctx.env.(r) <- b
+and set_sym ctx r sym = ctx.env.(r) <- Bsym { sym; from_gep = None }
+
+(* --- summaries ----------------------------------------------------------- *)
+
+let summarize accesses =
+  let sites = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let existing = try Hashtbl.find sites a.a_site with Not_found -> [] in
+      Hashtbl.replace sites a.a_site (a :: existing))
+    accesses;
+  Hashtbl.fold
+    (fun site accs acc ->
+      let reads = List.filter (fun a -> a.a_rw = `R) accs in
+      let writes = List.filter (fun a -> a.a_rw = `W) accs in
+      let fields rw_list =
+        List.map (fun a -> a.a_field) rw_list |> List.sort_uniq compare
+      in
+      let elem =
+        List.fold_left (fun m a -> max m a.a_elem) 8 accs
+      in
+      let kind =
+        if List.exists (fun a -> a.a_pointer_chase) accs then Pointer_chase
+        else begin
+          match List.find_opt (fun a -> a.a_indirect_via <> None) accs with
+          | Some a ->
+            (match a.a_indirect_via with Some v -> Indirect v | None -> Random)
+          | None ->
+            let strides =
+              List.filter_map (fun a -> a.a_stride) accs
+              |> List.map Int64.to_int |> List.sort_uniq compare
+              |> List.filter (fun s -> s <> 0)
+            in
+            (match strides with
+            | [] -> Random
+            | [ s ] when s > 0 && s <= 2 * elem -> Sequential s
+            | [ s ] -> Strided s
+            | many ->
+              if List.for_all (fun s -> s > 0 && s <= 2 * elem) many then
+                Sequential (List.fold_left max 0 many)
+              else if List.exists (fun a -> a.a_stride = None) accs then Random
+              else Strided (List.fold_left max 0 many))
+        end
+      in
+      {
+        ss_site = site;
+        ss_kind = kind;
+        ss_reads = List.length reads;
+        ss_writes = List.length writes;
+        ss_fields_read = fields reads;
+        ss_fields_written = fields writes;
+        ss_elem = elem;
+        ss_read_only = writes = [] && reads <> [];
+        ss_write_only = reads = [] && writes <> [];
+      }
+      :: acc)
+    sites []
+  |> List.sort (fun a b -> compare a.ss_site b.ss_site)
+
+let analyze program func ?(param_sites = []) ~site_of_ty () =
+  let elem_of_site site =
+    match Ir.find_site program site with
+    | info -> Types.size_of info.Ir.si_elem
+    | exception Not_found -> 8
+  in
+  let ctx =
+    {
+      site_of_ty;
+      elem_of_site;
+      env = Array.make (max 1 func.Ir.f_nregs) Bnone;
+      all_accesses = [];
+      unresolved = 0;
+      loop = None;
+      depth = 0;
+    }
+  in
+  List.iter
+    (fun (r, ty) ->
+      match ty with
+      | Types.Ptr pointee ->
+        let site =
+          match List.assoc_opt r param_sites with
+          | Some s -> s
+          | None -> (match site_of_ty pointee with Some s -> s | None -> -1)
+        in
+        (* Treat the parameter as the object base: absolute offsets may
+           be wrong for interior pointers, but stride classification
+           only needs offsets relative to the pointer, which are exact. *)
+        ctx.env.(r) <-
+          Bptr
+            {
+              p_site = site;
+              p_off = Scev.const 0L;
+              p_chased = false;
+              p_indirect = None;
+              p_elem = Types.size_of pointee;
+              p_field = 0;
+              p_gep = None;
+            }
+      | Types.Unit | Types.Bool | Types.I64 | Types.F64 | Types.Struct _ ->
+        ctx.env.(r) <- Bsym { sym = Scev.Unknown; from_gep = None })
+    func.Ir.f_params;
+  let _, loops = walk_block ctx func.Ir.f_body in
+  let accesses = List.rev ctx.all_accesses in
+  let summaries = summarize accesses in
+  {
+    r_loops = loops;
+    r_summaries = summaries;
+    r_sites = List.map (fun s -> s.ss_site) summaries;
+    r_unresolved = ctx.unresolved;
+  }
+
+let summary_for result site =
+  List.find_opt (fun s -> s.ss_site = site) result.r_summaries
+
+let kind_to_string = function
+  | Sequential s -> Printf.sprintf "sequential(%dB)" s
+  | Strided s -> Printf.sprintf "strided(%dB)" s
+  | Indirect v -> Printf.sprintf "indirect(via site %d)" v
+  | Pointer_chase -> "pointer-chase"
+  | Random -> "random"

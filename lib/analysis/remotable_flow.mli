@@ -1,0 +1,33 @@
+(** Remotable-object dataflow (§5.2.1).
+
+    Type-based alias analysis: each allocation site declares an element
+    type, so a pointer whose pointee type is allocated at exactly one
+    site must point into that site's objects (the paper combines
+    SSA-based forward dataflow with type-based aliasing; our structured
+    IR keeps the SSA part inside [Pattern]).
+
+    Also computes which functions are {e remotable} — they touch only
+    resolvable far objects, their own stack data, and call only other
+    remotable functions or intrinsics — and which sites each function
+    accesses (transitively), which offloading needs for its
+    flush/invalidate barriers. *)
+
+val site_of_ty : Mira_mir.Ir.program -> Mira_mir.Types.ty -> int option
+(** The unique heap allocation site with this element type, if any. *)
+
+val function_sites : Mira_mir.Ir.program -> (string * int list) list
+(** Per function: all allocation sites accessed, including through
+    direct calls (one level of transitive closure to a fixpoint). *)
+
+val remotable_functions : Mira_mir.Ir.program -> string list
+(** Functions eligible for far-memory offloading. *)
+
+val param_sites_of_program :
+  Mira_mir.Ir.program -> (string * (Mira_mir.Ir.reg * int) list) list
+(** Interprocedural parameter-site bindings: parameter registers bound
+    to the allocation site every call site passes (conflicts -> -1). *)
+
+val analyze_all :
+  Mira_mir.Ir.program -> (string * Pattern.result) list
+(** [Pattern.analyze] for every function, with the program's
+    type-based site resolver and call-graph parameter bindings. *)

@@ -1,0 +1,32 @@
+(** AIFM baseline (Ruan et al., OSDI'20): application-integrated far
+    memory via a library of remoteable pointers.
+
+    The model captures the three properties the paper's comparisons
+    rest on:
+
+    - {b per-dereference runtime cost}: every access to a remoteable
+      object goes through a smart-pointer dereference (hot-path check,
+      scope bookkeeping), charged at [aifm_deref_ns] even on hits;
+    - {b always-resident metadata}: each remoteable granule carries
+      metadata that lives in local memory whether or not the data is
+      cached, shrinking the usable cache ([aifm_elem_meta_bytes] per
+      granule + [aifm_obj_meta_bytes] per object) — with fine-grained
+      granules (MCF's array library) this makes AIFM fail outright when
+      local memory is scarce, as in the paper's Figure 18;
+    - {b object-granularity transfer} over two-sided communication: no
+      page-amplification, but also no program-guided prefetching.
+
+    The granularity of each allocation site defaults to its element
+    size (AIFM's array library); workloads with chunked AIFM libraries
+    (DataFrame vectors) override it via [gran]. *)
+
+exception Oom of string
+(** Raised when remoteable-pointer metadata alone exceeds local memory
+    (AIFM "fails to execute", §6.1). *)
+
+val create :
+  ?params:Mira_sim.Params.t ->
+  ?gran:(int -> int) ->
+  local_budget:int -> far_capacity:int -> unit -> Mira_runtime.Memsys.t
+(** [gran site] is the caching granule in bytes for [site]'s objects;
+    allocations are rounded up to it. *)

@@ -1,0 +1,9 @@
+(** Native baseline: the whole workload fits in local memory.
+
+    Every figure in the paper normalizes to this configuration ("full
+    local memory, no far memory").  All allocations are local and all
+    accesses cost a native memory access. *)
+
+val create :
+  ?params:Mira_sim.Params.t -> capacity:int -> unit -> Mira_runtime.Memsys.t
+(** [capacity] bounds the local address space. *)

@@ -1,0 +1,94 @@
+type t = {
+  net : Mira_sim.Net.t;
+  far : Mira_sim.Far_store.t;
+  budget : int;
+  page : int;
+  swap : Swap_section.t;
+  sections : (int, Section.t) Hashtbl.t;
+  site_to_section : (int, int) Hashtbl.t;
+  mutable section_bytes : int;
+}
+
+let create net far ~budget ~page ~side =
+  assert (budget >= page);
+  let swap = Swap_section.create net far { Swap_section.page; capacity = budget; side } in
+  {
+    net;
+    far;
+    budget;
+    page;
+    swap;
+    sections = Hashtbl.create 16;
+    site_to_section = Hashtbl.create 16;
+    section_bytes = 0;
+  }
+
+let budget t = t.budget
+let swap t = t.swap
+let net t = t.net
+let far t = t.far
+
+let swap_capacity t = max t.page (t.budget - t.section_bytes)
+
+let add_section t ~clock (cfg : Section.config) =
+  if Hashtbl.mem t.sections cfg.Section.sec_id then
+    Error (Printf.sprintf "section %d already exists" cfg.Section.sec_id)
+  else if t.section_bytes + cfg.Section.size > t.budget - t.page then
+    Error
+      (Printf.sprintf "section %d (%d B) exceeds local budget (%d B used of %d)"
+         cfg.Section.sec_id cfg.Section.size t.section_bytes t.budget)
+  else begin
+    let section = Section.create t.net t.far cfg in
+    Hashtbl.replace t.sections cfg.Section.sec_id section;
+    t.section_bytes <- t.section_bytes + cfg.Section.size;
+    Swap_section.resize t.swap ~capacity:(swap_capacity t) ~clock;
+    Ok section
+  end
+
+let end_section t ~clock ~id =
+  match Hashtbl.find_opt t.sections id with
+  | None -> ()
+  | Some section ->
+    Section.drop_all section ~clock;
+    t.section_bytes <- t.section_bytes - (Section.config section).Section.size;
+    Hashtbl.remove t.sections id;
+    let orphans =
+      Hashtbl.fold
+        (fun site sec acc -> if sec = id then site :: acc else acc)
+        t.site_to_section []
+    in
+    List.iter (Hashtbl.remove t.site_to_section) orphans;
+    Swap_section.resize t.swap ~capacity:(swap_capacity t) ~clock
+
+let find_section t ~id = Hashtbl.find_opt t.sections id
+
+let sections t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.sections []
+  |> List.sort (fun a b ->
+         compare (Section.config a).Section.sec_id (Section.config b).Section.sec_id)
+
+let assign_site t ~site ~sec_id =
+  if not (Hashtbl.mem t.sections sec_id) then
+    invalid_arg (Printf.sprintf "Manager.assign_site: no section %d" sec_id);
+  Hashtbl.replace t.site_to_section site sec_id
+
+let unassign_site t ~site = Hashtbl.remove t.site_to_section site
+
+let route t ~site =
+  match Hashtbl.find_opt t.site_to_section site with
+  | None -> None
+  | Some id -> Hashtbl.find_opt t.sections id
+
+let metadata_bytes t =
+  Hashtbl.fold
+    (fun _ s acc -> acc + Section.metadata_bytes s)
+    t.sections
+    (Swap_section.metadata_bytes t.swap)
+
+let drop_all t ~clock =
+  Hashtbl.iter (fun _ s -> Section.drop_all s ~clock) t.sections;
+  Swap_section.drop_all t.swap ~clock
+
+let reset_stats t =
+  Hashtbl.iter (fun _ s -> Section.reset_stats s) t.sections;
+  Swap_section.reset_stats t.swap

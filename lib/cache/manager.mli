@@ -1,0 +1,48 @@
+(** The local-memory cache manager.
+
+    Owns the swap section plus every live custom section, routes
+    allocation sites to sections, and enforces the local-memory budget:
+    creating a section takes bytes away from the swap section, ending a
+    section (when analysis says its lifetime is over, §4.1/§6.2) gives
+    them back.  One section may serve several sites (similar patterns
+    grouped together); a site not assigned anywhere runs on swap. *)
+
+type t
+
+val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> budget:int -> page:int -> side:Mira_sim.Net.side -> t
+(** The whole budget initially backs the swap section (the paper's
+    initial, swap-everything configuration). *)
+
+val budget : t -> int
+val swap : t -> Swap_section.t
+val net : t -> Mira_sim.Net.t
+val far : t -> Mira_sim.Far_store.t
+
+val add_section :
+  t -> clock:Mira_sim.Clock.t -> Section.config -> (Section.t, string) result
+(** Carve a new section out of the swap section's budget.  Fails if the
+    remaining swap space would drop below one page, or the id exists. *)
+
+val end_section : t -> clock:Mira_sim.Clock.t -> id:int -> unit
+(** Write back, drop, and return the section's bytes to the swap
+    section.  Site assignments to it are removed.  No-op if absent. *)
+
+val find_section : t -> id:int -> Section.t option
+val sections : t -> Section.t list
+
+val assign_site : t -> site:int -> sec_id:int -> unit
+(** Route an allocation site to a section.  Raises [Invalid_argument]
+    if the section does not exist. *)
+
+val unassign_site : t -> site:int -> unit
+
+val route : t -> site:int -> Section.t option
+(** [None] means the swap section handles this site. *)
+
+val metadata_bytes : t -> int
+(** Total local-memory metadata of swap + sections. *)
+
+val drop_all : t -> clock:Mira_sim.Clock.t -> unit
+(** Empty every section and the swap cache (between runs). *)
+
+val reset_stats : t -> unit

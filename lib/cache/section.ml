@@ -1,0 +1,520 @@
+type structure = Direct | Set_assoc of int | Full_assoc
+
+type config = {
+  sec_id : int;
+  sec_name : string;
+  line : int;
+  size : int;
+  structure : structure;
+  side : Mira_sim.Net.side;
+  payload : int option;
+  no_meta : bool;
+  write_no_fetch : bool;
+  read_discard : bool;
+}
+
+let config_default ~sec_id ~name ~line ~size =
+  {
+    sec_id;
+    sec_name = name;
+    line;
+    size;
+    structure = Full_assoc;
+    side = Mira_sim.Net.One_sided;
+    payload = None;
+    no_meta = false;
+    write_no_fetch = false;
+    read_discard = false;
+  }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable late_prefetch : int;
+  mutable evictions : int;
+  mutable hinted_evictions : int;
+  mutable writebacks : int;
+  mutable hit_ns : float;
+  mutable miss_ns : float;
+  mutable stall_ns : float;
+  mutable bytes_fetched : int;
+}
+
+let fresh_stats () =
+  {
+    hits = 0;
+    misses = 0;
+    late_prefetch = 0;
+    evictions = 0;
+    hinted_evictions = 0;
+    writebacks = 0;
+    hit_ns = 0.0;
+    miss_ns = 0.0;
+    stall_ns = 0.0;
+    bytes_fetched = 0;
+  }
+
+type line_state = {
+  mutable tag : int;  (* line index in far address space; -1 = empty *)
+  mutable dirty : bool;
+  mutable ready_at : float;
+  mutable evictable : bool;
+  mutable pinned : bool;
+  mutable refbit : bool;
+  mutable last_use : float;
+  data : Bytes.t;
+}
+
+type t = {
+  cfg : config;
+  net : Mira_sim.Net.t;
+  far : Mira_sim.Far_store.t;
+  lines : line_state array;
+  table : (int, int) Hashtbl.t;  (* full-assoc: tag -> slot *)
+  mutable free_slots : int list;  (* full-assoc only *)
+  mutable hand : int;  (* CLOCK sweep position, full-assoc *)
+  mutable evict_hints : int list;  (* slots hinted evictable, full-assoc *)
+  mutable used : int;
+  stats : stats;
+}
+
+let create net far cfg =
+  assert (cfg.line >= 8 && cfg.line mod 8 = 0);
+  assert (cfg.size >= cfg.line);
+  let nslots =
+    match cfg.structure with
+    | Direct | Full_assoc -> max 1 (cfg.size / cfg.line)
+    | Set_assoc k ->
+      assert (k >= 1);
+      let slots = max k (cfg.size / cfg.line) in
+      slots / k * k
+  in
+  let fresh_line () =
+    {
+      tag = -1;
+      dirty = false;
+      ready_at = 0.0;
+      evictable = false;
+      pinned = false;
+      refbit = false;
+      last_use = 0.0;
+      data = Bytes.make cfg.line '\000';
+    }
+  in
+  {
+    cfg;
+    net;
+    far;
+    lines = Array.init nslots (fun _ -> fresh_line ());
+    table = Hashtbl.create (max 16 nslots);
+    free_slots = List.init nslots (fun i -> i);
+    hand = 0;
+    evict_hints = [];
+    used = 0;
+    stats = fresh_stats ();
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+
+let reset_stats t =
+  let s = fresh_stats () in
+  let d = t.stats in
+  d.hits <- s.hits;
+  d.misses <- s.misses;
+  d.late_prefetch <- s.late_prefetch;
+  d.evictions <- s.evictions;
+  d.hinted_evictions <- s.hinted_evictions;
+  d.writebacks <- s.writebacks;
+  d.hit_ns <- s.hit_ns;
+  d.miss_ns <- s.miss_ns;
+  d.stall_ns <- s.stall_ns;
+  d.bytes_fetched <- s.bytes_fetched
+
+let lines_total t = Array.length t.lines
+let lines_used t = t.used
+
+(* Per-line runtime metadata: tag + flags + ready time + LRU stamp + a
+   table entry for associative structures.  The paper's point (§4.4) is
+   that compiler-controlled sections need none of it. *)
+let metadata_bytes t =
+  if t.cfg.no_meta then 0
+  else begin
+    let per_line =
+      match t.cfg.structure with
+      | Direct -> 24
+      | Set_assoc _ -> 32
+      | Full_assoc -> 48
+    in
+    per_line * Array.length t.lines
+  end
+
+let params t = Mira_sim.Net.params t.net
+
+let lookup_cost t =
+  let p = params t in
+  match t.cfg.structure with
+  | Direct -> p.Mira_sim.Params.hit_direct_ns
+  | Set_assoc _ -> p.Mira_sim.Params.hit_set_ns
+  | Full_assoc -> p.Mira_sim.Params.hit_full_ns
+
+let line_of_addr t addr = addr / t.cfg.line
+
+(* --- slot lookup ------------------------------------------------------- *)
+
+let find_slot t tag =
+  match t.cfg.structure with
+  | Direct ->
+    let slot = tag mod Array.length t.lines in
+    if t.lines.(slot).tag = tag then Some slot else None
+  | Set_assoc k ->
+    let nsets = Array.length t.lines / k in
+    let set = tag mod nsets in
+    let rec scan i =
+      if i >= k then None
+      else begin
+        let slot = (set * k) + i in
+        if t.lines.(slot).tag = tag then Some slot else scan (i + 1)
+      end
+    in
+    scan 0
+  | Full_assoc -> Hashtbl.find_opt t.table tag
+
+(* --- victim selection --------------------------------------------------- *)
+
+(* read_discard is a cost hint for clean lines; dirty data must always
+   reach the far store or it would be lost. *)
+let writeback_victim t ~clock line =
+  if line.dirty then begin
+    let base = line.tag * t.cfg.line in
+    Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
+    let x =
+      Mira_sim.Net.push t.net ~side:t.cfg.side ~purpose:Mira_sim.Net.Writeback
+        ~now:(Mira_sim.Clock.now clock) ~bytes:t.cfg.line ()
+    in
+    Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+    t.stats.writebacks <- t.stats.writebacks + 1
+  end;
+  line.dirty <- false
+
+let release_slot t ~clock slot =
+  let line = t.lines.(slot) in
+  if line.tag >= 0 then begin
+    writeback_victim t ~clock line;
+    (match t.cfg.structure with
+    | Full_assoc -> Hashtbl.remove t.table line.tag
+    | Direct | Set_assoc _ -> ());
+    if line.evictable then t.stats.hinted_evictions <- t.stats.hinted_evictions + 1;
+    t.stats.evictions <- t.stats.evictions + 1;
+    line.tag <- -1;
+    line.evictable <- false;
+    line.pinned <- false;
+    line.refbit <- false;
+    t.used <- t.used - 1
+  end
+
+let pick_victim_full t =
+  (* Hinted-evictable slots first, then CLOCK over the rest. *)
+  let rec from_hints = function
+    | [] ->
+      t.evict_hints <- [];
+      None
+    | slot :: rest ->
+      let line = t.lines.(slot) in
+      if line.tag >= 0 && line.evictable && not line.pinned then begin
+        t.evict_hints <- rest;
+        Some slot
+      end
+      else from_hints rest
+  in
+  match from_hints t.evict_hints with
+  | Some slot -> slot
+  | None ->
+    let n = Array.length t.lines in
+    let rec sweep budget =
+      let slot = t.hand in
+      t.hand <- (t.hand + 1) mod n;
+      let line = t.lines.(slot) in
+      if budget = 0 then slot
+      else if line.pinned then sweep (budget - 1)
+      else if line.refbit then begin
+        line.refbit <- false;
+        sweep (budget - 1)
+      end
+      else slot
+    in
+    sweep (2 * n)
+
+let pick_victim_set t tag k =
+  let nsets = Array.length t.lines / k in
+  let set = tag mod nsets in
+  let best = ref (set * k) in
+  let best_score = ref infinity in
+  for i = 0 to k - 1 do
+    let slot = (set * k) + i in
+    let line = t.lines.(slot) in
+    let score =
+      if line.tag < 0 then neg_infinity
+      else if line.pinned then infinity
+      else if line.evictable then -1.0
+      else line.last_use
+    in
+    if score < !best_score then begin
+      best := slot;
+      best_score := score
+    end
+  done;
+  !best
+
+let allocate_slot t ~clock tag =
+  match t.cfg.structure with
+  | Direct ->
+    let slot = tag mod Array.length t.lines in
+    release_slot t ~clock slot;
+    slot
+  | Set_assoc k ->
+    let slot = pick_victim_set t tag k in
+    release_slot t ~clock slot;
+    slot
+  | Full_assoc ->
+    (match t.free_slots with
+    | slot :: rest ->
+      t.free_slots <- rest;
+      slot
+    | [] ->
+      let slot = pick_victim_full t in
+      release_slot t ~clock slot;
+      slot)
+
+let install t ~clock ~tag ~ready_at =
+  let slot = allocate_slot t ~clock tag in
+  let line = t.lines.(slot) in
+  let base = tag * t.cfg.line in
+  Mira_sim.Far_store.read t.far ~addr:base ~len:t.cfg.line ~dst:line.data ~dst_off:0;
+  line.tag <- tag;
+  line.dirty <- false;
+  line.ready_at <- ready_at;
+  line.evictable <- false;
+  line.pinned <- false;
+  line.refbit <- true;
+  line.last_use <- Mira_sim.Clock.now clock;
+  (match t.cfg.structure with
+  | Full_assoc -> Hashtbl.replace t.table tag slot
+  | Direct | Set_assoc _ -> ());
+  t.used <- t.used + 1;
+  slot
+
+(* --- access paths ------------------------------------------------------- *)
+
+let payload_bytes t = match t.cfg.payload with Some b -> b | None -> t.cfg.line
+
+let touch t ~clock slot =
+  let line = t.lines.(slot) in
+  line.refbit <- true;
+  line.last_use <- Mira_sim.Clock.now clock;
+  (* Re-using a line cancels a pending eviction hint. *)
+  line.evictable <- false
+
+let wait_ready t ~clock line =
+  let stall = Mira_sim.Clock.wait_until clock line.ready_at in
+  if stall > 0.0 then begin
+    t.stats.late_prefetch <- t.stats.late_prefetch + 1;
+    t.stats.stall_ns <- t.stats.stall_ns +. stall
+  end
+
+(* Ensure the line covering [addr] is resident; returns its slot.
+   [for_write_no_fetch] skips the network fetch on a miss. *)
+let ensure t ~clock ~addr ~for_write =
+  let p = params t in
+  let tag = line_of_addr t addr in
+  match find_slot t tag with
+  | Some slot ->
+    t.stats.hits <- t.stats.hits + 1;
+    let cost = if t.cfg.no_meta then 0.0 else lookup_cost t in
+    Mira_sim.Clock.advance clock cost;
+    t.stats.hit_ns <- t.stats.hit_ns +. cost;
+    wait_ready t ~clock t.lines.(slot);
+    touch t ~clock slot;
+    slot
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    let start = Mira_sim.Clock.now clock in
+    let cost = if t.cfg.no_meta then 0.0 else lookup_cost t in
+    Mira_sim.Clock.advance clock cost;
+    let slot =
+      if for_write && t.cfg.write_no_fetch then begin
+        (* No fetch: the store covers the whole line (or the compiler
+           proved full coverage before any read); local bookkeeping only. *)
+        Mira_sim.Clock.advance clock p.Mira_sim.Params.evict_check_ns;
+        install t ~clock ~tag ~ready_at:(Mira_sim.Clock.now clock)
+      end
+      else begin
+        let x =
+          Mira_sim.Net.fetch t.net ~side:t.cfg.side ~purpose:Mira_sim.Net.Demand
+            ~now:(Mira_sim.Clock.now clock) ~bytes:(payload_bytes t) ()
+        in
+        Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+        let slot = install t ~clock ~tag ~ready_at:x.Mira_sim.Net.done_at in
+        ignore (Mira_sim.Clock.wait_until clock x.Mira_sim.Net.done_at);
+        t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
+        slot
+      end
+    in
+    t.stats.miss_ns <- t.stats.miss_ns +. (Mira_sim.Clock.now clock -. start);
+    touch t ~clock slot;
+    slot
+
+let check_span t ~addr ~len =
+  assert (len > 0 && len <= 8);
+  assert (addr / t.cfg.line = (addr + len - 1) / t.cfg.line)
+
+let read_slot t slot ~addr ~len =
+  let line = t.lines.(slot) in
+  let off = addr mod t.cfg.line in
+  let buf = Bytes.make 8 '\000' in
+  Bytes.blit line.data off buf 0 len;
+  Bytes.get_int64_le buf 0
+
+let write_slot t slot ~addr ~len v =
+  let line = t.lines.(slot) in
+  let off = addr mod t.cfg.line in
+  let buf = Bytes.make 8 '\000' in
+  Bytes.set_int64_le buf 0 v;
+  Bytes.blit buf 0 line.data off len;
+  line.dirty <- true
+
+let load t ~clock ~addr ~len =
+  check_span t ~addr ~len;
+  let slot = ensure t ~clock ~addr ~for_write:false in
+  Mira_sim.Clock.advance clock (params t).Mira_sim.Params.native_mem_ns;
+  read_slot t slot ~addr ~len
+
+let store t ~clock ~addr ~len v =
+  check_span t ~addr ~len;
+  let slot = ensure t ~clock ~addr ~for_write:true in
+  Mira_sim.Clock.advance clock (params t).Mira_sim.Params.native_mem_ns;
+  write_slot t slot ~addr ~len v
+
+(* Compiler-proved resident: native cost.  If the proof fails at run
+   time (e.g. an over-eager pass), fall back to the full path so data
+   stays correct — the only penalty is that the access is charged like
+   a normal one. *)
+let load_native t ~clock ~addr ~len =
+  check_span t ~addr ~len;
+  let tag = line_of_addr t addr in
+  match find_slot t tag with
+  | Some slot ->
+    wait_ready t ~clock t.lines.(slot);
+    Mira_sim.Clock.advance clock (params t).Mira_sim.Params.native_mem_ns;
+    t.stats.hits <- t.stats.hits + 1;
+    read_slot t slot ~addr ~len
+  | None -> load t ~clock ~addr ~len
+
+let store_native t ~clock ~addr ~len v =
+  check_span t ~addr ~len;
+  let tag = line_of_addr t addr in
+  match find_slot t tag with
+  | Some slot ->
+    wait_ready t ~clock t.lines.(slot);
+    Mira_sim.Clock.advance clock (params t).Mira_sim.Params.native_mem_ns;
+    t.stats.hits <- t.stats.hits + 1;
+    write_slot t slot ~addr ~len v
+  | None -> store t ~clock ~addr ~len v
+
+let iter_tags t ~addr ~len fn =
+  let first = line_of_addr t addr in
+  let last = line_of_addr t (addr + len - 1) in
+  for tag = first to last do
+    fn tag
+  done
+
+let prefetch t ~clock ~addr ~len =
+  iter_tags t ~addr ~len (fun tag ->
+      (* Never fetch beyond the far address space (loop preambles may
+         over-prefetch near object ends). *)
+      if ((tag + 1) * t.cfg.line) > Mira_sim.Far_store.capacity t.far then ()
+      else begin
+      match find_slot t tag with
+      | Some _ -> ()
+      | None ->
+        let x =
+          Mira_sim.Net.fetch t.net ~async:true ~side:t.cfg.side
+            ~purpose:Mira_sim.Net.Prefetch ~now:(Mira_sim.Clock.now clock)
+            ~bytes:(payload_bytes t) ()
+        in
+        Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+        t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
+        ignore (install t ~clock ~tag ~ready_at:x.Mira_sim.Net.done_at)
+      end)
+
+let flush_slot t ~clock slot ~sync =
+  let line = t.lines.(slot) in
+  if line.dirty then begin
+    let base = line.tag * t.cfg.line in
+    Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
+    let x =
+      Mira_sim.Net.push t.net ~async:(not sync) ~side:t.cfg.side
+        ~purpose:Mira_sim.Net.Writeback ~now:(Mira_sim.Clock.now clock)
+        ~bytes:t.cfg.line ()
+    in
+    Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+    if sync then ignore (Mira_sim.Clock.wait_until clock x.Mira_sim.Net.done_at);
+    line.dirty <- false;
+    t.stats.writebacks <- t.stats.writebacks + 1
+  end
+
+let flush_evict t ~clock ~addr ~len =
+  iter_tags t ~addr ~len (fun tag ->
+      match find_slot t tag with
+      | None -> ()
+      | Some slot ->
+        Mira_sim.Clock.advance clock (params t).Mira_sim.Params.evict_check_ns;
+        flush_slot t ~clock slot ~sync:false;
+        let line = t.lines.(slot) in
+        line.evictable <- true;
+        (match t.cfg.structure with
+        | Full_assoc -> t.evict_hints <- slot :: t.evict_hints
+        | Direct | Set_assoc _ -> ()))
+
+let mark_dont_evict t ~addr ~len ~pinned =
+  iter_tags t ~addr ~len (fun tag ->
+      match find_slot t tag with
+      | None -> ()
+      | Some slot -> t.lines.(slot).pinned <- pinned)
+
+let flush_range t ~clock ~addr ~len =
+  iter_tags t ~addr ~len (fun tag ->
+      match find_slot t tag with
+      | None -> ()
+      | Some slot -> flush_slot t ~clock slot ~sync:true)
+
+let drop_all t ~clock =
+  Array.iteri
+    (fun slot line -> if line.tag >= 0 then release_slot t ~clock slot)
+    t.lines;
+  Hashtbl.reset t.table;
+  t.free_slots <- List.init (Array.length t.lines) (fun i -> i);
+  t.evict_hints <- [];
+  t.hand <- 0
+
+let discard_range t ~addr ~len =
+  iter_tags t ~addr ~len (fun tag ->
+      match find_slot t tag with
+      | None -> ()
+      | Some slot ->
+        let line = t.lines.(slot) in
+        line.dirty <- false;
+        (* Not an eviction in the statistical sense: bypass release_slot
+           counters by clearing in place. *)
+        (match t.cfg.structure with
+        | Full_assoc ->
+          Hashtbl.remove t.table line.tag;
+          t.free_slots <- slot :: t.free_slots
+        | Direct | Set_assoc _ -> ());
+        line.tag <- -1;
+        line.evictable <- false;
+        line.pinned <- false;
+        line.refbit <- false;
+        t.used <- t.used - 1)
+
+let resident t ~addr = find_slot t (line_of_addr t addr) <> None

@@ -1,0 +1,103 @@
+(** One configurable cache section (§4.2-§4.5 of the paper).
+
+    A section caches line-sized ranges of far memory in local DRAM.
+    Its configuration — line size, capacity, structure, communication
+    side, transferred payload (selective transmission), and the
+    metadata-free mode — is produced by Mira's analysis/profiling
+    pipeline; baselines use fixed configurations.
+
+    Sections move real bytes between the [Far_store] and per-line local
+    buffers, so system-wide data correctness is testable.  All timing
+    goes through the caller's [Clock]; misses block on the simulated
+    network, prefetched lines carry a [ready_at] and late accesses
+    stall until the data has "arrived". *)
+
+type structure = Direct | Set_assoc of int | Full_assoc
+
+type config = {
+  sec_id : int;
+  sec_name : string;
+  line : int;  (** line size in bytes, multiple of 8 *)
+  size : int;  (** capacity in bytes (>= line) *)
+  structure : structure;
+  side : Mira_sim.Net.side;
+  payload : int option;  (** bytes actually transferred per line fetch;
+                             [None] = whole line (one-sided needs whole) *)
+  no_meta : bool;  (** compiler fully controls the lifetime: hits cost a
+                       native access, no per-line runtime metadata *)
+  write_no_fetch : bool;  (** write-only pattern: store misses allocate
+                              without fetching the old line contents *)
+  read_discard : bool;  (** read-only pattern hint: lines are expected
+                            clean, so eviction is free (dirty lines are
+                            still written back — correctness first) *)
+}
+
+val config_default : sec_id:int -> name:string -> line:int -> size:int -> config
+(** Fully-associative, one-sided, whole-line payload, all optimizations
+    off. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable late_prefetch : int;  (** hits that stalled on an in-flight line *)
+  mutable evictions : int;
+  mutable hinted_evictions : int;  (** victims chosen via eviction hints *)
+  mutable writebacks : int;
+  mutable hit_ns : float;  (** runtime overhead spent on the hit path *)
+  mutable miss_ns : float;  (** blocking time spent on misses *)
+  mutable stall_ns : float;  (** time waiting for in-flight prefetches *)
+  mutable bytes_fetched : int;
+}
+
+type t
+
+val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> config -> t
+val config : t -> config
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val lines_total : t -> int
+val lines_used : t -> int
+
+val metadata_bytes : t -> int
+(** Local-memory metadata footprint (0 in [no_meta] mode). *)
+
+val load : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> int64
+(** Read [len] (1..8) bytes at far address [addr]; must not straddle a
+    line boundary.  Advances the clock by lookup/miss/stall costs. *)
+
+val store : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> int64 -> unit
+
+val load_native : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> int64
+(** Compiler-proved resident access: native cost, no lookup.  Falls back
+    to the full path if the line is (unexpectedly) absent, so data is
+    always correct even if the proof was wrong. *)
+
+val store_native : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> int64 -> unit
+
+val prefetch : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
+(** Asynchronously fetch all lines covering [addr, addr+len); only the
+    message-posting CPU cost hits the clock. *)
+
+val flush_evict : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
+(** Eviction hint: asynchronously write back covered dirty lines and
+    mark them evictable. *)
+
+val mark_dont_evict : t -> addr:int -> len:int -> pinned:bool -> unit
+(** Pin/unpin lines (shared-section multithreading support, §4.6). *)
+
+val drop_all : t -> clock:Mira_sim.Clock.t -> unit
+(** End of section lifetime: write back dirty lines (asynchronously)
+    and empty the section. *)
+
+val flush_range : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
+(** Synchronous write-back (without eviction) of covered dirty lines;
+    used before offloaded calls so the far node sees current data. *)
+
+val discard_range : t -> addr:int -> len:int -> unit
+(** Drop covered lines {e without} writing them back — used after an
+    offloaded function mutated far memory, so stale lines must not
+    overwrite it.  Callers flush first ([flush_range]). *)
+
+val resident : t -> addr:int -> bool
+(** True if the line covering [addr] is present (testing hook). *)

@@ -1,0 +1,316 @@
+type config = { page : int; capacity : int; side : Mira_sim.Net.side }
+
+type stats = {
+  mutable hits : int;
+  mutable faults : int;
+  mutable readahead_pages : int;
+  mutable late_readahead : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable fault_ns : float;
+  mutable stall_ns : float;
+  mutable bytes_fetched : int;
+}
+
+let fresh_stats () =
+  {
+    hits = 0;
+    faults = 0;
+    readahead_pages = 0;
+    late_readahead = 0;
+    evictions = 0;
+    writebacks = 0;
+    fault_ns = 0.0;
+    stall_ns = 0.0;
+    bytes_fetched = 0;
+  }
+
+type page_state = {
+  mutable pno : int;  (* page number; -1 = free *)
+  mutable dirty : bool;
+  mutable ready_at : float;
+  mutable refbit : bool;
+  mutable evict_first : bool;
+  data : Bytes.t;
+}
+
+type t = {
+  mutable cfg : config;
+  net : Mira_sim.Net.t;
+  far : Mira_sim.Far_store.t;
+  mutable frames : page_state array;
+  table : (int, int) Hashtbl.t;  (* page number -> frame *)
+  mutable free_frames : int list;
+  mutable hand : int;
+  mutable used : int;
+  mutable readahead : int -> int list;
+  mutable extra_fault_ns : float;
+  mutable hint_count : int;  (* pages currently marked evict-first *)
+  stats : stats;
+}
+
+let frame_make page = { pno = -1; dirty = false; ready_at = 0.0; refbit = false;
+                        evict_first = false; data = Bytes.make page '\000' }
+
+let create net far cfg =
+  assert (cfg.page >= 8 && cfg.capacity >= cfg.page);
+  let nframes = max 1 (cfg.capacity / cfg.page) in
+  {
+    cfg;
+    net;
+    far;
+    frames = Array.init nframes (fun _ -> frame_make cfg.page);
+    table = Hashtbl.create (max 16 nframes);
+    free_frames = List.init nframes (fun i -> i);
+    hand = 0;
+    used = 0;
+    readahead = (fun _ -> []);
+    extra_fault_ns = 0.0;
+    hint_count = 0;
+    stats = fresh_stats ();
+  }
+
+let stats t = t.stats
+
+let reset_stats t =
+  let d = t.stats in
+  d.hits <- 0;
+  d.faults <- 0;
+  d.readahead_pages <- 0;
+  d.late_readahead <- 0;
+  d.evictions <- 0;
+  d.writebacks <- 0;
+  d.fault_ns <- 0.0;
+  d.stall_ns <- 0.0;
+  d.bytes_fetched <- 0
+
+let config t = t.cfg
+let set_readahead t f = t.readahead <- f
+let set_extra_fault_ns t ns = t.extra_fault_ns <- ns
+let capacity_bytes t = t.cfg.capacity
+let pages_used t = t.used
+let params t = Mira_sim.Net.params t.net
+
+(* Per-page metadata: a PTE-like entry plus LRU state (~32 B). *)
+let metadata_bytes t = 32 * Array.length t.frames
+
+let writeback t ~clock frame ~sync =
+  if frame.dirty then begin
+    let base = frame.pno * t.cfg.page in
+    Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.page ~src:frame.data ~src_off:0;
+    let x =
+      Mira_sim.Net.push t.net ~async:(not sync) ~side:t.cfg.side
+        ~purpose:Mira_sim.Net.Writeback ~now:(Mira_sim.Clock.now clock)
+        ~bytes:t.cfg.page ()
+    in
+    Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+    if sync then ignore (Mira_sim.Clock.wait_until clock x.Mira_sim.Net.done_at);
+    frame.dirty <- false;
+    t.stats.writebacks <- t.stats.writebacks + 1
+  end
+
+let release_frame t ~clock idx =
+  let frame = t.frames.(idx) in
+  if frame.pno >= 0 then begin
+    writeback t ~clock frame ~sync:false;
+    Hashtbl.remove t.table frame.pno;
+    frame.pno <- -1;
+    frame.refbit <- false;
+    if frame.evict_first then t.hint_count <- t.hint_count - 1;
+    frame.evict_first <- false;
+    t.stats.evictions <- t.stats.evictions + 1;
+    t.used <- t.used - 1
+  end
+
+let pick_victim t =
+  let n = Array.length t.frames in
+  (* Evict-first pages (hinted) win; otherwise CLOCK. *)
+  let rec hinted i =
+    if i >= n then None
+    else if t.frames.(i).pno >= 0 && t.frames.(i).evict_first then Some i
+    else hinted (i + 1)
+  in
+  match (if t.hint_count > 0 then hinted 0 else None) with
+  | Some i -> i
+  | None ->
+    let rec sweep budget =
+      let idx = t.hand in
+      t.hand <- (t.hand + 1) mod n;
+      let frame = t.frames.(idx) in
+      if budget = 0 then idx
+      else if frame.refbit then begin
+        frame.refbit <- false;
+        sweep (budget - 1)
+      end
+      else idx
+    in
+    sweep (2 * n)
+
+let allocate_frame t ~clock =
+  match t.free_frames with
+  | idx :: rest ->
+    t.free_frames <- rest;
+    idx
+  | [] ->
+    let idx = pick_victim t in
+    release_frame t ~clock idx;
+    idx
+
+let install t ~clock ~pno ~ready_at =
+  let idx = allocate_frame t ~clock in
+  let frame = t.frames.(idx) in
+  Mira_sim.Far_store.read t.far ~addr:(pno * t.cfg.page) ~len:t.cfg.page ~dst:frame.data
+    ~dst_off:0;
+  frame.pno <- pno;
+  frame.dirty <- false;
+  frame.ready_at <- ready_at;
+  frame.refbit <- true;
+  frame.evict_first <- false;
+  Hashtbl.replace t.table pno idx;
+  t.used <- t.used + 1;
+  idx
+
+let prefetch_page t ~clock ~page =
+  if not (Hashtbl.mem t.table page) then begin
+    let x =
+      Mira_sim.Net.fetch t.net ~async:true ~side:t.cfg.side
+        ~purpose:Mira_sim.Net.Prefetch ~now:(Mira_sim.Clock.now clock)
+        ~bytes:t.cfg.page ()
+    in
+    Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+    t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
+    t.stats.readahead_pages <- t.stats.readahead_pages + 1;
+    ignore (install t ~clock ~pno:page ~ready_at:x.Mira_sim.Net.done_at)
+  end
+
+let fault t ~clock ~pno =
+  let p = params t in
+  let start = Mira_sim.Clock.now clock in
+  t.stats.faults <- t.stats.faults + 1;
+  Mira_sim.Clock.advance clock (p.Mira_sim.Params.page_fault_ns +. t.extra_fault_ns);
+  let x =
+    Mira_sim.Net.fetch t.net ~side:t.cfg.side ~purpose:Mira_sim.Net.Demand
+      ~now:(Mira_sim.Clock.now clock) ~bytes:t.cfg.page ()
+  in
+  Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+  let idx = install t ~clock ~pno ~ready_at:x.Mira_sim.Net.done_at in
+  ignore (Mira_sim.Clock.wait_until clock x.Mira_sim.Net.done_at);
+  t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
+  (* Readahead decided while the demand page is in flight. *)
+  List.iter
+    (fun extra -> if extra >= 0 && extra <> pno then prefetch_page t ~clock ~page:extra)
+    (t.readahead pno);
+  t.stats.fault_ns <- t.stats.fault_ns +. (Mira_sim.Clock.now clock -. start);
+  (* With very small frame pools the readahead itself may have evicted
+     the demand page; reinstall so the caller's frame is valid (a real
+     kernel locks the faulting page instead — no extra cost charged). *)
+  if t.frames.(idx).pno = pno then idx
+  else begin
+    match Hashtbl.find_opt t.table pno with
+    | Some idx' -> idx'
+    | None -> install t ~clock ~pno ~ready_at:(Mira_sim.Clock.now clock)
+  end
+
+let ensure t ~clock ~pno =
+  match Hashtbl.find_opt t.table pno with
+  | Some idx ->
+    let frame = t.frames.(idx) in
+    t.stats.hits <- t.stats.hits + 1;
+    let stall = Mira_sim.Clock.wait_until clock frame.ready_at in
+    if stall > 0.0 then begin
+      t.stats.late_readahead <- t.stats.late_readahead + 1;
+      t.stats.stall_ns <- t.stats.stall_ns +. stall
+    end;
+    frame.refbit <- true;
+    if frame.evict_first then begin
+      t.hint_count <- t.hint_count - 1;
+      frame.evict_first <- false
+    end;
+    idx
+  | None -> fault t ~clock ~pno
+
+let check_span t ~addr ~len =
+  assert (len > 0 && len <= 8);
+  assert (addr / t.cfg.page = (addr + len - 1) / t.cfg.page)
+
+let load t ~clock ~addr ~len =
+  check_span t ~addr ~len;
+  let idx = ensure t ~clock ~pno:(addr / t.cfg.page) in
+  Mira_sim.Clock.advance clock (params t).Mira_sim.Params.native_mem_ns;
+  let frame = t.frames.(idx) in
+  let buf = Bytes.make 8 '\000' in
+  Bytes.blit frame.data (addr mod t.cfg.page) buf 0 len;
+  Bytes.get_int64_le buf 0
+
+let store t ~clock ~addr ~len v =
+  check_span t ~addr ~len;
+  let idx = ensure t ~clock ~pno:(addr / t.cfg.page) in
+  Mira_sim.Clock.advance clock (params t).Mira_sim.Params.native_mem_ns;
+  let frame = t.frames.(idx) in
+  let buf = Bytes.make 8 '\000' in
+  Bytes.set_int64_le buf 0 v;
+  Bytes.blit buf 0 frame.data (addr mod t.cfg.page) len;
+  frame.dirty <- true
+
+let iter_pages t ~addr ~len fn =
+  let first = addr / t.cfg.page in
+  let last = (addr + len - 1) / t.cfg.page in
+  for pno = first to last do
+    fn pno
+  done
+
+let evict_hint t ~clock ~addr ~len =
+  iter_pages t ~addr ~len (fun pno ->
+      match Hashtbl.find_opt t.table pno with
+      | None -> ()
+      | Some idx ->
+        let frame = t.frames.(idx) in
+        writeback t ~clock frame ~sync:false;
+        if not frame.evict_first then begin
+          frame.evict_first <- true;
+          t.hint_count <- t.hint_count + 1
+        end)
+
+let flush_range t ~clock ~addr ~len =
+  iter_pages t ~addr ~len (fun pno ->
+      match Hashtbl.find_opt t.table pno with
+      | None -> ()
+      | Some idx -> writeback t ~clock t.frames.(idx) ~sync:true)
+
+let discard_range t ~addr ~len =
+  iter_pages t ~addr ~len (fun pno ->
+      match Hashtbl.find_opt t.table pno with
+      | None -> ()
+      | Some idx ->
+        let frame = t.frames.(idx) in
+        frame.dirty <- false;
+        Hashtbl.remove t.table pno;
+        frame.pno <- -1;
+        frame.refbit <- false;
+        if frame.evict_first then t.hint_count <- t.hint_count - 1;
+        frame.evict_first <- false;
+        t.free_frames <- idx :: t.free_frames;
+        t.used <- t.used - 1)
+
+let drop_all t ~clock =
+  Array.iteri (fun idx frame -> if frame.pno >= 0 then release_frame t ~clock idx)
+    t.frames;
+  Hashtbl.reset t.table;
+  t.free_frames <- List.init (Array.length t.frames) (fun i -> i);
+  t.hand <- 0
+
+let resize t ~capacity ~clock =
+  assert (capacity >= t.cfg.page);
+  let nframes = max 1 (capacity / t.cfg.page) in
+  let old = t.frames in
+  (* Evict everything, reallocate the frame pool, and let demand paging
+     repopulate: simple and only used at (re)configuration points. *)
+  Array.iteri (fun idx frame -> if frame.pno >= 0 then release_frame t ~clock idx) old;
+  Hashtbl.reset t.table;
+  t.frames <- Array.init nframes (fun _ -> frame_make t.cfg.page);
+  t.free_frames <- List.init nframes (fun i -> i);
+  t.hand <- 0;
+  t.used <- 0;
+  t.cfg <- { t.cfg with capacity }
+
+let resident t ~addr = Hashtbl.mem t.table (addr / t.cfg.page)

@@ -1,0 +1,71 @@
+(** The generic page-granularity swap cache (§5.3).
+
+    Backs everything Mira has not (yet) placed in a custom section, and
+    serves as the whole-memory cache for the FastSwap and Leap
+    baselines.  Pages are 4 KB (configurable), hits cost a native
+    access (the page is MMU-mapped), faults pay the kernel fault path
+    plus a page transfer, and eviction follows a global approximate LRU
+    (CLOCK).  A pluggable readahead policy receives each faulting page
+    number and returns extra pages to prefetch — identity for Mira's
+    plain swap, Linux-style cluster readahead for FastSwap, and the
+    majority-trend prefetcher for Leap ([Mira_baselines.Leap]).
+
+    A configurable [extra_fault_ns] models cross-thread serialization
+    on the kernel swap lock (used by the multithreading figures). *)
+
+type config = {
+  page : int;  (** page size in bytes *)
+  capacity : int;  (** resident-set budget in bytes *)
+  side : Mira_sim.Net.side;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable faults : int;
+  mutable readahead_pages : int;
+  mutable late_readahead : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable fault_ns : float;
+  mutable stall_ns : float;
+  mutable bytes_fetched : int;
+}
+
+type t
+
+val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> config -> t
+val stats : t -> stats
+val reset_stats : t -> unit
+val config : t -> config
+
+val set_readahead : t -> (int -> int list) -> unit
+(** Install a readahead policy: fault page -> pages to prefetch. *)
+
+val set_extra_fault_ns : t -> float -> unit
+(** Extra serialization cost charged per fault (lock contention). *)
+
+val resize : t -> capacity:int -> clock:Mira_sim.Clock.t -> unit
+(** Change the resident budget; shrinking evicts pages immediately. *)
+
+val capacity_bytes : t -> int
+val pages_used : t -> int
+
+val load : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> int64
+val store : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> int64 -> unit
+
+val prefetch_page : t -> clock:Mira_sim.Clock.t -> page:int -> unit
+(** Asynchronous page fetch (used by Mira's swap-section prefetch hints
+    and by readahead policies). *)
+
+val evict_hint : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
+(** Mark covered pages evict-first and write them back asynchronously. *)
+
+val flush_range : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
+(** Synchronous write-back of covered dirty pages (offload support). *)
+
+val discard_range : t -> addr:int -> len:int -> unit
+(** Drop covered pages without write-back (post-offload invalidation). *)
+
+val drop_all : t -> clock:Mira_sim.Clock.t -> unit
+val resident : t -> addr:int -> bool
+val metadata_bytes : t -> int

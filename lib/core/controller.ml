@@ -1,0 +1,647 @@
+module Ir = Mira_mir.Ir
+module Params = Mira_sim.Params
+module Section = Mira_cache.Section
+module Sizing = Mira_cache.Sizing
+module Manager = Mira_cache.Manager
+module Runtime = Mira_runtime.Runtime
+module Profile = Mira_runtime.Profile
+module Machine = Mira_interp.Machine
+module Value = Mira_interp.Value
+module Pattern = Mira_analysis.Pattern
+module Lifetime = Mira_analysis.Lifetime
+module Pipeline = Mira_passes.Pipeline
+module Instrument = Mira_passes.Instrument
+
+type options = {
+  params : Params.t;
+  local_budget : int;
+  far_capacity : int;
+  max_iterations : int;
+  size_samples : float list;
+  nthreads : int;
+  seed : int;
+  feat_sections : bool;
+  feat_prefetch : bool;
+  feat_evict : bool;
+  feat_fusion : bool;
+  feat_native : bool;
+  feat_offload : bool;
+  always_accept : bool;
+  verbose : bool;
+}
+
+let options_default ~local_budget ~far_capacity =
+  {
+    params = Params.default;
+    local_budget;
+    far_capacity;
+    max_iterations = 3;
+    size_samples = [ 0.15; 0.35; 0.7 ];
+    nthreads = 1;
+    seed = 42;
+    feat_sections = true;
+    feat_prefetch = true;
+    feat_evict = true;
+    feat_fusion = true;
+    feat_native = true;
+    feat_offload = false;
+    always_accept = false;
+    verbose = false;
+  }
+
+type assignment = { a_spec : Section_planner.spec; a_size : int }
+
+type compiled = {
+  c_program : Ir.program;
+  c_original : Ir.program;
+  c_plan : Pipeline.plan;
+  c_assignments : assignment list;
+  c_options : options;
+  c_iterations : int;
+  c_work_ns : float;
+  c_log : string list;
+}
+
+let work_function (p : Ir.program) =
+  if List.mem_assoc "work" p.Ir.p_funcs then "work" else p.Ir.p_entry
+
+(* --- running one configuration ------------------------------------------ *)
+
+let make_runtime opts =
+  Runtime.create
+    {
+      Runtime.params = opts.params;
+      local_budget = opts.local_budget;
+      far_capacity = opts.far_capacity;
+      local_capacity = max opts.far_capacity (1 lsl 20);
+      page = opts.params.Params.page_size;
+      swap_side = Mira_sim.Net.One_sided;
+      alloc_chunk = 1 lsl 20;
+      swap_readahead = 8;
+    }
+
+(* Apply section assignments to a fresh runtime.  Read-only sections are
+   split per-thread when running multithreaded (§4.6); shared writable
+   sections are forced fully-associative. *)
+let apply_assignments opts rt assignments =
+  let mgr = Runtime.manager rt in
+  let clock = Mira_sim.Clock.create () in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  List.iter
+    (fun { a_spec; a_size } ->
+      let base_cfg = a_spec.Section_planner.sp_cfg in
+      let multi = opts.nthreads > 1 in
+      if multi && a_spec.Section_planner.sp_private_ok then begin
+        let per = max base_cfg.Section.line (a_size / opts.nthreads) in
+        let ids =
+          Array.init opts.nthreads (fun _ ->
+              let id = fresh_id () in
+              let cfg =
+                { base_cfg with
+                  Section.sec_id = id;
+                  sec_name = Printf.sprintf "%s.t%d" base_cfg.Section.sec_name id;
+                  size = per }
+              in
+              match Manager.add_section mgr ~clock cfg with
+              | Ok _ -> id
+              | Error msg -> failwith msg)
+        in
+        List.iter
+          (fun site -> Runtime.set_private_sections rt ~site ~sec_ids:ids)
+          a_spec.Section_planner.sp_sites
+      end
+      else begin
+        let structure =
+          if multi then Section.Full_assoc else base_cfg.Section.structure
+        in
+        let id = fresh_id () in
+        let cfg =
+          { base_cfg with Section.sec_id = id; size = a_size; structure }
+        in
+        match Manager.add_section mgr ~clock cfg with
+        | Ok _ ->
+          List.iter
+            (fun site -> Manager.assign_site mgr ~site ~sec_id:id)
+            a_spec.Section_planner.sp_sites
+        | Error msg -> failwith msg
+      end)
+    assignments
+
+let measure_work ms machine =
+  let result = Machine.run machine in
+  let stats = Profile.fn_stats ms.Mira_runtime.Memsys.profile in
+  let work_ns =
+    match List.assoc_opt "work" stats with
+    | Some s -> s.Profile.total_ns
+    | None -> ms.Mira_runtime.Memsys.elapsed ()
+  in
+  (result, work_ns)
+
+(* Evaluate a (program, assignments) pair on a fresh runtime; the
+   program must already carry the instrumentation it needs. *)
+let eval opts program assignments =
+  let rt = make_runtime opts in
+  apply_assignments opts rt assignments;
+  let ms = Runtime.memsys rt in
+  let machine =
+    Machine.create ~nthreads:opts.nthreads ~seed:opts.seed
+      ~honor_offload:opts.feat_offload ms program
+  in
+  let result, work_ns = measure_work ms machine in
+  (result, work_ns, rt)
+
+(* --- analysis aggregation ------------------------------------------------ *)
+
+let heap_sites program =
+  Ir.fold_ops
+    (fun acc op ->
+      match op with
+      | Ir.Alloc { site; space = Ir.Heap; _ } -> site :: acc
+      | Ir.Alloc _ | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _
+      | Ir.I2f _ | Ir.F2i _ | Ir.Mov _ | Ir.Free _ | Ir.Gep _ | Ir.Load _
+      | Ir.Store _ | Ir.Call _ | Ir.For _ | Ir.ParFor _ | Ir.While _ | Ir.If _
+      | Ir.Ret _ | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _
+      | Ir.ProfEnter _ | Ir.ProfExit _ ->
+        acc)
+    []
+    (List.concat_map (fun (_, f) -> f.Ir.f_body) program.Ir.p_funcs)
+  |> List.sort_uniq compare
+
+(* Merge a site's per-function summaries: the section must serve the
+   most demanding pattern the site ever exhibits (a sequential scan
+   still works in an element-line associative section, but a random
+   update stream in a big-line direct section is disastrous), and the
+   read/write flags must hold across every scope. *)
+let demand_rank = function
+  | Pattern.Pointer_chase -> 4
+  | Pattern.Indirect _ -> 3
+  | Pattern.Random -> 2
+  | Pattern.Strided _ -> 1
+  | Pattern.Sequential _ -> 0
+
+let summarize_sites program ~within sites =
+  let per_fn =
+    Mira_analysis.Remotable_flow.analyze_all program
+    |> List.filter (fun (fn, _) -> List.mem fn within)
+  in
+  List.filter_map
+    (fun site ->
+      let candidates =
+        List.filter_map
+          (fun (_fn, (r : Pattern.result)) ->
+            match Pattern.summary_for r site with
+            | Some ss ->
+              let interval =
+                match List.assoc_opt site (Lifetime.site_phases r) with
+                | Some iv -> (iv.Lifetime.first_phase, iv.Lifetime.last_phase)
+                | None -> (0, 0)
+              in
+              Some (ss, interval)
+            | None -> None)
+          per_fn
+      in
+      match candidates with
+      | [] -> None
+      | (first, iv0) :: rest ->
+        let merged =
+          List.fold_left
+            (fun ((acc : Pattern.site_summary), iv) ((ss : Pattern.site_summary), iv') ->
+              let kind =
+                if demand_rank ss.Pattern.ss_kind > demand_rank acc.Pattern.ss_kind
+                then ss.Pattern.ss_kind
+                else acc.Pattern.ss_kind
+              in
+              ( {
+                  acc with
+                  Pattern.ss_kind = kind;
+                  ss_reads = acc.Pattern.ss_reads + ss.Pattern.ss_reads;
+                  ss_writes = acc.Pattern.ss_writes + ss.Pattern.ss_writes;
+                  ss_fields_read =
+                    List.sort_uniq compare
+                      (acc.Pattern.ss_fields_read @ ss.Pattern.ss_fields_read);
+                  ss_fields_written =
+                    List.sort_uniq compare
+                      (acc.Pattern.ss_fields_written @ ss.Pattern.ss_fields_written);
+                  ss_elem = max acc.Pattern.ss_elem ss.Pattern.ss_elem;
+                  ss_read_only = acc.Pattern.ss_read_only && ss.Pattern.ss_read_only;
+                  ss_write_only =
+                    acc.Pattern.ss_write_only && ss.Pattern.ss_write_only;
+                },
+                (min (fst iv) (fst iv'), max (snd iv) (snd iv')) ))
+            (first, iv0) rest
+        in
+        Some merged)
+    sites
+
+(* --- sizing --------------------------------------------------------------- *)
+
+let size_specs opts specs ~build_plan =
+  let page = opts.params.Params.page_size in
+  let budget = opts.local_budget in
+  let body_ops_hint = 64 in
+  let seq, nonseq =
+    List.partition (fun s -> s.Section_planner.sp_seq) specs
+  in
+  let seq_assignments =
+    List.map
+      (fun s ->
+        let line = s.Section_planner.sp_cfg.Section.line in
+        let window =
+          Section_planner.seq_section_bytes ~params:opts.params ~line
+            ~body_ops:body_ops_hint
+        in
+        (* Small streamed-and-reused objects become fully resident: the
+           section holds the whole group, so re-scans never refetch. *)
+        let total =
+          Mira_util.Misc.round_up
+            (max line s.Section_planner.sp_total_bytes) line
+        in
+        let size = if total <= 2 * window then total else window in
+        { a_spec = s; a_size = max s.Section_planner.sp_min_size size })
+      seq
+  in
+  (* Cap the sequential sections' share of the budget: a third when
+     other sections still need sampling room, most of it otherwise. *)
+  let reserve = max (2 * page) (budget / 16) in
+  let seq_cap = if nonseq = [] then max page (budget - reserve) else budget / 3 in
+  let seq_total = List.fold_left (fun a x -> a + x.a_size) 0 seq_assignments in
+  let seq_assignments =
+    if seq_total > seq_cap then begin
+      let scale = float_of_int seq_cap /. float_of_int seq_total in
+      List.map
+        (fun a ->
+          let line = a.a_spec.Section_planner.sp_cfg.Section.line in
+          let scaled =
+            Mira_util.Misc.round_up
+              (max a.a_spec.Section_planner.sp_min_size
+                 (int_of_float (float_of_int a.a_size *. scale)))
+              line
+          in
+          { a with a_size = scaled })
+        seq_assignments
+    end
+    else seq_assignments
+  in
+  let seq_total = List.fold_left (fun a x -> a + x.a_size) 0 seq_assignments in
+  let avail = budget - seq_total - reserve in
+  if nonseq = [] then (seq_assignments, [])
+  else begin
+    (* Sample each non-sequential section's overhead at a few sizes by
+       actually running the program (others at an equal share). *)
+    let k = List.length nonseq in
+    let equal_share = max page (avail / max 1 k) in
+    let sample_logs = ref [] in
+    let candidates =
+      List.mapi
+        (fun idx spec ->
+          let resident =
+            Mira_util.Misc.round_up
+              (max spec.Section_planner.sp_min_size
+                 spec.Section_planner.sp_total_bytes)
+              spec.Section_planner.sp_cfg.Section.line
+          in
+          let sample_sizes =
+            (if resident <= avail then [ resident ] else [])
+            @ List.map
+                (fun frac ->
+                  Mira_util.Misc.round_up
+                    (max spec.Section_planner.sp_min_size
+                       (int_of_float (float_of_int avail *. frac)))
+                    spec.Section_planner.sp_cfg.Section.line)
+                opts.size_samples
+            |> List.sort_uniq compare
+          in
+          let options =
+            List.filter_map
+              (fun size ->
+                if size > avail then None
+                else begin
+                  let assignments =
+                    seq_assignments
+                    @ List.mapi
+                        (fun j s ->
+                          {
+                            a_spec = s;
+                            a_size =
+                              (if j = idx then size
+                               else
+                                 max s.Section_planner.sp_min_size
+                                   (min equal_share (avail - size) / max 1 (k - 1)));
+                          })
+                        nonseq
+                  in
+                  match
+                    eval opts (build_plan ()) assignments
+                  with
+                  | _, work_ns, _ ->
+                    sample_logs :=
+                      Printf.sprintf "sample sec%d size=%dK work=%.2fms"
+                        spec.Section_planner.sp_cfg.Section.sec_id (size / 1024)
+                        (work_ns /. 1e6)
+                      :: !sample_logs;
+                    Some (size, work_ns)
+                  | exception _ -> None
+                end)
+              sample_sizes
+          in
+          {
+            Sizing.cand_id = spec.Section_planner.sp_cfg.Section.sec_id;
+            options = Array.of_list options;
+            live_from = fst spec.Section_planner.sp_interval;
+            live_to = snd spec.Section_planner.sp_interval;
+          })
+        nonseq
+    in
+    let ilp_assignment =
+      match Sizing.solve ~budget:avail (List.filter (fun c -> Array.length c.Sizing.options > 0) candidates) with
+      | Ok solution ->
+        List.map
+          (fun spec ->
+            let size =
+              match
+                List.assoc_opt spec.Section_planner.sp_cfg.Section.sec_id
+                  solution.Sizing.assignment
+              with
+              | Some s -> s
+              | None -> max spec.Section_planner.sp_min_size (avail / max 1 k)
+            in
+            { a_spec = spec; a_size = size })
+          nonseq
+      | Error _ ->
+        List.map
+          (fun spec ->
+            { a_spec = spec;
+              a_size = max spec.Section_planner.sp_min_size (avail / max 1 k) })
+          nonseq
+    in
+    (* Per-spec sampling treats sections independently; also try two
+       joint allocations (space proportional to object size, and
+       resident-greedy by profiled overhead) and keep whichever measures
+       best — phase-disjoint specs may share bytes, checked per phase. *)
+    let phases_max assignment =
+      let top =
+        List.fold_left
+          (fun acc a -> max acc (snd a.a_spec.Section_planner.sp_interval))
+          0 assignment
+      in
+      let worst = ref 0 in
+      for ph = 0 to top do
+        let u =
+          List.fold_left
+            (fun acc a ->
+              let lo, hi = a.a_spec.Section_planner.sp_interval in
+              if lo <= ph && ph <= hi then acc + a.a_size else acc)
+            0 assignment
+        in
+        worst := max !worst u
+      done;
+      !worst
+    in
+    let clamp_spec spec size =
+      let line = spec.Section_planner.sp_cfg.Section.line in
+      let resident =
+        Mira_util.Misc.round_up
+          (max spec.Section_planner.sp_min_size spec.Section_planner.sp_total_bytes)
+          line
+      in
+      Mira_util.Misc.round_up
+        (Mira_util.Misc.clamp ~lo:spec.Section_planner.sp_min_size ~hi:resident size)
+        line
+    in
+    let total_all =
+      List.fold_left (fun acc s -> acc + s.Section_planner.sp_total_bytes) 0 nonseq
+    in
+    let proportional =
+      List.map
+        (fun spec ->
+          let share =
+            avail * spec.Section_planner.sp_total_bytes / max 1 total_all
+          in
+          { a_spec = spec; a_size = clamp_spec spec share })
+        nonseq
+    in
+    let resident_greedy =
+      (* Everything resident, relying on phase disjointness for space. *)
+      List.map
+        (fun spec -> { a_spec = spec; a_size = clamp_spec spec max_int })
+        nonseq
+    in
+    let feasible assignment = phases_max assignment <= avail in
+    let joint_candidates =
+      List.filter feasible [ proportional; resident_greedy ]
+    in
+    let measure assignment =
+      match eval opts (build_plan ()) (seq_assignments @ assignment) with
+      | _, work_ns, _ -> work_ns
+      | exception _ -> infinity
+    in
+    let best_joint =
+      List.fold_left
+        (fun (best_t, best_a) cand ->
+          let t = measure cand in
+          sample_logs :=
+            Printf.sprintf "joint allocation: work=%.2fms" (t /. 1e6)
+            :: !sample_logs;
+          if t < best_t then (t, cand) else (best_t, best_a))
+        (infinity, ilp_assignment) joint_candidates
+    in
+    let assignments =
+      let ilp_t = measure ilp_assignment in
+      if fst best_joint < ilp_t then snd best_joint else ilp_assignment
+    in
+    (seq_assignments @ assignments, List.rev !sample_logs)
+  end
+
+(* --- the iterative loop --------------------------------------------------- *)
+
+let build_plan_for opts assignments ~instrument =
+  let selected =
+    List.concat_map (fun a -> a.a_spec.Section_planner.sp_sites) assignments
+  in
+  let lines =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun site -> (site, a.a_spec.Section_planner.sp_cfg.Section.line))
+          a.a_spec.Section_planner.sp_sites)
+      assignments
+  in
+  let read_only_all =
+    List.for_all
+      (fun a -> a.a_spec.Section_planner.sp_cfg.Section.read_discard)
+      assignments
+  in
+  {
+    Pipeline.selected;
+    lines;
+    fuse = opts.feat_fusion;
+    prefetch = opts.feat_prefetch;
+    evict = opts.feat_evict && (opts.nthreads = 1 || read_only_all);
+    native = opts.feat_native;
+    offload = (if opts.feat_offload then `Auto else `None);
+    instrument;
+  }
+
+let optimize opts original =
+  let log = ref [] in
+  let say fmt =
+    Printf.ksprintf
+      (fun s ->
+        log := s :: !log;
+        if opts.verbose then prerr_endline ("[mira] " ^ s))
+      fmt
+  in
+  (* Iteration 0: generic swap, fully instrumented. *)
+  let prog0 = Instrument.run original in
+  let _, base_ns, rt0 = eval opts prog0 [] in
+  say "initial swap run: work=%.3f ms" (base_ns /. 1e6);
+  let profile0 = Runtime.profile rt0 in
+  let heap = heap_sites original in
+  (* Scope selection to the measured function's dynamic call tree:
+     initialization code is not part of what the paper (or we) report. *)
+  let allowed_functions =
+    let rec close acc name =
+      if List.mem name acc then acc
+      else begin
+        match List.assoc_opt name original.Ir.p_funcs with
+        | None -> acc
+        | Some f ->
+          Ir.fold_ops
+            (fun acc op ->
+              match op with
+              | Ir.Call { callee; _ } -> close acc callee
+              | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _
+              | Ir.I2f _ | Ir.F2i _ | Ir.Mov _ | Ir.Alloc _ | Ir.Free _
+              | Ir.Gep _ | Ir.Load _ | Ir.Store _ | Ir.For _ | Ir.ParFor _
+              | Ir.While _ | Ir.If _ | Ir.Ret _ | Ir.Prefetch _
+              | Ir.FlushEvict _ | Ir.EvictSite _ | Ir.ProfEnter _
+              | Ir.ProfExit _ ->
+                acc)
+            (name :: acc) f.Ir.f_body
+      end
+    in
+    close [] (work_function original)
+  in
+  let best = ref (base_ns, prog0, [], Pipeline.plan_default, 0) in
+  let profile = ref profile0 in
+  let continue_ = ref opts.feat_sections in
+  let i = ref 0 in
+  while !continue_ && !i < opts.max_iterations do
+    incr i;
+    let frac = 0.1 *. float_of_int !i in
+    let funcs =
+      Profile.top_functions !profile ~frac:1.0
+      |> List.filter (fun f -> List.mem f allowed_functions)
+      |> (fun fs ->
+           let n = List.length fs in
+           let keep =
+             Mira_util.Misc.clamp ~lo:1 ~hi:(max 1 n)
+               (int_of_float (ceil (frac *. float_of_int n)))
+           in
+           List.filteri (fun i _ -> i < keep) fs)
+    in
+    let sites =
+      Profile.largest_sites !profile ~frac:(2.0 *. frac) ~among:funcs
+      |> List.filter (fun s -> List.mem s heap)
+    in
+    say "iteration %d: functions=[%s] sites=[%s]" !i (String.concat "," funcs)
+      (String.concat "," (List.map string_of_int sites));
+    if sites = [] then continue_ := false
+    else begin
+      let summaries = summarize_sites original ~within:allowed_functions sites in
+      List.iter
+        (fun ((ss : Pattern.site_summary), _) ->
+          say "  site %d: %s elem=%dB ro=%b wo=%b" ss.Pattern.ss_site
+            (Pattern.kind_to_string ss.Pattern.ss_kind) ss.Pattern.ss_elem
+            ss.Pattern.ss_read_only ss.Pattern.ss_write_only)
+        summaries;
+      let site_bytes site =
+        match List.assoc_opt site (Profile.site_stats !profile) with
+        | Some st -> st.Profile.alloc_bytes
+        | None -> 0
+      in
+      let specs =
+        Section_planner.plan ~params:opts.params ~summaries ~site_bytes
+          ~first_id:1
+      in
+      let build_plan () =
+        (* Program used during size sampling: compiled for these specs
+           with minimal sizes (instrumented so `work` is measured). *)
+        let tentative =
+          List.map (fun s -> { a_spec = s; a_size = s.Section_planner.sp_min_size }) specs
+        in
+        Mira_passes.Pipeline.apply original
+          (build_plan_for opts tentative ~instrument:true)
+          ~params:opts.params
+      in
+      let assignments, sample_log = size_specs opts specs ~build_plan in
+      List.iter (fun s -> say "  %s" s) sample_log;
+      List.iter
+        (fun a ->
+          let cfg = a.a_spec.Section_planner.sp_cfg in
+          say "  section %s line=%dB size=%dK %s sites=[%s]"
+            cfg.Section.sec_name cfg.Section.line (a.a_size / 1024)
+            (match cfg.Section.structure with
+            | Section.Direct -> "direct"
+            | Section.Set_assoc k -> Printf.sprintf "set%d" k
+            | Section.Full_assoc -> "full")
+            (String.concat ","
+               (List.map string_of_int a.a_spec.Section_planner.sp_sites)))
+        assignments;
+      let plan = build_plan_for opts assignments ~instrument:true in
+      let prog = Mira_passes.Pipeline.apply original plan ~params:opts.params in
+      match eval opts prog assignments with
+      | _, work_ns, rt ->
+        let best_ns, _, _, _, _ = !best in
+        say "iteration %d: work=%.3f ms (best %.3f ms)" !i (work_ns /. 1e6)
+          (best_ns /. 1e6);
+        if work_ns < best_ns || opts.always_accept then begin
+          best := (work_ns, prog, assignments, plan, !i);
+          profile := Runtime.profile rt;
+          if work_ns > 0.98 *. best_ns && not opts.always_accept then
+            continue_ := false
+        end
+        else
+          (* Roll back to the previous configuration but keep iterating
+             with a wider selection (§4.1). *)
+          say "iteration %d: regression, rolling back" !i
+      | exception e ->
+        say "iteration %d failed (%s), rolling back" !i (Printexc.to_string e)
+    end
+  done;
+  let best_ns, _, assignments, plan, iters = !best in
+  (* Final compilation: no profiling except the measured work function. *)
+  let final_plan = { plan with Pipeline.instrument = false } in
+  let final_prog =
+    Mira_passes.Pipeline.apply original final_plan ~params:opts.params
+    |> Instrument.run_only ~names:[ work_function original ]
+  in
+  {
+    c_program = final_prog;
+    c_original = original;
+    c_plan = final_plan;
+    c_assignments = assignments;
+    c_options = opts;
+    c_iterations = iters;
+    c_work_ns = best_ns;
+    c_log = List.rev !log;
+  }
+
+let instantiate compiled =
+  let opts = compiled.c_options in
+  let rt = make_runtime opts in
+  apply_assignments opts rt compiled.c_assignments;
+  let machine =
+    Machine.create ~nthreads:opts.nthreads ~seed:opts.seed
+      ~honor_offload:opts.feat_offload (Runtime.memsys rt) compiled.c_program
+  in
+  (rt, machine)
+
+let run compiled =
+  let rt, machine = instantiate compiled in
+  let result, work_ns = measure_work (Runtime.memsys rt) machine in
+  (result, work_ns)

@@ -1,0 +1,66 @@
+(** The iterative optimization controller (§3, Figure 1).
+
+    Starting from the swap-everything configuration, each iteration:
+    profiles a run, picks the top-N% highest-cache-overhead functions
+    (N grows 10%, 20%, ... per iteration) and the largest objects they
+    touch, analyzes their access patterns, plans cache sections
+    ([Section_planner]), sizes them (sampled profiling + the
+    [Mira_cache.Sizing] ILP), compiles the program against the plan
+    ([Mira_passes.Pipeline]), and keeps the result only if it actually
+    improved — otherwise it rolls back (§4.1).  Iteration stops at the
+    configured limit or when the gain falls under 2%. *)
+
+type options = {
+  params : Mira_sim.Params.t;
+  local_budget : int;
+  far_capacity : int;
+  max_iterations : int;
+  size_samples : float list;  (** budget fractions sampled for non-
+                                  sequential sections *)
+  nthreads : int;
+  seed : int;
+  feat_sections : bool;  (** ablation toggles (Figures 6/15/21/23) *)
+  feat_prefetch : bool;
+  feat_evict : bool;
+  feat_fusion : bool;
+  feat_native : bool;
+  feat_offload : bool;
+  always_accept : bool;  (** keep the last configuration even if it
+                             regressed (ablation studies / debugging) *)
+  verbose : bool;
+}
+
+val options_default : local_budget:int -> far_capacity:int -> options
+
+type assignment = { a_spec : Section_planner.spec; a_size : int }
+
+type compiled = {
+  c_program : Mira_mir.Ir.program;  (** final program, [work] instrumented *)
+  c_original : Mira_mir.Ir.program;
+  c_plan : Mira_passes.Pipeline.plan;
+  c_assignments : assignment list;
+  c_options : options;
+  c_iterations : int;  (** profiling-optimization rounds executed *)
+  c_work_ns : float;  (** best measured work time during optimization *)
+  c_log : string list;  (** decision trace, oldest first *)
+}
+
+val optimize : options -> Mira_mir.Ir.program -> compiled
+(** Run the full iterative flow. *)
+
+val instantiate :
+  compiled -> Mira_runtime.Runtime.t * Mira_interp.Machine.t
+(** Fresh runtime with the compiled section configuration applied, and
+    a machine ready to run the compiled program. *)
+
+val run : compiled -> Mira_interp.Value.t * float
+(** Execute on a fresh instantiation; returns the program result and
+    the measured simulated time of [work] (ns). *)
+
+val measure_work :
+  Mira_runtime.Memsys.t -> Mira_interp.Machine.t -> Mira_interp.Value.t * float
+(** Run a machine's entry and return (result, work-function time).
+    Used by benches to time baselines identically. *)
+
+val work_function : Mira_mir.Ir.program -> string
+(** The measured function: ["work"] when defined, else the entry. *)

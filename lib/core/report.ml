@@ -1,0 +1,104 @@
+module Section = Mira_cache.Section
+module Swap = Mira_cache.Swap_section
+module Manager = Mira_cache.Manager
+module Runtime = Mira_runtime.Runtime
+module Pipeline = Mira_passes.Pipeline
+
+let structure_name = function
+  | Section.Direct -> "direct"
+  | Section.Set_assoc k -> Printf.sprintf "set-assoc(%d)" k
+  | Section.Full_assoc -> "full-assoc"
+
+let side_name = function
+  | Mira_sim.Net.One_sided -> "one-sided"
+  | Mira_sim.Net.Two_sided -> "two-sided"
+
+let flags (cfg : Section.config) =
+  List.filter_map
+    (fun (cond, name) -> if cond then Some name else None)
+    [
+      (cfg.Section.no_meta, "no-meta");
+      (cfg.Section.write_no_fetch, "write-no-fetch");
+      (cfg.Section.read_discard, "read-discard");
+    ]
+
+let describe (c : Controller.compiled) =
+  let buf = Buffer.create 512 in
+  let plan = c.Controller.c_plan in
+  Buffer.add_string buf
+    (Printf.sprintf "compiled after %d iteration(s); best work time %.3f ms\n"
+       c.Controller.c_iterations
+       (c.Controller.c_work_ns /. 1e6));
+  let opt_names =
+    List.filter_map
+      (fun (on, name) -> if on then Some name else None)
+      [
+        (plan.Pipeline.fuse, "batching");
+        (plan.Pipeline.prefetch, "prefetch");
+        (plan.Pipeline.evict, "evict-hints");
+        (plan.Pipeline.native, "native-deref");
+        (plan.Pipeline.offload <> `None, "offload");
+      ]
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "optimizations: %s\n"
+       (if opt_names = [] then "(none)" else String.concat ", " opt_names));
+  if c.Controller.c_assignments = [] then
+    Buffer.add_string buf "sections: none (generic swap configuration)\n"
+  else begin
+    Buffer.add_string buf "sections:\n";
+    List.iter
+      (fun (a : Controller.assignment) ->
+        let cfg = a.Controller.a_spec.Section_planner.sp_cfg in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-8s %-12s line=%-5dB size=%-6dKB %-10s [%s]  sites={%s}\n"
+             cfg.Section.sec_name
+             (structure_name cfg.Section.structure)
+             cfg.Section.line
+             (a.Controller.a_size / 1024)
+             (side_name cfg.Section.side)
+             (String.concat "," (flags cfg))
+             (String.concat ","
+                (List.map string_of_int a.Controller.a_spec.Section_planner.sp_sites))))
+      c.Controller.c_assignments
+  end;
+  Buffer.contents buf
+
+let runtime_stats rt =
+  let buf = Buffer.create 512 in
+  let mgr = Runtime.manager rt in
+  List.iter
+    (fun s ->
+      let st = Section.stats s in
+      let cfg = Section.config s in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "section %-8s hits=%-9d misses=%-7d late-pf=%-5d evictions=%-7d \
+            (hinted %d) writebacks=%-7d hit=%.2fms miss=%.2fms stall=%.2fms\n"
+           cfg.Section.sec_name st.Section.hits st.Section.misses
+           st.Section.late_prefetch st.Section.evictions
+           st.Section.hinted_evictions st.Section.writebacks
+           (st.Section.hit_ns /. 1e6) (st.Section.miss_ns /. 1e6)
+           (st.Section.stall_ns /. 1e6)))
+    (Manager.sections mgr);
+  let sw = Swap.stats (Manager.swap mgr) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "swap     cap=%dKB hits=%d faults=%d readahead=%d late=%d fault=%.2fms \
+        stall=%.2fms\n"
+       (Swap.capacity_bytes (Manager.swap mgr) / 1024)
+       sw.Swap.hits sw.Swap.faults sw.Swap.readahead_pages sw.Swap.late_readahead
+       (sw.Swap.fault_ns /. 1e6) (sw.Swap.stall_ns /. 1e6));
+  let net = Mira_sim.Net.stats (Runtime.net rt) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "network  msgs=%d in=%dKB out=%dKB (demand=%dKB prefetch=%dKB \
+        writeback=%dKB rpc=%dKB)\n"
+       net.Mira_sim.Net.msg_count
+       (net.Mira_sim.Net.bytes_in / 1024)
+       (net.Mira_sim.Net.bytes_out / 1024)
+       (net.Mira_sim.Net.bytes_demand / 1024)
+       (net.Mira_sim.Net.bytes_prefetch / 1024)
+       (net.Mira_sim.Net.bytes_writeback / 1024)
+       (net.Mira_sim.Net.bytes_rpc / 1024));
+  Buffer.contents buf

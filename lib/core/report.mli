@@ -1,0 +1,13 @@
+(** Human-readable summaries of a compiled Mira configuration:
+    the planned sections, the compilation plan, and per-run cache /
+    network statistics.  Used by the CLI and the examples. *)
+
+val describe : Controller.compiled -> string
+(** Multi-line description: iterations, work time, one line per
+    section (name, structure, line, size, flags, sites), and the
+    enabled optimizations. *)
+
+val runtime_stats : Mira_runtime.Runtime.t -> string
+(** Post-run statistics: per-section hits/misses/evictions and
+    hit/miss/stall time, swap-section behaviour, and network traffic
+    by purpose. *)

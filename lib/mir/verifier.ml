@@ -1,0 +1,150 @@
+let intrinsics = [ "rand_int"; "exp"; "sqrt"; "tanh"; "log"; "fabs" ]
+
+type ctx = {
+  program : Ir.program;
+  func : Ir.func;
+  mutable defined : bool array;  (* currently-in-scope definitions *)
+  mutable assigned : bool array;  (* ever defined (single-assignment check) *)
+  mutable errors : string list;
+}
+
+let error ctx fmt =
+  Format.kasprintf
+    (fun msg ->
+      ctx.errors <- Printf.sprintf "%s: %s" ctx.func.Ir.f_name msg :: ctx.errors)
+    fmt
+
+let check_use ctx = function
+  | Ir.Oreg r ->
+    if r < 0 || r >= ctx.func.Ir.f_nregs then error ctx "use of %%%d out of bounds" r
+    else if not ctx.defined.(r) then error ctx "use of %%%d before definition" r
+  | Ir.Oint _ | Ir.Ofloat _ | Ir.Obool _ | Ir.Ounit -> ()
+
+let check_def ctx r =
+  if r < 0 || r >= ctx.func.Ir.f_nregs then
+    error ctx "definition of %%%d out of bounds" r
+  else begin
+    if ctx.assigned.(r) then error ctx "register %%%d assigned twice" r;
+    ctx.assigned.(r) <- true;
+    ctx.defined.(r) <- true
+  end
+
+let check_step ctx = function
+  | Ir.Oint n when Int64.compare n 0L <= 0 ->
+    error ctx "loop step must be a positive constant, got %Ld" n
+  | Ir.Oint _ -> ()
+  | Ir.Oreg _ as o -> check_use ctx o
+  | Ir.Ofloat _ | Ir.Obool _ | Ir.Ounit -> error ctx "loop step must be an integer"
+
+let check_callee ctx callee =
+  if
+    (not (List.mem_assoc callee ctx.program.Ir.p_funcs))
+    && not (List.mem callee intrinsics)
+  then error ctx "call to undefined function @%s" callee
+
+let check_site ctx site =
+  match Ir.find_site ctx.program site with
+  | _ -> ()
+  | exception Not_found -> error ctx "allocation site %d not in site table" site
+
+(* Walk a block; definitions made inside a nested region go out of scope
+   when the region ends (loop-carried values are not modelled). *)
+let rec check_block ctx block = List.iter (check_op ctx) block
+
+and scoped ctx f =
+  let saved = Array.copy ctx.defined in
+  f ();
+  ctx.defined <- saved
+
+and check_op ctx op =
+  match op with
+  | Ir.Bin (r, _, a, b)
+  | Ir.Fbin (r, _, a, b)
+  | Ir.Cmp (r, _, a, b)
+  | Ir.Fcmp (r, _, a, b) ->
+    check_use ctx a;
+    check_use ctx b;
+    check_def ctx r
+  | Ir.Not (r, a) | Ir.I2f (r, a) | Ir.F2i (r, a) | Ir.Mov (r, a) ->
+    check_use ctx a;
+    check_def ctx r
+  | Ir.Alloc { dst; site; count; _ } ->
+    check_use ctx count;
+    check_site ctx site;
+    check_def ctx dst
+  | Ir.Free { ptr; site } ->
+    check_use ctx ptr;
+    check_site ctx site
+  | Ir.Gep { dst; base; index; _ } ->
+    check_use ctx base;
+    check_use ctx index;
+    check_def ctx dst
+  | Ir.Load { dst; ptr; _ } ->
+    check_use ctx ptr;
+    check_def ctx dst
+  | Ir.Store { ptr; value; _ } ->
+    check_use ctx ptr;
+    check_use ctx value
+  | Ir.Call { dst; callee; args } ->
+    List.iter (check_use ctx) args;
+    check_callee ctx callee;
+    check_def ctx dst
+  | Ir.For { iv; lo; hi; step; body } | Ir.ParFor { iv; lo; hi; step; body } ->
+    check_use ctx lo;
+    check_use ctx hi;
+    check_step ctx step;
+    scoped ctx (fun () ->
+        check_def ctx iv;
+        check_block ctx body)
+  | Ir.While { cond; cond_val; body } ->
+    scoped ctx (fun () ->
+        check_block ctx cond;
+        check_use ctx cond_val;
+        check_block ctx body)
+  | Ir.If { cond; then_; else_ } ->
+    check_use ctx cond;
+    scoped ctx (fun () -> check_block ctx then_);
+    scoped ctx (fun () -> check_block ctx else_)
+  | Ir.Ret v -> check_use ctx v
+  | Ir.Prefetch { ptr; len; _ } | Ir.FlushEvict { ptr; len; _ } ->
+    check_use ctx ptr;
+    if len <= 0 then error ctx "rmem op with non-positive length %d" len
+  | Ir.EvictSite site -> check_site ctx site
+  | Ir.ProfEnter _ | Ir.ProfExit _ -> ()
+
+let check_func program (f : Ir.func) =
+  let ctx =
+    {
+      program;
+      func = f;
+      defined = Array.make (max f.Ir.f_nregs 1) false;
+      assigned = Array.make (max f.Ir.f_nregs 1) false;
+      errors = [];
+    }
+  in
+  List.iter
+    (fun (r, _) ->
+      if r < 0 || r >= f.Ir.f_nregs then
+        error ctx "parameter register %%%d out of bounds" r
+      else begin
+        ctx.assigned.(r) <- true;
+        ctx.defined.(r) <- true
+      end)
+    f.Ir.f_params;
+  check_block ctx f.Ir.f_body;
+  ctx.errors
+
+let verify program =
+  let errors =
+    List.concat_map (fun (_, f) -> check_func program f) program.Ir.p_funcs
+  in
+  let errors =
+    if List.mem_assoc program.Ir.p_entry program.Ir.p_funcs then errors
+    else Printf.sprintf "entry function @%s not defined" program.Ir.p_entry :: errors
+  in
+  match errors with [] -> Ok () | es -> Error (List.rev es)
+
+let verify_exn program =
+  match verify program with
+  | Ok () -> ()
+  | Error es -> failwith (String.concat "; " es)

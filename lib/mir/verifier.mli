@@ -1,0 +1,20 @@
+(** Structural well-formedness checks for IR programs.
+
+    Checks, per function: single assignment of registers, uses
+    dominated by definitions under structured scoping, register bounds,
+    resolvable callees (defined functions or known intrinsics), and
+    positive constant loop steps; per program: entry point presence and
+    allocation sites declared in the site table.
+
+    The interpreter assumes a verified program; workload constructors
+    and passes are tested to always produce verifying IR. *)
+
+val intrinsics : string list
+(** Callees the interpreter provides natively: random numbers and float
+    math ("rand_int", "exp", "sqrt", "tanh", "log", "fabs"). *)
+
+val verify : Ir.program -> (unit, string list) result
+(** [Ok ()] or [Error messages] listing every violation found. *)
+
+val verify_exn : Ir.program -> unit
+(** Raises [Failure] with the joined messages. *)

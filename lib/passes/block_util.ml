@@ -1,0 +1,26 @@
+module Ir = Mira_mir.Ir
+
+let defined_regs block =
+  let defs = Hashtbl.create 32 in
+  Ir.iter_ops
+    (fun op ->
+      let add r = Hashtbl.replace defs r () in
+      match op with
+      | Ir.Bin (r, _, _, _) | Ir.Fbin (r, _, _, _) | Ir.Cmp (r, _, _, _)
+      | Ir.Fcmp (r, _, _, _) | Ir.Not (r, _) | Ir.I2f (r, _) | Ir.F2i (r, _)
+      | Ir.Mov (r, _) ->
+        add r
+      | Ir.Alloc { dst; _ } | Ir.Gep { dst; _ } | Ir.Load { dst; _ }
+      | Ir.Call { dst; _ } ->
+        add dst
+      | Ir.For { iv; _ } | Ir.ParFor { iv; _ } -> add iv
+      | Ir.Store _ | Ir.Free _ | Ir.While _ | Ir.If _ | Ir.Ret _
+      | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _ | Ir.ProfEnter _
+      | Ir.ProfExit _ ->
+        ())
+    block;
+  defs
+
+let operand_defined_in defs = function
+  | Ir.Oreg r -> Hashtbl.mem defs r
+  | Ir.Oint _ | Ir.Ofloat _ | Ir.Obool _ | Ir.Ounit -> false

@@ -1,0 +1,173 @@
+module Ir = Mira_mir.Ir
+module Pattern = Mira_analysis.Pattern
+module Lifetime = Mira_analysis.Lifetime
+
+(* Far enough behind that prefetched-but-unused lines are not flushed,
+   close enough that dead lines free space promptly. *)
+let behind_distance ~line ~elem = (2 * line / max 1 elem) + 8
+
+type ctx = {
+  line_of : int -> int option;
+  mutable next_reg : int;
+  loop_table : (Ir.reg, Pattern.loop_info) Hashtbl.t;
+}
+
+let fresh ctx =
+  let r = ctx.next_reg in
+  ctx.next_reg <- r + 1;
+  r
+
+let rec index_loops ctx (loops : Pattern.loop_info list) =
+  List.iter
+    (fun l ->
+      Hashtbl.replace ctx.loop_table l.Pattern.l_iv l;
+      index_loops ctx l.Pattern.l_children)
+    loops
+
+let remote_meta site = { Ir.am_site = site; am_remote = true; am_native = false }
+
+let flush_snippet ctx ~iv ~lo ~(g : Pattern.simple_gep) ~line ~dist =
+  let d = fresh ctx in
+  let cmp = fresh ctx in
+  let p = fresh ctx in
+  [
+    Ir.Bin (d, Ir.Sub, Ir.Oreg iv, Ir.Oint (Int64.of_int dist));
+    Ir.Cmp (cmp, Ir.Ge, Ir.Oreg d, lo);
+    Ir.If
+      {
+        cond = Ir.Oreg cmp;
+        then_ =
+          [
+            Ir.Gep
+              {
+                dst = p;
+                base = g.Pattern.g_base;
+                index = Ir.Oreg d;
+                elem = g.Pattern.g_elem;
+                field_off = 0;
+              };
+            Ir.FlushEvict
+              { ptr = Ir.Oreg p; len = line; meta = remote_meta g.Pattern.g_site };
+          ];
+        else_ = [];
+      };
+  ]
+
+let defined_regs = Block_util.defined_regs
+
+let snippets_for_loop ctx (l : Pattern.loop_info) ~streaming ~lo body =
+  let defs = defined_regs body in
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun (a : Pattern.access) ->
+      match (a.Pattern.a_gep, ctx.line_of a.Pattern.a_site) with
+      | Some g, Some line when streaming a.Pattern.a_site ->
+        let key = (g.Pattern.g_site, g.Pattern.g_base) in
+        (match (g.Pattern.g_index, Hashtbl.mem seen key) with
+        | (Pattern.Idx_iv | Pattern.Idx_iv_plus _), false
+          when not
+                 (match g.Pattern.g_base with
+                 | Ir.Oreg r -> Hashtbl.mem defs r
+                 | Ir.Oint _ | Ir.Ofloat _ | Ir.Obool _ | Ir.Ounit -> true) ->
+          Hashtbl.replace seen key ();
+          let dist = behind_distance ~line ~elem:a.Pattern.a_elem in
+          flush_snippet ctx ~iv:l.Pattern.l_iv ~lo ~g ~line ~dist
+        | _, _ -> [])
+      | Some _, Some _ | _, _ -> [])
+    l.Pattern.l_accesses
+
+let rec rewrite_block ctx ~streaming block =
+  List.map (rewrite_op ctx ~streaming) block
+
+and rewrite_op ctx ~streaming op =
+  match op with
+  | Ir.For ({ iv; lo; body; _ } as f) ->
+    let body = rewrite_block ctx ~streaming body in
+    let snippets =
+      match Hashtbl.find_opt ctx.loop_table iv with
+      | Some l when l.Pattern.l_children = [] ->
+        snippets_for_loop ctx l ~streaming ~lo body
+      | Some _ | None -> []
+    in
+    Ir.For { f with body = snippets @ body }
+  | Ir.ParFor ({ iv; lo; body; _ } as f) ->
+    let body = rewrite_block ctx ~streaming body in
+    let snippets =
+      match Hashtbl.find_opt ctx.loop_table iv with
+      | Some l when l.Pattern.l_children = [] ->
+        snippets_for_loop ctx l ~streaming ~lo body
+      | Some _ | None -> []
+    in
+    Ir.ParFor { f with body = snippets @ body }
+  | Ir.While w ->
+    Ir.While
+      { w with
+        cond = rewrite_block ctx ~streaming w.cond;
+        body = rewrite_block ctx ~streaming w.body }
+  | Ir.If i ->
+    Ir.If
+      { i with
+        then_ = rewrite_block ctx ~streaming i.then_;
+        else_ = rewrite_block ctx ~streaming i.else_ }
+  | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.I2f _
+  | Ir.F2i _ | Ir.Mov _ | Ir.Alloc _ | Ir.Free _ | Ir.Gep _ | Ir.Load _
+  | Ir.Store _ | Ir.Call _ | Ir.Ret _ | Ir.Prefetch _ | Ir.FlushEvict _
+  | Ir.EvictSite _ | Ir.ProfEnter _ | Ir.ProfExit _ ->
+    op
+
+(* Insert EvictSite after the last top-level loop touching each site. *)
+let insert_lifetime_ends result line_of body =
+  let dead_by_phase =
+    List.init (Lifetime.phases_count result) (fun phase ->
+        Lifetime.dead_after result ~phase
+        |> List.filter (fun site -> line_of site <> None))
+  in
+  let nphases = List.length dead_by_phase in
+  let phase = ref (-1) in
+  List.concat_map
+    (fun op ->
+      match op with
+      | Ir.For _ | Ir.ParFor _ ->
+        incr phase;
+        (* Only end lifetimes strictly before the function's last phase:
+           function exit handles the rest naturally. *)
+        if !phase < nphases - 1 then
+          op :: List.map (fun s -> Ir.EvictSite s) (List.nth dead_by_phase !phase)
+        else [ op ]
+      | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.I2f _
+      | Ir.F2i _ | Ir.Mov _ | Ir.Alloc _ | Ir.Free _ | Ir.Gep _ | Ir.Load _
+      | Ir.Store _ | Ir.Call _ | Ir.While _ | Ir.If _ | Ir.Ret _
+      | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _ | Ir.ProfEnter _
+      | Ir.ProfExit _ ->
+        [ op ])
+    body
+
+let run_func program bindings ~line_of (f : Ir.func) =
+  let site_of_ty = Mira_analysis.Remotable_flow.site_of_ty program in
+  let param_sites =
+    match List.assoc_opt f.Ir.f_name bindings with Some b -> b | None -> []
+  in
+  let result = Pattern.analyze program f ~param_sites ~site_of_ty () in
+  (* Flush-behind only pays off for data this function streams through
+     once; a re-scanned read-write buffer would be written back and
+     refetched over and over. *)
+  let streaming site =
+    match Pattern.summary_for result site with
+    | Some ss -> ss.Pattern.ss_read_only || ss.Pattern.ss_write_only
+    | None -> false
+  in
+  let ctx = { line_of; next_reg = f.Ir.f_nregs; loop_table = Hashtbl.create 16 } in
+  index_loops ctx result.Pattern.r_loops;
+  let body = rewrite_block ctx ~streaming f.Ir.f_body in
+  let body = insert_lifetime_ends result line_of body in
+  { f with Ir.f_body = body; f_nregs = ctx.next_reg }
+
+let run program ~line_of =
+  let bindings = Mira_analysis.Remotable_flow.param_sites_of_program program in
+  {
+    program with
+    Ir.p_funcs =
+      List.map
+        (fun (name, f) -> (name, run_func program bindings ~line_of f))
+        program.Ir.p_funcs;
+  }

@@ -1,0 +1,22 @@
+(** Eviction hints (§4.5) and lifetime-driven section endings.
+
+    Two transformations:
+
+    - {b streaming flush-behind}: in a loop walking a sectioned site
+      sequentially, asynchronously flush the line [D] iterations behind
+      the current position and mark it evictable — the data will not be
+      touched again, so it becomes the preferred victim and its
+      write-back happens off the critical path;
+    - {b lifetime endings}: after the last top-level loop that touches
+      a site (per [Mira_analysis.Lifetime]), insert [EvictSite] so all
+      of the site's cached data is released for other sections — the
+      behaviour that lets GPT-2 run layer-by-layer in a sliver of local
+      memory. *)
+
+val run :
+  Mira_mir.Ir.program ->
+  line_of:(int -> int option) ->
+  Mira_mir.Ir.program
+
+val behind_distance : line:int -> elem:int -> int
+(** Iterations of lag before flushing (exposed for tests). *)

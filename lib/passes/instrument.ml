@@ -1,0 +1,61 @@
+module Ir = Mira_mir.Ir
+
+let instrument_func (f : Ir.func) =
+  let name = f.Ir.f_name in
+  let body =
+    Ir.expand_ops
+      (fun op ->
+        match op with
+        | Ir.Ret _ -> [ Ir.ProfExit name; op ]
+        | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.I2f _
+        | Ir.F2i _ | Ir.Mov _ | Ir.Alloc _ | Ir.Free _ | Ir.Gep _ | Ir.Load _
+        | Ir.Store _ | Ir.Call _ | Ir.For _ | Ir.ParFor _ | Ir.While _
+        | Ir.If _ | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _
+        | Ir.ProfEnter _ | Ir.ProfExit _ ->
+          [ op ])
+      f.Ir.f_body
+  in
+  { f with Ir.f_body = Ir.ProfEnter name :: body }
+
+let already_instrumented (f : Ir.func) =
+  match f.Ir.f_body with Ir.ProfEnter _ :: _ -> true | _ -> false
+
+let run (p : Ir.program) =
+  {
+    p with
+    Ir.p_funcs =
+      List.map
+        (fun (name, f) ->
+          (name, if already_instrumented f then f else instrument_func f))
+        p.Ir.p_funcs;
+  }
+
+let run_only program ~names =
+  {
+    program with
+    Ir.p_funcs =
+      List.map
+        (fun (name, f) ->
+          if List.mem name names && not (already_instrumented f) then
+            (name, instrument_func f)
+          else (name, f))
+        program.Ir.p_funcs;
+  }
+
+let strip_func (f : Ir.func) =
+  let body =
+    Ir.expand_ops
+      (fun op ->
+        match op with
+        | Ir.ProfEnter _ | Ir.ProfExit _ -> []
+        | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.I2f _
+        | Ir.F2i _ | Ir.Mov _ | Ir.Alloc _ | Ir.Free _ | Ir.Gep _ | Ir.Load _
+        | Ir.Store _ | Ir.Call _ | Ir.For _ | Ir.ParFor _ | Ir.While _
+        | Ir.If _ | Ir.Ret _ | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _ ->
+          [ op ])
+      f.Ir.f_body
+  in
+  { f with Ir.f_body = body }
+
+let strip (p : Ir.program) =
+  { p with Ir.p_funcs = List.map (fun (name, f) -> (name, strip_func f)) p.Ir.p_funcs }

@@ -1,0 +1,15 @@
+(** Profiling instrumentation (§4.1).
+
+    Wraps every function body in [ProfEnter]/[ProfExit] events.  The
+    events are coarse (function level) so the run-time cost is the
+    0.4-0.7% the paper reports, not per-access tracing. *)
+
+val run : Mira_mir.Ir.program -> Mira_mir.Ir.program
+
+val run_only :
+  Mira_mir.Ir.program -> names:string list -> Mira_mir.Ir.program
+(** Instrument only the named functions (used to time the measured
+    "work" function uniformly across all systems). *)
+
+val strip : Mira_mir.Ir.program -> Mira_mir.Ir.program
+(** Remove all profiling events (for final, non-profiled compilations). *)

@@ -1,0 +1,58 @@
+type plan = {
+  selected : int list;
+  lines : (int * int) list;
+  fuse : bool;
+  prefetch : bool;
+  evict : bool;
+  native : bool;
+  offload : [ `None | `Auto | `Only of string list ];
+  instrument : bool;
+}
+
+let plan_default =
+  {
+    selected = [];
+    lines = [];
+    fuse = false;
+    prefetch = false;
+    evict = false;
+    native = false;
+    offload = `None;
+    instrument = false;
+  }
+
+let plan_all ~selected ~lines =
+  {
+    selected;
+    lines;
+    fuse = true;
+    prefetch = true;
+    evict = true;
+    native = true;
+    offload = `Auto;
+    instrument = false;
+  }
+
+let apply program plan ~params =
+  let line_of site = List.assoc_opt site plan.lines in
+  let program = Instrument.strip program in
+  let program = if plan.fuse then Fusion.run program else program in
+  let program = Convert_remote.run program ~selected:plan.selected in
+  let program =
+    if plan.prefetch then Prefetch_pass.run program ~params ~line_of else program
+  in
+  let program =
+    if plan.evict then Evict_hints.run program ~line_of else program
+  in
+  let program =
+    if plan.native then Native_deref.run program ~line_of else program
+  in
+  let program =
+    match plan.offload with
+    | `None -> program
+    | `Auto -> Offload_pass.run program ~params ()
+    | `Only names -> Offload_pass.run program ~explicit:names ~params ()
+  in
+  let program = if plan.instrument then Instrument.run program else program in
+  Mira_mir.Verifier.verify_exn program;
+  program

@@ -1,0 +1,31 @@
+(** The compilation pipeline: applies the Mira passes in the order the
+    controller's plan dictates.
+
+    Order matters: fusion first (it changes loop structure the other
+    passes analyze), then conversion to the rmem dialect, prefetching
+    and eviction hints (which need the rmem metas and section line
+    sizes), dereference-to-native last (it sees the final access
+    sequence), offloading, and finally optional instrumentation for the
+    next profiling run. *)
+
+type plan = {
+  selected : int list;  (** sites converted to remote (sectioned) *)
+  lines : (int * int) list;  (** site -> section line size in bytes *)
+  fuse : bool;
+  prefetch : bool;
+  evict : bool;
+  native : bool;
+  offload : [ `None | `Auto | `Only of string list ];
+  instrument : bool;
+}
+
+val plan_default : plan
+(** Everything off, nothing selected. *)
+
+val plan_all : selected:int list -> lines:(int * int) list -> plan
+(** All optimizations on, auto offloading, no instrumentation. *)
+
+val apply :
+  Mira_mir.Ir.program -> plan -> params:Mira_sim.Params.t -> Mira_mir.Ir.program
+(** The result is re-verified; raises [Failure] if a pass produced
+    malformed IR (a pass bug, not a user error). *)

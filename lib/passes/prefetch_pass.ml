@@ -1,0 +1,450 @@
+module Ir = Mira_mir.Ir
+module Types = Mira_mir.Types
+module Pattern = Mira_analysis.Pattern
+
+let distance_iters ~params ~body_ops =
+  let p = params in
+  (* Estimated cost of one iteration: its ops plus a couple of cache
+     hits (hits in compiler-controlled sections cost a native access). *)
+  let iter_ns =
+    (float_of_int (max 1 body_ops) *. p.Mira_sim.Params.native_op_ns)
+    +. (2.0 *. p.Mira_sim.Params.native_mem_ns)
+  in
+  let d = ceil (p.Mira_sim.Params.one_sided_rtt_ns /. iter_ns) in
+  Mira_util.Misc.clamp ~lo:1 ~hi:8192 (int_of_float d)
+
+type ctx = {
+  program : Ir.program;
+  params : Mira_sim.Params.t;
+  line_of : int -> int option;
+  site_count : int -> int64 option;  (* constant element count of a site *)
+  mutable next_reg : int;
+  loop_table : (Ir.reg, Pattern.loop_info) Hashtbl.t;
+}
+
+let fresh ctx =
+  let r = ctx.next_reg in
+  ctx.next_reg <- r + 1;
+  r
+
+let rec index_loops ctx (loops : Pattern.loop_info list) =
+  List.iter
+    (fun l ->
+      Hashtbl.replace ctx.loop_table l.Pattern.l_iv l;
+      index_loops ctx l.Pattern.l_children)
+    loops
+
+let defined_regs = Block_util.defined_regs
+let operand_defined_in = Block_util.operand_defined_in
+
+let remote_meta site = { Ir.am_site = site; am_remote = true; am_native = false }
+
+(* Build the guarded prefetch snippet for one access group, gated to
+   fire once per half-line of progress (strength reduction). *)
+let sequential_snippet ctx ~iv ~hi ~step ~dist ~(g : Pattern.simple_gep) ~line =
+  let c = match g.Pattern.g_index with Pattern.Idx_iv_plus c -> c | _ -> 0L in
+  let offset = Int64.add (Int64.mul (Int64.of_int dist) step) c in
+  let elem = Mira_mir.Types.size_of g.Pattern.g_elem in
+  let gate =
+    Mira_util.Misc.next_pow2
+      (max 1 (line / max 1 (elem * Int64.to_int (max 1L step)) / 2))
+  in
+  let d = fresh ctx in
+  let cmp = fresh ctx in
+  let p = fresh ctx in
+  let body =
+    [
+      Ir.Bin (d, Ir.Add, Ir.Oreg iv, Ir.Oint offset);
+      Ir.Cmp (cmp, Ir.Lt, Ir.Oreg d, hi);
+      Ir.If
+        {
+          cond = Ir.Oreg cmp;
+          then_ =
+            [
+              Ir.Gep
+                {
+                  dst = p;
+                  base = g.Pattern.g_base;
+                  index = Ir.Oreg d;
+                  elem = g.Pattern.g_elem;
+                  field_off = 0;
+                };
+              Ir.Prefetch
+                { ptr = Ir.Oreg p; len = line; meta = remote_meta g.Pattern.g_site };
+            ];
+          else_ = [];
+        };
+    ]
+  in
+  if gate <= 1 then body
+  else begin
+    let m = fresh ctx in
+    let z = fresh ctx in
+    [
+      Ir.Bin (m, Ir.Land, Ir.Oreg iv, Ir.Oint (Int64.of_int (gate - 1)));
+      Ir.Cmp (z, Ir.Eq, Ir.Oreg m, Ir.Oint 0L);
+      Ir.If { cond = Ir.Oreg z; then_ = body; else_ = [] };
+    ]
+  end
+
+let indirect_snippet ctx ~iv ~hi ~step ~dist ~(outer : Pattern.simple_gep)
+    ~(inner : Pattern.simple_gep) ~line =
+  let c = match inner.Pattern.g_index with Pattern.Idx_iv_plus c -> c | _ -> 0L in
+  let offset = Int64.add (Int64.mul (Int64.of_int dist) step) c in
+  let d = fresh ctx in
+  let cmp = fresh ctx in
+  let pa = fresh ctx in
+  let tv = fresh ctx in
+  let pb = fresh ctx in
+  [
+    Ir.Bin (d, Ir.Add, Ir.Oreg iv, Ir.Oint offset);
+    Ir.Cmp (cmp, Ir.Lt, Ir.Oreg d, hi);
+    Ir.If
+      {
+        cond = Ir.Oreg cmp;
+        then_ =
+          [
+            Ir.Gep
+              {
+                dst = pa;
+                base = inner.Pattern.g_base;
+                index = Ir.Oreg d;
+                elem = inner.Pattern.g_elem;
+                field_off = inner.Pattern.g_field;
+              };
+            Ir.Load
+              {
+                dst = tv;
+                ty = Types.I64;
+                ptr = Ir.Oreg pa;
+                meta = remote_meta inner.Pattern.g_site;
+              };
+            Ir.Gep
+              {
+                dst = pb;
+                base = outer.Pattern.g_base;
+                index = Ir.Oreg tv;
+                elem = outer.Pattern.g_elem;
+                field_off = 0;
+              };
+            Ir.Prefetch
+              {
+                ptr = Ir.Oreg pb;
+                len = line;
+                meta = remote_meta outer.Pattern.g_site;
+              };
+          ];
+        else_ = [];
+      };
+  ]
+
+(* Flattened multi-dimensional index (a[i*k + kk]): rebuild the affine
+   form from the in-scope induction variables and prefetch [dist]
+   innermost iterations ahead, guarded by the object's element count. *)
+let affine_snippet ctx ~ivs ~depth ~dist ~c0 ~terms ~count ~(g : Pattern.simple_gep)
+    ~line =
+  let s_inner = match List.assoc_opt depth terms with Some s -> s | None -> 1L in
+  (* Gate the (hot) snippet to once per half-line of progress: the
+     strength reduction a real compiler would apply. *)
+  let elem = Mira_mir.Types.size_of g.Pattern.g_elem in
+  let gate =
+    Mira_util.Misc.next_pow2
+      (max 1 (line / max 1 (elem * Int64.to_int (max 1L s_inner)) / 2))
+  in
+  let acc = ref (Ir.Oint (Int64.add c0 (Int64.mul (Int64.of_int dist) s_inner))) in
+  let ops = ref [] in
+  List.iter
+    (fun (d, coeff) ->
+      match List.assoc_opt d ivs with
+      | Some iv_reg ->
+        let t = fresh ctx in
+        ops := Ir.Bin (t, Ir.Mul, Ir.Oreg iv_reg, Ir.Oint coeff) :: !ops;
+        let a = fresh ctx in
+        ops := Ir.Bin (a, Ir.Add, !acc, Ir.Oreg t) :: !ops;
+        acc := Ir.Oreg a
+      | None -> ())
+    terms;
+  let cmp = fresh ctx in
+  let p = fresh ctx in
+  let body =
+    List.rev !ops
+    @ [
+        Ir.Cmp (cmp, Ir.Lt, !acc, Ir.Oint count);
+        Ir.If
+          {
+            cond = Ir.Oreg cmp;
+            then_ =
+              [
+                Ir.Gep
+                  {
+                    dst = p;
+                    base = g.Pattern.g_base;
+                    index = !acc;
+                    elem = g.Pattern.g_elem;
+                    field_off = 0;
+                  };
+                Ir.Prefetch
+                  { ptr = Ir.Oreg p; len = line;
+                    meta = remote_meta g.Pattern.g_site };
+              ];
+            else_ = [];
+          };
+      ]
+  in
+  if gate <= 1 then body
+  else begin
+    match List.assoc_opt depth ivs with
+    | None -> body
+    | Some iv_reg ->
+      let m = fresh ctx in
+      let z = fresh ctx in
+      [
+        Ir.Bin (m, Ir.Land, Ir.Oreg iv_reg, Ir.Oint (Int64.of_int (gate - 1)));
+        Ir.Cmp (z, Ir.Eq, Ir.Oreg m, Ir.Oint 0L);
+        Ir.If { cond = Ir.Oreg z; then_ = body; else_ = [] };
+      ]
+  end
+
+(* Loop preamble: prefetch the first window of a streaming access
+   before the loop starts, so the loop's opening iterations do not
+   demand-miss while the in-loop prefetcher ramps up. *)
+let preamble_len ~dist ~stride_elems ~elem ~line =
+  let bytes = dist * Int64.to_int (max 1L stride_elems) * elem in
+  Mira_util.Misc.round_up (Mira_util.Misc.clamp ~lo:line ~hi:32768 bytes) line
+
+let preamble_for_group ctx ~ivs ~depth ~lo ~dist ~(g : Pattern.simple_gep) ~line =
+  let elem = Mira_mir.Types.size_of g.Pattern.g_elem in
+  match g.Pattern.g_index with
+  | Pattern.Idx_iv | Pattern.Idx_iv_plus _ ->
+    let p = fresh ctx in
+    let len = preamble_len ~dist ~stride_elems:1L ~elem ~line in
+    [
+      Ir.Gep
+        { dst = p; base = g.Pattern.g_base; index = lo; elem = g.Pattern.g_elem;
+          field_off = 0 };
+      Ir.Prefetch { ptr = Ir.Oreg p; len; meta = remote_meta g.Pattern.g_site };
+    ]
+  | Pattern.Idx_affine { c0; terms } ->
+    (* Start index with the inner iv at its lower bound (constant only). *)
+    let lo_c = match lo with Ir.Oint c -> Some c | _ -> None in
+    let s_inner = match List.assoc_opt depth terms with Some s -> s | None -> 1L in
+    (match lo_c with
+    | None -> []
+    | Some lo_c ->
+      let outer_ok =
+        List.for_all (fun (d, _) -> d = depth || List.mem_assoc d ivs) terms
+      in
+      if not outer_ok then []
+      else begin
+        let acc = ref (Ir.Oint (Int64.add c0 (Int64.mul lo_c s_inner))) in
+        let ops = ref [] in
+        List.iter
+          (fun (d, coeff) ->
+            if d <> depth then begin
+              match List.assoc_opt d ivs with
+              | Some iv_reg ->
+                let t = fresh ctx in
+                ops := Ir.Bin (t, Ir.Mul, Ir.Oreg iv_reg, Ir.Oint coeff) :: !ops;
+                let a = fresh ctx in
+                ops := Ir.Bin (a, Ir.Add, !acc, Ir.Oreg t) :: !ops;
+                acc := Ir.Oreg a
+              | None -> ()
+            end)
+          terms;
+        let p = fresh ctx in
+        let len = preamble_len ~dist ~stride_elems:s_inner ~elem ~line in
+        List.rev !ops
+        @ [
+            Ir.Gep
+              { dst = p; base = g.Pattern.g_base; index = !acc;
+                elem = g.Pattern.g_elem; field_off = 0 };
+            Ir.Prefetch
+              { ptr = Ir.Oreg p; len; meta = remote_meta g.Pattern.g_site };
+          ]
+      end)
+  | Pattern.Idx_loaded _ | Pattern.Idx_const _ | Pattern.Idx_other -> []
+
+(* Deduplicate prefetch targets within a loop: one per
+   (site, base operand, index class). *)
+let group_key (g : Pattern.simple_gep) =
+  let idx_class =
+    match g.Pattern.g_index with
+    | Pattern.Idx_iv | Pattern.Idx_iv_plus _ | Pattern.Idx_affine _ -> `Seq
+    | Pattern.Idx_loaded inner -> `Ind (inner.Pattern.g_base, inner.Pattern.g_field)
+    | Pattern.Idx_const _ | Pattern.Idx_other -> `Other
+  in
+  (g.Pattern.g_site, g.Pattern.g_base, idx_class)
+
+(* Returns (preamble ops emitted before the loop, snippets for the
+   body start). *)
+let snippets_for_loop ctx (l : Pattern.loop_info) ~ivs ~lo ~hi ~step body =
+  let defs = defined_regs body in
+  let step_c = match step with Ir.Oint s -> s | _ -> 1L in
+  let dist = distance_iters ~params:ctx.params ~body_ops:l.Pattern.l_body_ops in
+  let preambles = ref [] in
+  let seen = Hashtbl.create 8 in
+  let snippets = List.concat_map
+    (fun (a : Pattern.access) ->
+      match (a.Pattern.a_gep, ctx.line_of a.Pattern.a_site) with
+      | Some g, Some line when not (Hashtbl.mem seen (group_key g)) ->
+        Hashtbl.replace seen (group_key g) ();
+        if operand_defined_in defs g.Pattern.g_base then []
+        else begin
+          match g.Pattern.g_index with
+          | Pattern.Idx_iv | Pattern.Idx_iv_plus _ ->
+            preambles :=
+              preamble_for_group ctx ~ivs ~depth:l.Pattern.l_depth ~lo ~dist ~g
+                ~line
+              :: !preambles;
+            sequential_snippet ctx ~iv:l.Pattern.l_iv ~hi ~step:step_c ~dist ~g
+              ~line
+          | Pattern.Idx_affine { c0; terms } ->
+            (* Needs every referenced iv in scope and a constant object
+               size to guard against running past the allocation. *)
+            (match ctx.site_count g.Pattern.g_site with
+            | Some count
+              when List.for_all (fun (d, _) -> List.mem_assoc d ivs) terms ->
+              preambles :=
+                preamble_for_group ctx ~ivs ~depth:l.Pattern.l_depth ~lo ~dist
+                  ~g ~line
+                :: !preambles;
+              affine_snippet ctx ~ivs ~depth:l.Pattern.l_depth ~dist ~c0 ~terms
+                ~count ~g ~line
+            | Some _ | None -> [])
+          | Pattern.Idx_loaded inner ->
+            (match
+               ( inner.Pattern.g_index,
+                 ctx.line_of inner.Pattern.g_site,
+                 operand_defined_in defs inner.Pattern.g_base )
+             with
+            | (Pattern.Idx_iv | Pattern.Idx_iv_plus _), Some _, false ->
+              indirect_snippet ctx ~iv:l.Pattern.l_iv ~hi ~step:step_c ~dist
+                ~outer:g ~inner ~line
+            | _, _, _ -> [])
+          | Pattern.Idx_const _ | Pattern.Idx_other -> []
+        end
+      | _, _ -> [])
+    l.Pattern.l_accesses
+  in
+  (List.rev !preambles, snippets)
+
+(* Pointer-chase: prefetch the target of a freshly loaded remote pointer. *)
+let chase_expansion ctx op =
+  match op with
+  | Ir.Load { dst; ty = Types.Ptr pointee; meta; _ }
+    when meta.Ir.am_remote ->
+    let target =
+      match Mira_analysis.Remotable_flow.site_of_ty ctx.program pointee with
+      | Some s -> s
+      | None -> -1
+    in
+    (match (target >= 0, ctx.line_of target) with
+    | true, Some line ->
+      [ op; Ir.Prefetch { ptr = Ir.Oreg dst; len = line; meta = remote_meta target } ]
+    | _, _ -> [ op ])
+  | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.I2f _
+  | Ir.F2i _ | Ir.Mov _ | Ir.Alloc _ | Ir.Free _ | Ir.Gep _ | Ir.Load _
+  | Ir.Store _ | Ir.Call _ | Ir.For _ | Ir.ParFor _ | Ir.While _ | Ir.If _
+  | Ir.Ret _ | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _
+  | Ir.ProfEnter _ | Ir.ProfExit _ ->
+    [ op ]
+
+let rec rewrite_block ctx ~ivs block =
+  List.concat_map (rewrite_op ctx ~ivs) block
+
+and rewrite_op ctx ~ivs op =
+  match op with
+  | Ir.For ({ iv; lo; hi; step; body; _ } as f) ->
+    let ivs' = (List.length ivs, iv) :: ivs in
+    let body = rewrite_block ctx ~ivs:ivs' body in
+    let preamble, snippets =
+      match Hashtbl.find_opt ctx.loop_table iv with
+      | Some l when l.Pattern.l_children = [] ->
+        (* Innermost loops only: outer loops' accesses repeat per inner
+           trip and would spam duplicate prefetches. *)
+        snippets_for_loop ctx l ~ivs:ivs' ~lo ~hi ~step body
+      | Some _ | None -> ([], [])
+    in
+    List.concat preamble @ [ Ir.For { f with body = snippets @ body } ]
+  | Ir.ParFor ({ iv; lo; hi; step; body; _ } as f) ->
+    let ivs' = (List.length ivs, iv) :: ivs in
+    let body = rewrite_block ctx ~ivs:ivs' body in
+    let preamble, snippets =
+      match Hashtbl.find_opt ctx.loop_table iv with
+      | Some l when l.Pattern.l_children = [] ->
+        snippets_for_loop ctx l ~ivs:ivs' ~lo ~hi ~step body
+      | Some _ | None -> ([], [])
+    in
+    List.concat preamble @ [ Ir.ParFor { f with body = snippets @ body } ]
+  | Ir.While w ->
+    [ Ir.While
+        { w with
+          cond = rewrite_block ctx ~ivs w.cond;
+          body = rewrite_block ctx ~ivs w.body } ]
+  | Ir.If i ->
+    [ Ir.If
+        { i with
+          then_ = rewrite_block ctx ~ivs i.then_;
+          else_ = rewrite_block ctx ~ivs i.else_ } ]
+  | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.I2f _
+  | Ir.F2i _ | Ir.Mov _ | Ir.Alloc _ | Ir.Free _ | Ir.Gep _ | Ir.Load _
+  | Ir.Store _ | Ir.Call _ | Ir.Ret _ | Ir.Prefetch _ | Ir.FlushEvict _
+  | Ir.EvictSite _ | Ir.ProfEnter _ | Ir.ProfExit _ ->
+    [ op ]
+
+(* Constant element counts per allocation site (program-wide scan). *)
+let site_counts program =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, f) ->
+      Ir.iter_ops
+        (fun op ->
+          match op with
+          | Ir.Alloc { site; count = Ir.Oint n; _ } ->
+            (match Hashtbl.find_opt counts site with
+            | Some (Some m) when m <> n -> Hashtbl.replace counts site None
+            | Some _ -> ()
+            | None -> Hashtbl.replace counts site (Some n))
+          | Ir.Alloc { site; _ } -> Hashtbl.replace counts site None
+          | Ir.Bin _ | Ir.Fbin _ | Ir.Cmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.I2f _
+          | Ir.F2i _ | Ir.Mov _ | Ir.Free _ | Ir.Gep _ | Ir.Load _ | Ir.Store _
+          | Ir.Call _ | Ir.For _ | Ir.ParFor _ | Ir.While _ | Ir.If _ | Ir.Ret _
+          | Ir.Prefetch _ | Ir.FlushEvict _ | Ir.EvictSite _ | Ir.ProfEnter _
+          | Ir.ProfExit _ ->
+            ())
+        f.Ir.f_body)
+    program.Ir.p_funcs;
+  fun site -> Option.join (Hashtbl.find_opt counts site)
+
+let run_func program bindings ~params ~line_of ~site_count (f : Ir.func) =
+  let site_of_ty = Mira_analysis.Remotable_flow.site_of_ty program in
+  let param_sites =
+    match List.assoc_opt f.Ir.f_name bindings with Some b -> b | None -> []
+  in
+  let result = Pattern.analyze program f ~param_sites ~site_of_ty () in
+  let ctx =
+    {
+      program;
+      params;
+      line_of;
+      site_count;
+      next_reg = f.Ir.f_nregs;
+      loop_table = Hashtbl.create 16;
+    }
+  in
+  index_loops ctx result.Pattern.r_loops;
+  let body = rewrite_block ctx ~ivs:[] f.Ir.f_body in
+  let body = Ir.expand_ops (chase_expansion ctx) body in
+  { f with Ir.f_body = body; f_nregs = ctx.next_reg }
+
+let run program ~params ~line_of =
+  let bindings = Mira_analysis.Remotable_flow.param_sites_of_program program in
+  let site_count = site_counts program in
+  {
+    program with
+    Ir.p_funcs =
+      List.map
+        (fun (name, f) ->
+          (name, run_func program bindings ~params ~line_of ~site_count f))
+        program.Ir.p_funcs;
+  }

@@ -1,0 +1,30 @@
+(** Adaptive prefetch insertion (§4.5).
+
+    Three program-guided prefetch shapes, all inserted as explicit rmem
+    ops with bounds guards:
+
+    - {b sequential/strided}: in a loop indexing a sectioned site with
+      the induction variable, prefetch the line that iteration
+      [i + D] will touch, where [D] is chosen so the fetch completes
+      one network round trip before it is needed (estimated from the
+      loop body's compute cost and the measured RTT);
+    - {b indirect} ([B[A[i]]]): load [A[i+D]] (itself sequential, hence
+      cheap) and prefetch [B] at that index — the paper's introduction
+      example, impossible for history-based prefetchers;
+    - {b pointer chase}: after loading a pointer field from a sectioned
+      object, immediately prefetch its target (one-step lookahead used
+      for MCF-style traversals).
+
+    Only accesses already converted to the rmem dialect (selected
+    sites with a cache section) are prefetched. *)
+
+val run :
+  Mira_mir.Ir.program ->
+  params:Mira_sim.Params.t ->
+  line_of:(int -> int option) ->
+  Mira_mir.Ir.program
+(** [line_of site] is the section line size for sectioned sites. *)
+
+val distance_iters :
+  params:Mira_sim.Params.t -> body_ops:int -> int
+(** Iterations of lookahead needed to hide one RTT (exposed for tests). *)

@@ -1,0 +1,157 @@
+type fn_stat = {
+  mutable calls : int;
+  mutable total_ns : float;
+  mutable runtime_ns : float;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type site_stat = {
+  mutable alloc_bytes : int;
+  mutable allocs : int;
+  mutable overhead_ns : float;
+}
+
+type frame = { fr_name : string; fr_enter : float }
+
+type t = {
+  funcs : (string, fn_stat) Hashtbl.t;
+  sites : (int, site_stat) Hashtbl.t;
+  touched : (string * int, unit) Hashtbl.t;  (* (function, site) pairs *)
+  stacks : (int, frame list ref) Hashtbl.t;  (* per-thread call stacks *)
+}
+
+let create () =
+  {
+    funcs = Hashtbl.create 32;
+    sites = Hashtbl.create 32;
+    touched = Hashtbl.create 64;
+    stacks = Hashtbl.create 8;
+  }
+
+let fn_stat t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some s -> s
+  | None ->
+    let s = { calls = 0; total_ns = 0.0; runtime_ns = 0.0; hits = 0; misses = 0 } in
+    Hashtbl.replace t.funcs name s;
+    s
+
+let site_stat t site =
+  match Hashtbl.find_opt t.sites site with
+  | Some s -> s
+  | None ->
+    let s = { alloc_bytes = 0; allocs = 0; overhead_ns = 0.0 } in
+    Hashtbl.replace t.sites site s;
+    s
+
+let stack t tid =
+  match Hashtbl.find_opt t.stacks tid with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.replace t.stacks tid s;
+    s
+
+let enter t ~tid ~now name =
+  let st = stack t tid in
+  st := { fr_name = name; fr_enter = now } :: !st;
+  (fn_stat t name).calls <- (fn_stat t name).calls + 1
+
+let exit_ t ~tid ~now name =
+  let st = stack t tid in
+  (* Pop defensively until the matching frame (tolerates an exit without
+     a matching enter, which instrumentation never produces). *)
+  let rec pop = function
+    | [] -> []
+    | frame :: rest ->
+      if String.equal frame.fr_name name then begin
+        let s = fn_stat t name in
+        s.total_ns <- s.total_ns +. (now -. frame.fr_enter);
+        rest
+      end
+      else pop rest
+  in
+  st := pop !st
+
+let iter_stack t tid fn = List.iter (fun fr -> fn fr.fr_name) !(stack t tid)
+
+let add_runtime t ~tid ~ns =
+  iter_stack t tid (fun name ->
+      let s = fn_stat t name in
+      s.runtime_ns <- s.runtime_ns +. ns)
+
+let add_event t ~tid ~hit =
+  iter_stack t tid (fun name ->
+      let s = fn_stat t name in
+      if hit then s.hits <- s.hits + 1 else s.misses <- s.misses + 1)
+
+let add_site_overhead t ~site ~ns =
+  let s = site_stat t site in
+  s.overhead_ns <- s.overhead_ns +. ns
+
+let add_alloc t ~site ~bytes =
+  let s = site_stat t site in
+  s.alloc_bytes <- s.alloc_bytes + bytes;
+  s.allocs <- s.allocs + 1
+
+let touch t ~tid ~site =
+  iter_stack t tid (fun name ->
+      if not (Hashtbl.mem t.touched (name, site)) then
+        Hashtbl.replace t.touched (name, site) ())
+
+let fn_stats t = Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.funcs []
+let site_stats t = Hashtbl.fold (fun site s acc -> (site, s) :: acc) t.sites []
+
+let overhead_ratio s =
+  let rest = s.total_ns -. s.runtime_ns in
+  if rest <= 0.0 then infinity else s.runtime_ns /. rest
+
+let take_frac frac items =
+  let n = List.length items in
+  if n = 0 then []
+  else begin
+    let k = Mira_util.Misc.clamp ~lo:1 ~hi:n (int_of_float (ceil (frac *. float_of_int n))) in
+    List.filteri (fun i _ -> i < k) items
+  end
+
+(* Rank by absolute time lost to the runtime, tie-broken by the
+   overhead ratio: with handfuls of functions the absolute measure is
+   more robust than the paper's pure ratio (a tiny all-miss helper can
+   out-rank the function that actually dominates execution). *)
+let top_functions t ~frac =
+  fn_stats t
+  |> List.filter (fun (_, s) -> s.runtime_ns > 0.0)
+  |> List.sort (fun (_, a) (_, b) ->
+         match compare b.runtime_ns a.runtime_ns with
+         | 0 -> compare (overhead_ratio b) (overhead_ratio a)
+         | c -> c)
+  |> take_frac frac
+  |> List.map fst
+
+let sites_of_function t name =
+  Hashtbl.fold
+    (fun (fn, site) () acc -> if String.equal fn name then site :: acc else acc)
+    t.touched []
+  |> List.sort_uniq compare
+
+(* The paper picks the largest objects; we rank by the profiled
+   runtime overhead each site actually caused (size as a tie-break) —
+   the same profiling-guided spirit, robust to small-but-hot objects. *)
+let largest_sites t ~frac ~among =
+  let candidate_sites =
+    List.concat_map (sites_of_function t) among |> List.sort_uniq compare
+  in
+  candidate_sites
+  |> List.map (fun site ->
+         let st = site_stat t site in
+         (site, (st.overhead_ns, st.alloc_bytes)))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> take_frac frac
+  |> List.map fst
+
+let reset t =
+  Hashtbl.reset t.funcs;
+  Hashtbl.reset t.sites;
+  Hashtbl.reset t.touched;
+  Hashtbl.reset t.stacks

@@ -1,0 +1,62 @@
+(** Run-time profiling counters (§4.1).
+
+    Mira's compiler instruments functions with enter/exit events and
+    the runtime attributes every nanosecond it spends (cache lookups,
+    misses, evictions, stalls) to the functions currently on the
+    per-thread call stack — inclusively, because selecting a function
+    for analysis implicitly selects its callees.  Allocation sites
+    record their total allocated bytes so the controller can pick the
+    largest objects.  All times are simulated nanoseconds. *)
+
+type fn_stat = {
+  mutable calls : int;
+  mutable total_ns : float;  (** inclusive wall (simulated) time *)
+  mutable runtime_ns : float;  (** inclusive time in the far-memory runtime *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type site_stat = {
+  mutable alloc_bytes : int;
+  mutable allocs : int;
+  mutable overhead_ns : float;  (** runtime time attributable to this site *)
+}
+
+type t
+
+val create : unit -> t
+
+val enter : t -> tid:int -> now:float -> string -> unit
+val exit_ : t -> tid:int -> now:float -> string -> unit
+
+val add_runtime : t -> tid:int -> ns:float -> unit
+(** Attribute runtime-overhead time to every function on [tid]'s stack. *)
+
+val add_event : t -> tid:int -> hit:bool -> unit
+(** Count a cache hit or miss against the stack's functions. *)
+
+val add_alloc : t -> site:int -> bytes:int -> unit
+
+val add_site_overhead : t -> site:int -> ns:float -> unit
+
+val touch : t -> tid:int -> site:int -> unit
+(** Record that the current function(s) accessed [site]. *)
+
+val fn_stats : t -> (string * fn_stat) list
+val site_stats : t -> (int * site_stat) list
+
+val overhead_ratio : fn_stat -> float
+(** Runtime time over remaining execution time (the paper's "cache
+    performance overhead"). *)
+
+val top_functions : t -> frac:float -> string list
+(** The ceil(frac * n) functions with the highest overhead ratio. *)
+
+val largest_sites : t -> frac:float -> among:string list -> int list
+(** The ceil(frac * n) costliest (then largest) allocation sites
+    touched by [among]. *)
+
+val sites_of_function : t -> string -> int list
+
+val reset : t -> unit
+(** Clear every counter and stack. *)

@@ -1,0 +1,17 @@
+let local_section = 0
+let max_section = 0xFFFF
+let max_offset = (1 lsl 48) - 1
+
+let encode ~section ~offset =
+  if section < 0 || section > max_section then
+    invalid_arg (Printf.sprintf "Rptr.encode: section %d out of range" section);
+  if offset < 0 || offset > max_offset then
+    invalid_arg (Printf.sprintf "Rptr.encode: offset %d out of range" offset);
+  Int64.logor
+    (Int64.shift_left (Int64.of_int section) 48)
+    (Int64.of_int offset)
+
+let section v = Int64.to_int (Int64.shift_right_logical v 48) land 0xFFFF
+let offset v = Int64.to_int (Int64.logand v 0xFFFF_FFFF_FFFFL)
+let is_local v = section v = local_section
+let encode_local addr = encode ~section:local_section ~offset:addr

@@ -1,0 +1,29 @@
+(** Remote-pointer encoding (§5.2.1).
+
+    A dereferenced rmem pointer carries a 16-bit cache-section id in the
+    high bits and a 48-bit offset in the low bits.  Section id 0 is the
+    reserved dummy section meaning "this is a local pointer": its
+    offset is interpreted as a plain local virtual address, which makes
+    pointers that may target either local or remotable objects work
+    with a single dereference path. *)
+
+val local_section : int
+(** The reserved id 0. *)
+
+val max_section : int
+(** 2^16 - 1. *)
+
+val max_offset : int
+(** 2^48 - 1. *)
+
+val encode : section:int -> offset:int -> int64
+(** Raises [Invalid_argument] if either component is out of range. *)
+
+val section : int64 -> int
+val offset : int64 -> int
+
+val is_local : int64 -> bool
+(** True iff the section id is 0. *)
+
+val encode_local : int -> int64
+(** Encode a local virtual address (section 0). *)

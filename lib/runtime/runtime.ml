@@ -1,0 +1,406 @@
+module Sim = Mira_sim
+module Cache = Mira_cache
+
+type config = {
+  params : Sim.Params.t;
+  local_budget : int;
+  far_capacity : int;
+  local_capacity : int;
+  page : int;
+  swap_side : Sim.Net.side;
+  alloc_chunk : int;
+  swap_readahead : int;
+      (* Linux-style cluster readahead width of the swap section (the
+         initial configuration behaves like an optimized kernel swap) *)
+}
+
+let config_default ~local_budget ~far_capacity =
+  {
+    params = Sim.Params.default;
+    local_budget;
+    far_capacity;
+    local_capacity = max far_capacity (64 * 1024);
+    page = Sim.Params.default.Sim.Params.page_size;
+    swap_side = Sim.Net.One_sided;
+    alloc_chunk = 1 lsl 20;
+    swap_readahead = 8;
+  }
+
+type t = {
+  cfg : config;
+  net : Sim.Net.t;
+  far : Sim.Far_store.t;
+  manager : Cache.Manager.t;
+  local_store : Sim.Far_store.t;
+  local_space : Sim.Remote_alloc.t;
+  remote_space : Sim.Remote_alloc.t;
+  local_alloc : Local_alloc.t;
+  clocks : (int, Sim.Clock.t) Hashtbl.t;
+  offload_depth : (int, int ref) Hashtbl.t;
+  site_ranges : (int, (int * int) list ref) Hashtbl.t;
+  private_sections : (int, int array) Hashtbl.t;  (* site -> per-tid sec ids *)
+  profile : Profile.t;
+  mutable nthreads : int;
+}
+
+(* Address 0 is reserved as the null pointer in both spaces.  Far
+   allocations start page-aligned and are rounded up to whole pages so
+   that no two objects ever share a swap page or a section line: the
+   swap cache and the sections would otherwise hold incoherent copies
+   of the overlap (a dirty page write-back could clobber a neighbour
+   object cached elsewhere). *)
+let space_base = 4096
+let local_base = 64
+
+let create cfg =
+  let net = Sim.Net.create cfg.params in
+  let far = Sim.Far_store.create ~capacity:cfg.far_capacity in
+  let manager =
+    Cache.Manager.create net far ~budget:cfg.local_budget ~page:cfg.page
+      ~side:cfg.swap_side
+  in
+  let remote_space =
+    Sim.Remote_alloc.create ~base:space_base ~limit:cfg.far_capacity
+  in
+  if cfg.swap_readahead > 1 then
+    Cache.Swap_section.set_readahead (Cache.Manager.swap manager) (fun pno ->
+        List.init (cfg.swap_readahead - 1) (fun i -> pno + i + 1));
+  {
+    cfg;
+    net;
+    far;
+    manager;
+    local_store = Sim.Far_store.create ~capacity:cfg.local_capacity;
+    local_space = Sim.Remote_alloc.create ~base:local_base ~limit:cfg.local_capacity;
+    remote_space;
+    local_alloc = Local_alloc.create remote_space ~chunk:cfg.alloc_chunk;
+    clocks = Hashtbl.create 8;
+    offload_depth = Hashtbl.create 8;
+    site_ranges = Hashtbl.create 32;
+    private_sections = Hashtbl.create 8;
+    profile = Profile.create ();
+    nthreads = 1;
+  }
+
+let manager t = t.manager
+let net t = t.net
+let far_store t = t.far
+let profile t = t.profile
+let params t = t.cfg.params
+
+let clock t tid =
+  match Hashtbl.find_opt t.clocks tid with
+  | Some c -> c
+  | None ->
+    let c = Sim.Clock.create () in
+    Hashtbl.replace t.clocks tid c;
+    c
+
+let offload_ref t tid =
+  match Hashtbl.find_opt t.offload_depth tid with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.offload_depth tid r;
+    r
+
+let offloaded t tid = !(offload_ref t tid) > 0
+
+let set_private_sections t ~site ~sec_ids =
+  assert (Array.length sec_ids > 0);
+  Hashtbl.replace t.private_sections site sec_ids
+
+let clear_private_sections t = Hashtbl.reset t.private_sections
+
+let route t ~tid ~site =
+  match Hashtbl.find_opt t.private_sections site with
+  | Some sec_ids ->
+    let idx = min tid (Array.length sec_ids - 1) in
+    Cache.Manager.find_section t.manager ~id:sec_ids.(idx)
+  | None -> Cache.Manager.route t.manager ~site
+
+let ranges_ref t site =
+  match Hashtbl.find_opt t.site_ranges site with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t.site_ranges site r;
+    r
+
+let site_ranges t ~site = !(ranges_ref t site)
+let live_far_bytes t = Sim.Remote_alloc.live_bytes t.remote_space
+
+(* --- allocation --------------------------------------------------------- *)
+
+let alloc t ~tid ~site ~bytes ~heap =
+  let c = clock t tid in
+  let p = t.cfg.params in
+  Sim.Clock.advance c p.Sim.Params.native_op_ns;
+  if heap then begin
+    let bytes = Mira_util.Misc.round_up bytes t.cfg.page in
+    let addr, refilled = Local_alloc.alloc t.local_alloc bytes in
+    if refilled then begin
+      (* One RPC to the far node's allocator. *)
+      let x =
+        Sim.Net.fetch t.net ~side:Sim.Net.Two_sided ~purpose:Sim.Net.Rpc
+          ~now:(Sim.Clock.now c) ~bytes:16 ()
+      in
+      Sim.Clock.advance c x.Sim.Net.issue_cpu_ns;
+      ignore (Sim.Clock.wait_until c x.Sim.Net.done_at)
+    end;
+    let r = ranges_ref t site in
+    r := (addr, bytes) :: !r;
+    Profile.add_alloc t.profile ~site ~bytes;
+    { Memsys.space = Memsys.Far; addr; site }
+  end
+  else begin
+    let addr = Sim.Remote_alloc.alloc t.local_space bytes in
+    let r = ranges_ref t site in
+    r := (addr, bytes) :: !r;
+    Profile.add_alloc t.profile ~site ~bytes;
+    { Memsys.space = Memsys.Local; addr; site }
+  end
+
+let free t ~tid ~(ptr : Memsys.ptr) =
+  let c = clock t tid in
+  Sim.Clock.advance c t.cfg.params.Sim.Params.native_op_ns;
+  match ptr.Memsys.space with
+  | Memsys.Local ->
+    (* Local (stack) allocations are recorded in the site ranges too. *)
+    let r = ranges_ref t ptr.Memsys.site in
+    (match List.assoc_opt ptr.Memsys.addr !r with
+    | None -> ()
+    | Some len ->
+      r := List.filter (fun (a, _) -> a <> ptr.Memsys.addr) !r;
+      Sim.Remote_alloc.free t.local_space ~addr:ptr.Memsys.addr ~len)
+  | Memsys.Far ->
+    let r = ranges_ref t ptr.Memsys.site in
+    (match List.assoc_opt ptr.Memsys.addr !r with
+    | None -> ()
+    | Some len ->
+      r := List.filter (fun (a, _) -> a <> ptr.Memsys.addr) !r;
+      (* Drop any cached lines (no write-back needed: object is dead). *)
+      (match route t ~tid ~site:ptr.Memsys.site with
+      | Some section -> Cache.Section.discard_range section ~addr:ptr.Memsys.addr ~len
+      | None ->
+        Cache.Swap_section.discard_range (Cache.Manager.swap t.manager)
+          ~addr:ptr.Memsys.addr ~len);
+      Local_alloc.free t.local_alloc ~addr:ptr.Memsys.addr ~len)
+
+(* --- data access -------------------------------------------------------- *)
+
+let local_load t ~clock:c ~addr ~len =
+  Sim.Clock.advance c t.cfg.params.Sim.Params.native_mem_ns;
+  let buf = Bytes.make 8 '\000' in
+  Sim.Far_store.read t.local_store ~addr ~len ~dst:buf ~dst_off:0;
+  Bytes.get_int64_le buf 0
+
+let local_store_v t ~clock:c ~addr ~len v =
+  Sim.Clock.advance c t.cfg.params.Sim.Params.native_mem_ns;
+  let buf = Bytes.make 8 '\000' in
+  Bytes.set_int64_le buf 0 v;
+  Sim.Far_store.write t.local_store ~addr ~len ~src:buf ~src_off:0
+
+(* Far-node-local access while executing an offloaded function. *)
+let offload_load t ~clock:c ~addr ~len =
+  let p = t.cfg.params in
+  Sim.Clock.advance c (p.Sim.Params.native_mem_ns *. p.Sim.Params.remote_compute_slowdown);
+  let buf = Bytes.make 8 '\000' in
+  Sim.Far_store.read t.far ~addr ~len ~dst:buf ~dst_off:0;
+  Bytes.get_int64_le buf 0
+
+let offload_store t ~clock:c ~addr ~len v =
+  let p = t.cfg.params in
+  Sim.Clock.advance c (p.Sim.Params.native_mem_ns *. p.Sim.Params.remote_compute_slowdown);
+  let buf = Bytes.make 8 '\000' in
+  Bytes.set_int64_le buf 0 v;
+  Sim.Far_store.write t.far ~addr ~len ~src:buf ~src_off:0
+
+let attribute t ~tid ~site ~before ~after ~hits_before ~misses_before ~hits ~misses =
+  let native = t.cfg.params.Sim.Params.native_mem_ns in
+  let overhead = Float.max 0.0 (after -. before -. native) in
+  if overhead > 0.0 then begin
+    Profile.add_runtime t.profile ~tid ~ns:overhead;
+    Profile.add_site_overhead t.profile ~site ~ns:overhead
+  end;
+  if hits > hits_before then Profile.add_event t.profile ~tid ~hit:true;
+  if misses > misses_before then Profile.add_event t.profile ~tid ~hit:false
+
+let load t ~tid ~(ptr : Memsys.ptr) ~len ~native =
+  let c = clock t tid in
+  match ptr.Memsys.space with
+  | Memsys.Local -> local_load t ~clock:c ~addr:ptr.Memsys.addr ~len
+  | Memsys.Far ->
+    if offloaded t tid then offload_load t ~clock:c ~addr:ptr.Memsys.addr ~len
+    else begin
+      Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
+      let before = Sim.Clock.now c in
+      match route t ~tid ~site:ptr.Memsys.site with
+      | Some section ->
+        let s = Cache.Section.stats section in
+        let hb, mb = (s.Cache.Section.hits, s.Cache.Section.misses) in
+        let v =
+          if native then Cache.Section.load_native section ~clock:c ~addr:ptr.Memsys.addr ~len
+          else Cache.Section.load section ~clock:c ~addr:ptr.Memsys.addr ~len
+        in
+        attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c) ~hits_before:hb
+          ~misses_before:mb ~hits:s.Cache.Section.hits ~misses:s.Cache.Section.misses;
+        v
+      | None ->
+        let swap = Cache.Manager.swap t.manager in
+        let s = Cache.Swap_section.stats swap in
+        let hb, mb = (s.Cache.Swap_section.hits, s.Cache.Swap_section.faults) in
+        let v = Cache.Swap_section.load swap ~clock:c ~addr:ptr.Memsys.addr ~len in
+        attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c) ~hits_before:hb
+          ~misses_before:mb ~hits:s.Cache.Swap_section.hits
+          ~misses:s.Cache.Swap_section.faults;
+        v
+    end
+
+let store t ~tid ~(ptr : Memsys.ptr) ~len ~native ~value =
+  let c = clock t tid in
+  match ptr.Memsys.space with
+  | Memsys.Local -> local_store_v t ~clock:c ~addr:ptr.Memsys.addr ~len value
+  | Memsys.Far ->
+    if offloaded t tid then offload_store t ~clock:c ~addr:ptr.Memsys.addr ~len value
+    else begin
+      Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
+      let before = Sim.Clock.now c in
+      match route t ~tid ~site:ptr.Memsys.site with
+      | Some section ->
+        let s = Cache.Section.stats section in
+        let hb, mb = (s.Cache.Section.hits, s.Cache.Section.misses) in
+        if native then
+          Cache.Section.store_native section ~clock:c ~addr:ptr.Memsys.addr ~len value
+        else Cache.Section.store section ~clock:c ~addr:ptr.Memsys.addr ~len value;
+        attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c) ~hits_before:hb
+          ~misses_before:mb ~hits:s.Cache.Section.hits ~misses:s.Cache.Section.misses
+      | None ->
+        let swap = Cache.Manager.swap t.manager in
+        let s = Cache.Swap_section.stats swap in
+        let hb, mb = (s.Cache.Swap_section.hits, s.Cache.Swap_section.faults) in
+        Cache.Swap_section.store swap ~clock:c ~addr:ptr.Memsys.addr ~len value;
+        attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c) ~hits_before:hb
+          ~misses_before:mb ~hits:s.Cache.Swap_section.hits
+          ~misses:s.Cache.Swap_section.faults
+    end
+
+let prefetch t ~tid ~(ptr : Memsys.ptr) ~len =
+  match ptr.Memsys.space with
+  | Memsys.Local -> ()
+  | Memsys.Far ->
+    if not (offloaded t tid) then begin
+      let c = clock t tid in
+      match route t ~tid ~site:ptr.Memsys.site with
+      | Some section -> Cache.Section.prefetch section ~clock:c ~addr:ptr.Memsys.addr ~len
+      | None ->
+        let swap = Cache.Manager.swap t.manager in
+        let page = (Cache.Swap_section.config swap).Cache.Swap_section.page in
+        let first = ptr.Memsys.addr / page in
+        let last = (ptr.Memsys.addr + len - 1) / page in
+        for pno = first to last do
+          Cache.Swap_section.prefetch_page swap ~clock:c ~page:pno
+        done
+    end
+
+let flush_evict t ~tid ~(ptr : Memsys.ptr) ~len =
+  match ptr.Memsys.space with
+  | Memsys.Local -> ()
+  | Memsys.Far ->
+    if not (offloaded t tid) then begin
+      let c = clock t tid in
+      match route t ~tid ~site:ptr.Memsys.site with
+      | Some section ->
+        Cache.Section.flush_evict section ~clock:c ~addr:ptr.Memsys.addr ~len
+      | None ->
+        Cache.Swap_section.evict_hint (Cache.Manager.swap t.manager) ~clock:c
+          ~addr:ptr.Memsys.addr ~len
+    end
+
+let iter_site_ranges t ~tid ~sites fn =
+  List.iter
+    (fun site ->
+      List.iter
+        (fun (addr, len) -> fn ~site ~addr ~len ~section:(route t ~tid ~site))
+        !(ranges_ref t site))
+    sites
+
+let evict_site t ~tid ~site =
+  let c = clock t tid in
+  List.iter
+    (fun (addr, len) ->
+      match route t ~tid ~site with
+      | Some s -> Cache.Section.flush_evict s ~clock:c ~addr ~len
+      | None ->
+        Cache.Swap_section.evict_hint (Cache.Manager.swap t.manager) ~clock:c ~addr
+          ~len)
+    !(ranges_ref t site)
+
+let flush_sites t ~tid ~sites =
+  let c = clock t tid in
+  iter_site_ranges t ~tid ~sites (fun ~site:_ ~addr ~len ~section ->
+      match section with
+      | Some s -> Cache.Section.flush_range s ~clock:c ~addr ~len
+      | None ->
+        Cache.Swap_section.flush_range (Cache.Manager.swap t.manager) ~clock:c ~addr
+          ~len)
+
+let discard_sites t ~tid ~sites =
+  iter_site_ranges t ~tid ~sites (fun ~site:_ ~addr ~len ~section ->
+      match section with
+      | Some s -> Cache.Section.discard_range s ~addr ~len
+      | None ->
+        Cache.Swap_section.discard_range (Cache.Manager.swap t.manager) ~addr ~len)
+
+(* --- misc --------------------------------------------------------------- *)
+
+let op_cost t ~tid ns =
+  let c = clock t tid in
+  let scaled =
+    if offloaded t tid then ns *. t.cfg.params.Sim.Params.remote_compute_slowdown
+    else ns
+  in
+  Sim.Clock.advance c scaled
+
+let reset_timing t =
+  Hashtbl.iter (fun _ c -> Sim.Clock.reset c) t.clocks;
+  Sim.Net.reset_stats t.net;
+  Sim.Net.reset_link t.net;
+  Cache.Manager.reset_stats t.manager;
+  Profile.reset t.profile
+
+let elapsed t =
+  Hashtbl.fold (fun _ c acc -> Float.max acc (Sim.Clock.now c)) t.clocks 0.0
+
+let memsys t =
+  {
+    Memsys.name = "mira";
+    alloc = (fun ~tid ~site ~bytes ~heap -> alloc t ~tid ~site ~bytes ~heap);
+    free = (fun ~tid ~ptr -> free t ~tid ~ptr);
+    load = (fun ~tid ~ptr ~len ~native -> load t ~tid ~ptr ~len ~native);
+    store = (fun ~tid ~ptr ~len ~native ~value -> store t ~tid ~ptr ~len ~native ~value);
+    prefetch = (fun ~tid ~ptr ~len -> prefetch t ~tid ~ptr ~len);
+    flush_evict = (fun ~tid ~ptr ~len -> flush_evict t ~tid ~ptr ~len);
+    evict_site = (fun ~tid ~site -> evict_site t ~tid ~site);
+    flush_sites = (fun ~tid ~sites -> flush_sites t ~tid ~sites);
+    discard_sites = (fun ~tid ~sites -> discard_sites t ~tid ~sites);
+    clock = (fun ~tid -> clock t tid);
+    op_cost = (fun ~tid ns -> op_cost t ~tid ns);
+    enter =
+      (fun ~tid name ->
+        Profile.enter t.profile ~tid ~now:(Sim.Clock.now (clock t tid)) name);
+    exit_ =
+      (fun ~tid name ->
+        Profile.exit_ t.profile ~tid ~now:(Sim.Clock.now (clock t tid)) name);
+    offload_begin = (fun ~tid -> incr (offload_ref t tid));
+    offload_end =
+      (fun ~tid ->
+        let r = offload_ref t tid in
+        if !r > 0 then decr r);
+    set_nthreads = (fun n -> t.nthreads <- max 1 n);
+    profile = t.profile;
+    net = t.net;
+    metadata_bytes = (fun () -> Cache.Manager.metadata_bytes t.manager);
+    reset_timing = (fun () -> reset_timing t);
+    elapsed = (fun () -> elapsed t);
+  }

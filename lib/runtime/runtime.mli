@@ -1,0 +1,51 @@
+(** Mira's local-node runtime: the section-based memory system.
+
+    Combines the cache manager (swap section + custom sections), the
+    two-level allocator (remote allocator on the far node, buffering
+    local allocator here), per-thread simulated clocks, offloaded
+    execution mode, and the profiler, and exposes it all as a
+    [Memsys.t] for the interpreter.
+
+    Configuration (which sections exist, which allocation sites route
+    where, per-thread private sections) is applied from outside by the
+    iterative controller in [Mira].  A freshly created runtime has only
+    the swap section — the paper's initial swap-everything setup. *)
+
+type config = {
+  params : Mira_sim.Params.t;
+  local_budget : int;  (** local DRAM available for caching far data *)
+  far_capacity : int;  (** far-memory address-space size *)
+  local_capacity : int;  (** local heap/stack space (not the cache) *)
+  page : int;  (** swap-section page size *)
+  swap_side : Mira_sim.Net.side;
+  alloc_chunk : int;  (** local allocator refill granularity *)
+  swap_readahead : int;  (** cluster readahead width of the swap section
+                             (Mira's initial config matches an optimized
+                             kernel swap); 0/1 disables *)
+}
+
+val config_default : local_budget:int -> far_capacity:int -> config
+
+type t
+
+val create : config -> t
+
+val manager : t -> Mira_cache.Manager.t
+val net : t -> Mira_sim.Net.t
+val far_store : t -> Mira_sim.Far_store.t
+val profile : t -> Profile.t
+val params : t -> Mira_sim.Params.t
+
+val memsys : t -> Memsys.t
+(** The interface the interpreter executes against. *)
+
+val set_private_sections : t -> site:int -> sec_ids:int array -> unit
+(** Route [site] to per-thread sections: thread [i] uses
+    [sec_ids.(min i (len-1))] (read-only multithreading, §4.6). *)
+
+val clear_private_sections : t -> unit
+
+val site_ranges : t -> site:int -> (int * int) list
+(** Live far-memory [(addr, len)] ranges allocated at [site]. *)
+
+val live_far_bytes : t -> int

@@ -1,0 +1,18 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+let now t = t.now
+
+let advance t dt =
+  assert (dt >= 0.0);
+  t.now <- t.now +. dt
+
+let wait_until t deadline =
+  if deadline > t.now then begin
+    let stall = deadline -. t.now in
+    t.now <- deadline;
+    stall
+  end
+  else 0.0
+
+let reset t = t.now <- 0.0

@@ -1,0 +1,22 @@
+(** Simulated time.
+
+    One clock per executing thread.  Time is a float number of
+    nanoseconds since simulation start; it only moves forward. *)
+
+type t
+
+val create : unit -> t
+(** A clock at time 0. *)
+
+val now : t -> float
+(** Current simulated time in nanoseconds. *)
+
+val advance : t -> float -> unit
+(** [advance t dt] moves time forward by [dt] ns. [dt] must be >= 0. *)
+
+val wait_until : t -> float -> float
+(** [wait_until t deadline] advances to [deadline] if it is in the
+    future and returns the stall time (0 if the deadline has passed). *)
+
+val reset : t -> unit
+(** Set time back to 0 (between independent runs). *)

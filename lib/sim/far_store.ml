@@ -1,0 +1,51 @@
+type t = { capacity : int; mutable data : Bytes.t; mutable size : int }
+
+let initial_chunk = 1 lsl 16
+
+let create ~capacity =
+  assert (capacity > 0);
+  { capacity; data = Bytes.make (min initial_chunk capacity) '\000'; size = 0 }
+
+let capacity t = t.capacity
+let size t = t.size
+
+let ensure t limit =
+  if limit > t.capacity then
+    failwith
+      (Printf.sprintf "Far_store: access at %d exceeds capacity %d" limit
+         t.capacity);
+  let cur = Bytes.length t.data in
+  if limit > cur then begin
+    let target = min t.capacity (max limit (cur * 2)) in
+    let grown = Bytes.make target '\000' in
+    Bytes.blit t.data 0 grown 0 cur;
+    t.data <- grown
+  end;
+  if limit > t.size then t.size <- limit
+
+let read t ~addr ~len ~dst ~dst_off =
+  assert (addr >= 0 && len >= 0);
+  ensure t (addr + len);
+  Bytes.blit t.data addr dst dst_off len
+
+let write t ~addr ~len ~src ~src_off =
+  assert (addr >= 0 && len >= 0);
+  ensure t (addr + len);
+  Bytes.blit src src_off t.data addr len
+
+let read_i64 t ~addr =
+  ensure t (addr + 8);
+  Bytes.get_int64_le t.data addr
+
+let write_i64 t ~addr v =
+  ensure t (addr + 8);
+  Bytes.set_int64_le t.data addr v
+
+let blit_within t ~src ~dst ~len =
+  ensure t (src + len);
+  ensure t (dst + len);
+  Bytes.blit t.data src t.data dst len
+
+let clear t =
+  Bytes.fill t.data 0 (Bytes.length t.data) '\000';
+  t.size <- 0

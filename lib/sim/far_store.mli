@@ -1,0 +1,32 @@
+(** Byte-addressable backing store of the far-memory node.
+
+    Holds the authoritative copy of every far-memory object.  The local
+    cache sections copy line-sized ranges in and out of this store, so
+    data correctness of the whole system is checkable against a flat
+    reference memory (see the property tests). Grows on demand up to a
+    fixed capacity. *)
+
+type t
+
+val create : capacity:int -> t
+(** Empty store that may grow up to [capacity] bytes. *)
+
+val capacity : t -> int
+
+val size : t -> int
+(** Bytes currently materialized (high-water of touched addresses). *)
+
+val read : t -> addr:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+(** Copy [len] bytes at far address [addr] into [dst] at [dst_off]. *)
+
+val write : t -> addr:int -> len:int -> src:Bytes.t -> src_off:int -> unit
+(** Copy [len] bytes from [src] at [src_off] to far address [addr]. *)
+
+val read_i64 : t -> addr:int -> int64
+val write_i64 : t -> addr:int -> int64 -> unit
+
+val blit_within : t -> src:int -> dst:int -> len:int -> unit
+(** Far-node-local copy (used by offloaded functions). *)
+
+val clear : t -> unit
+(** Zero the touched region and reset the size (between runs). *)

@@ -1,0 +1,81 @@
+type side = One_sided | Two_sided
+type purpose = Demand | Prefetch | Writeback | Rpc
+
+type xfer = { issue_cpu_ns : float; done_at : float }
+
+type stats = {
+  mutable msg_count : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable bytes_demand : int;
+  mutable bytes_prefetch : int;
+  mutable bytes_writeback : int;
+  mutable bytes_rpc : int;
+}
+
+type t = { params : Params.t; mutable link_free_at : float; stats : stats }
+
+let empty_stats () =
+  {
+    msg_count = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    bytes_demand = 0;
+    bytes_prefetch = 0;
+    bytes_writeback = 0;
+    bytes_rpc = 0;
+  }
+
+let create params = { params; link_free_at = 0.0; stats = empty_stats () }
+let params t = t.params
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.msg_count <- 0;
+  s.bytes_in <- 0;
+  s.bytes_out <- 0;
+  s.bytes_demand <- 0;
+  s.bytes_prefetch <- 0;
+  s.bytes_writeback <- 0;
+  s.bytes_rpc <- 0
+
+let reset_link t = t.link_free_at <- 0.0
+
+let record t ~purpose ~inbound bytes =
+  let s = t.stats in
+  s.msg_count <- s.msg_count + 1;
+  if inbound then s.bytes_in <- s.bytes_in + bytes
+  else s.bytes_out <- s.bytes_out + bytes;
+  match purpose with
+  | Demand -> s.bytes_demand <- s.bytes_demand + bytes
+  | Prefetch -> s.bytes_prefetch <- s.bytes_prefetch + bytes
+  | Writeback -> s.bytes_writeback <- s.bytes_writeback + bytes
+  | Rpc -> s.bytes_rpc <- s.bytes_rpc + bytes
+
+(* Shared transfer model: the payload occupies the link for
+   [bytes / bandwidth] starting when the link is free; completion adds the
+   side-dependent latency and, for two-sided, the far-node copy. *)
+let transfer t ~side ~purpose ~now ~bytes ~inbound ~async =
+  let p = t.params in
+  let wire = float_of_int bytes /. p.Params.bandwidth_bytes_per_ns in
+  let start = Float.max now t.link_free_at in
+  t.link_free_at <- start +. wire;
+  let latency, extra =
+    match side with
+    | One_sided -> (p.Params.one_sided_rtt_ns, 0.0)
+    | Two_sided ->
+      ( p.Params.two_sided_rtt_ns,
+        p.Params.remote_copy_ns_per_byte *. float_of_int bytes )
+  in
+  record t ~purpose ~inbound bytes;
+  let issue_cpu_ns =
+    if async then p.Params.async_post_ns else p.Params.msg_cpu_ns
+  in
+  { issue_cpu_ns; done_at = start +. wire +. latency +. extra }
+
+let fetch t ?(async = false) ~side ~purpose ~now ~bytes () =
+  transfer t ~side ~purpose ~now ~bytes ~inbound:true ~async
+
+let push t ?(async = true) ~side ~purpose ~now ~bytes () =
+  transfer t ~side ~purpose ~now ~bytes ~inbound:false ~async

@@ -1,0 +1,57 @@
+(** Analytical RDMA-like network between the compute node and the
+    far-memory node.
+
+    The model charges a fixed round-trip latency per message, serializes
+    payloads on a shared link of finite bandwidth (so concurrent
+    prefetches overlap latency but queue on the wire), and charges local
+    CPU time for posting each message.  Two-sided messages additionally
+    pay a higher base latency plus a per-byte copy on the far node, but
+    may carry exactly the bytes requested (no line/page rounding), which
+    is what Mira's selective transmission exploits. *)
+
+type side = One_sided | Two_sided
+
+type purpose = Demand | Prefetch | Writeback | Rpc
+(** Why the transfer happened; kept per-purpose in the statistics so
+    the amplification and traffic figures can be produced. *)
+
+type xfer = {
+  issue_cpu_ns : float;  (** local CPU time consumed posting the message *)
+  done_at : float;  (** absolute simulated time of completion *)
+}
+
+type stats = {
+  mutable msg_count : int;
+  mutable bytes_in : int;  (** far -> local *)
+  mutable bytes_out : int;  (** local -> far *)
+  mutable bytes_demand : int;
+  mutable bytes_prefetch : int;
+  mutable bytes_writeback : int;
+  mutable bytes_rpc : int;
+}
+
+type t
+
+val create : Params.t -> t
+val params : t -> Params.t
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val fetch :
+  t -> ?async:bool -> side:side -> purpose:purpose -> now:float -> bytes:int ->
+  unit -> xfer
+(** Read [bytes] from far memory.  The caller advances its clock by
+    [issue_cpu_ns] immediately and, if the access is blocking, waits
+    until [done_at].  [async] (default false) posts at the batched
+    doorbell cost. *)
+
+val push :
+  t -> ?async:bool -> side:side -> purpose:purpose -> now:float -> bytes:int ->
+  unit -> xfer
+(** Write [bytes] to far memory (used for writeback and RPC argument
+    shipping); fire-and-forget by default ([async] default true), so
+    callers only pay [issue_cpu_ns] unless they need completion
+    (e.g. flush-before-RPC). *)
+
+val reset_link : t -> unit
+(** Forget link occupancy (between independent simulated runs). *)

@@ -1,0 +1,68 @@
+type t = {
+  native_op_ns : float;
+  native_mem_ns : float;
+  hit_direct_ns : float;
+  hit_set_ns : float;
+  hit_full_ns : float;
+  one_sided_rtt_ns : float;
+  two_sided_rtt_ns : float;
+  bandwidth_bytes_per_ns : float;
+  msg_cpu_ns : float;
+  async_post_ns : float;
+  remote_copy_ns_per_byte : float;
+  page_fault_ns : float;
+  page_size : int;
+  aifm_deref_ns : float;
+  aifm_elem_meta_bytes : int;
+  aifm_obj_meta_bytes : int;
+  remote_compute_slowdown : float;
+  rpc_overhead_ns : float;
+  evict_check_ns : float;
+  prof_event_ns : float;
+  swap_lock_ns : float;
+}
+
+let default =
+  {
+    native_op_ns = 1.0;
+    native_mem_ns = 2.0;
+    hit_direct_ns = 10.0;
+    hit_set_ns = 18.0;
+    hit_full_ns = 45.0;
+    one_sided_rtt_ns = 3_000.0;
+    two_sided_rtt_ns = 3_600.0;
+    bandwidth_bytes_per_ns = 6.25;
+    msg_cpu_ns = 300.0;
+    async_post_ns = 50.0;
+    remote_copy_ns_per_byte = 0.05;
+    page_fault_ns = 8_000.0;
+    page_size = 4096;
+    aifm_deref_ns = 35.0;
+    aifm_elem_meta_bytes = 16;
+    aifm_obj_meta_bytes = 64;
+    remote_compute_slowdown = 2.5;
+    rpc_overhead_ns = 5_000.0;
+    evict_check_ns = 4.0;
+    prof_event_ns = 15.0;
+    swap_lock_ns = 1_500.0;
+  }
+
+let hit_overhead_ns t structure =
+  match structure with
+  | `Direct -> t.hit_direct_ns
+  | `Set -> t.hit_set_ns
+  | `Full -> t.hit_full_ns
+
+let pp ppf t =
+  Format.fprintf ppf
+    "native_op=%.1fns native_mem=%.1fns hit(direct/set/full)=%.0f/%.0f/%.0fns@\n\
+     rtt(1s/2s)=%.0f/%.0fns bw=%.2fB/ns msg_cpu=%.0fns remote_copy=%.3fns/B@\n\
+     page_fault=%.0fns page=%dB aifm(deref=%.0fns elem_meta=%dB obj_meta=%dB)@\n\
+     remote_slowdown=%.1fx rpc=%.0fns evict_check=%.1fns"
+    t.native_op_ns t.native_mem_ns t.hit_direct_ns t.hit_set_ns t.hit_full_ns
+    t.one_sided_rtt_ns t.two_sided_rtt_ns t.bandwidth_bytes_per_ns t.msg_cpu_ns
+    t.remote_copy_ns_per_byte t.page_fault_ns t.page_size t.aifm_deref_ns
+    t.aifm_elem_meta_bytes t.aifm_obj_meta_bytes t.remote_compute_slowdown
+    t.rpc_overhead_ns t.evict_check_ns;
+  Format.fprintf ppf "@\nprof_event=%.1fns swap_lock=%.0fns" t.prof_event_ns
+    t.swap_lock_ns

@@ -1,0 +1,28 @@
+(** Low-level allocator of far-memory virtual addresses.
+
+    Plays the role of the paper's "remote allocator" (§5.2.1): it owns
+    the far node's address space and hands out ranges; the local-node
+    allocator ([Mira_runtime.Local_alloc]) buffers ranges obtained from
+    here.  First-fit with address-ordered free-list coalescing. *)
+
+type t
+
+val create : base:int -> limit:int -> t
+(** Manage addresses in [\[base, limit)]. *)
+
+val alloc : t -> int -> int
+(** [alloc t len] returns the base address of a fresh [len]-byte range,
+    8-byte aligned.  Raises [Out_of_memory] when the space is exhausted. *)
+
+val free : t -> addr:int -> len:int -> unit
+(** Return a range.  Freeing an address that was not allocated, or
+    double-freeing, raises [Invalid_argument]. *)
+
+val live_bytes : t -> int
+(** Bytes currently allocated. *)
+
+val high_water : t -> int
+(** Maximum of [live_bytes] ever observed. *)
+
+val check_no_overlap : t -> bool
+(** Debug/property hook: true iff live ranges are pairwise disjoint. *)

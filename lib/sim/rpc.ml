@@ -1,0 +1,19 @@
+type call_cost = { send_done_at : float; overhead_ns : float }
+
+let issue net ~now ~args_bytes =
+  let p = Net.params net in
+  let x =
+    Net.push net ~async:false ~side:Net.Two_sided ~purpose:Net.Rpc ~now
+      ~bytes:args_bytes ()
+  in
+  {
+    send_done_at = x.Net.done_at +. p.Params.rpc_overhead_ns;
+    overhead_ns = x.Net.issue_cpu_ns +. p.Params.rpc_overhead_ns;
+  }
+
+let complete net ~body_done_at ~ret_bytes =
+  let x =
+    Net.fetch net ~side:Net.Two_sided ~purpose:Net.Rpc ~now:body_done_at
+      ~bytes:ret_bytes ()
+  in
+  x.Net.done_at

@@ -1,0 +1,26 @@
+let round_up x align =
+  assert (align > 0);
+  (x + align - 1) / align * align
+
+let round_down x align =
+  assert (align > 0);
+  x / align * align
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let next_pow2 x =
+  assert (x >= 1);
+  let rec go p = if p >= x then p else go (p * 2) in
+  go 1
+
+let log2 x =
+  assert (x >= 1);
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 x
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+let clamp_f ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let divide_ceil a b =
+  assert (a >= 0 && b > 0);
+  (a + b - 1) / b

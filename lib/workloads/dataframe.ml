@@ -1,0 +1,177 @@
+module Ir = Mira_mir.Ir
+module B = Mira_mir.Builder
+module T = Mira_mir.Types
+
+type config = {
+  rows : int;
+  groups : int;
+  seed : int;
+  parallel_filter : bool;
+  ops : [ `Full | `Agg_only ];
+}
+
+let config_default =
+  { rows = 120_000; groups = 60_000; seed = 11; parallel_filter = false; ops = `Full }
+
+let far_bytes cfg =
+  (* 5 columns + result vector + group tables + filter state *)
+  (5 * cfg.rows * 8) + (cfg.rows * 8) + (2 * cfg.groups * 8) + 8
+
+let aifm_gran program site = Workload_util.chunked_gran ~chunk:4096 program site
+
+let build cfg =
+  let b = B.program "dataframe" in
+  let rows = B.iconst cfg.rows in
+  let col = T.Ptr T.F64 in
+  let icol = T.Ptr T.I64 in
+  (* init: synthetic taxi trips *)
+  B.func b "init"
+    [ ("pickup", icol); ("dist", col); ("fare", col); ("pass", icol); ("vendor", icol) ]
+    T.Unit
+    (fun fb args ->
+      match args with
+      | [ pickup; dist; fare; pass_; vendor ] ->
+        B.for_ fb ~lo:(B.iconst 0) ~hi:rows (fun i ->
+            let p = B.gep fb ~base:pickup ~index:i ~elem:T.I64 () in
+            B.store fb T.I64 ~ptr:p ~value:i;
+            let d_raw = B.call fb "rand_int" [ B.iconst 2000 ] in
+            let d = B.i2f fb d_raw in
+            let d = B.fbin fb Ir.Fdiv d (Ir.Ofloat 100.0) in
+            let pd = B.gep fb ~base:dist ~index:i ~elem:T.F64 () in
+            B.store fb T.F64 ~ptr:pd ~value:d;
+            let f = B.fbin fb Ir.Fmul d (Ir.Ofloat 2.5) in
+            let f = B.fbin fb Ir.Fadd f (Ir.Ofloat 3.0) in
+            let pf = B.gep fb ~base:fare ~index:i ~elem:T.F64 () in
+            B.store fb T.F64 ~ptr:pf ~value:f;
+            let np = B.call fb "rand_int" [ B.iconst 6 ] in
+            let np = B.bin fb Ir.Add np (B.iconst 1) in
+            let pp = B.gep fb ~base:pass_ ~index:i ~elem:T.I64 () in
+            B.store fb T.I64 ~ptr:pp ~value:np;
+            let v = B.call fb "rand_int" [ B.iconst cfg.groups ] in
+            let pv = B.gep fb ~base:vendor ~index:i ~elem:T.I64 () in
+            B.store fb T.I64 ~ptr:pv ~value:v)
+      | _ -> assert false);
+  (* work: filter + group-by + three aggregations *)
+  B.func b "work"
+    [ ("dist", col); ("fare", col); ("vendor", icol); ("result", icol);
+      ("fstate", icol); ("gsum", col); ("gcnt", icol) ]
+    T.Unit
+    (fun fb args ->
+      match args with
+      | [ dist; fare; vendor; result; fstate; gsum; gcnt ] ->
+        if cfg.ops = `Full then begin
+          (* filter: indices of trips longer than 5 miles *)
+          B.store fb T.I64 ~ptr:fstate ~value:(B.iconst 0);
+          let floop = if cfg.parallel_filter then B.par_for else B.for_ in
+          floop fb ~lo:(B.iconst 0) ~hi:rows (fun i ->
+              let pd = B.gep fb ~base:dist ~index:i ~elem:T.F64 () in
+              let d = B.load fb T.F64 pd in
+              let hit = B.fcmp fb Ir.Gt d (Ir.Ofloat 5.0) in
+              B.if_ fb hit
+                (fun () ->
+                  let c = B.load fb T.I64 fstate in
+                  let pr = B.gep fb ~base:result ~index:c ~elem:T.I64 () in
+                  B.store fb T.I64 ~ptr:pr ~value:i;
+                  let c' = B.bin fb Ir.Add c (B.iconst 1) in
+                  B.store fb T.I64 ~ptr:fstate ~value:c')
+                ());
+          (* group-by vendor: fare sums and counts *)
+          B.for_ fb ~lo:(B.iconst 0) ~hi:rows (fun i ->
+              let pv = B.gep fb ~base:vendor ~index:i ~elem:T.I64 () in
+              let v = B.load fb T.I64 pv in
+              let pf = B.gep fb ~base:fare ~index:i ~elem:T.F64 () in
+              let f = B.load fb T.F64 pf in
+              let ps = B.gep fb ~base:gsum ~index:v ~elem:T.F64 () in
+              let s = B.load fb T.F64 ps in
+              let s' = B.fbin fb Ir.Fadd s f in
+              B.store fb T.F64 ~ptr:ps ~value:s';
+              let pc = B.gep fb ~base:gcnt ~index:v ~elem:T.I64 () in
+              let c = B.load fb T.I64 pc in
+              let c' = B.bin fb Ir.Add c (B.iconst 1) in
+              B.store fb T.I64 ~ptr:pc ~value:c')
+        end;
+        (* three aggregations over the fare column: avg, min, max — three
+           consecutive loops the batching pass fuses (Figure 23) *)
+        let sum, _ = B.alloc fb ~name:"agg_sum" ~space:Ir.Stack T.F64 (B.iconst 1) in
+        let mn, _ = B.alloc fb ~name:"agg_min" ~space:Ir.Stack T.F64 (B.iconst 1) in
+        let mx, _ = B.alloc fb ~name:"agg_max" ~space:Ir.Stack T.F64 (B.iconst 1) in
+        B.store fb T.F64 ~ptr:sum ~value:(Ir.Ofloat 0.0);
+        B.store fb T.F64 ~ptr:mn ~value:(Ir.Ofloat 1e18);
+        B.store fb T.F64 ~ptr:mx ~value:(Ir.Ofloat (-1e18));
+        B.for_ fb ~lo:(B.iconst 0) ~hi:rows (fun i ->
+            let pf = B.gep fb ~base:fare ~index:i ~elem:T.F64 () in
+            let f = B.load fb T.F64 pf in
+            let s = B.load fb T.F64 sum in
+            let s' = B.fbin fb Ir.Fadd s f in
+            B.store fb T.F64 ~ptr:sum ~value:s');
+        B.for_ fb ~lo:(B.iconst 0) ~hi:rows (fun i ->
+            let pf = B.gep fb ~base:fare ~index:i ~elem:T.F64 () in
+            let f = B.load fb T.F64 pf in
+            let m = B.load fb T.F64 mn in
+            let lt = B.fcmp fb Ir.Lt f m in
+            B.if_ fb lt (fun () -> B.store fb T.F64 ~ptr:mn ~value:f) ());
+        B.for_ fb ~lo:(B.iconst 0) ~hi:rows (fun i ->
+            let pf = B.gep fb ~base:fare ~index:i ~elem:T.F64 () in
+            let f = B.load fb T.F64 pf in
+            let m = B.load fb T.F64 mx in
+            let gt = B.fcmp fb Ir.Gt f m in
+            B.if_ fb gt (fun () -> B.store fb T.F64 ~ptr:mx ~value:f) ());
+        (* publish aggregates through the group table's tail slots *)
+        let s = B.load fb T.F64 sum in
+        let p0 = B.gep fb ~base:gsum ~index:(B.iconst 0) ~elem:T.F64 () in
+        let s0 = B.load fb T.F64 p0 in
+        let s0' = B.fbin fb Ir.Fadd s0 (B.fbin fb Ir.Fmul s (Ir.Ofloat 1e-6)) in
+        B.store fb T.F64 ~ptr:p0 ~value:s0'
+      | _ -> assert false);
+  B.func b "checksum"
+    [ ("result", icol); ("fstate", icol); ("gsum", col); ("gcnt", icol) ]
+    T.I64
+    (fun fb args ->
+      match args with
+      | [ result; fstate; gsum; gcnt ] ->
+        let acc, _ = B.alloc fb ~name:"ck_acc" ~space:Ir.Stack T.I64 (B.iconst 1) in
+        let count = B.load fb T.I64 fstate in
+        B.store fb T.I64 ~ptr:acc ~value:count;
+        B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst (min 1024 cfg.groups)) (fun v ->
+            let ps = B.gep fb ~base:gsum ~index:v ~elem:T.F64 () in
+            let s = B.load fb T.F64 ps in
+            let si = B.f2i fb s in
+            let pc = B.gep fb ~base:gcnt ~index:v ~elem:T.I64 () in
+            let c = B.load fb T.I64 pc in
+            let a = B.load fb T.I64 acc in
+            let a = B.bin fb Ir.Add a si in
+            let a = B.bin fb Ir.Add a c in
+            B.store fb T.I64 ~ptr:acc ~value:a);
+        (* sample a few filtered indices *)
+        let step = max 1 (cfg.rows / 64) in
+        let lim = B.bin fb Ir.Rem count (B.iconst (max 1 (cfg.rows / 2))) in
+        ignore lim;
+        B.for_ fb ~lo:(B.iconst 0) ~hi:count ~step:(B.iconst step) (fun i ->
+            let pr = B.gep fb ~base:result ~index:i ~elem:T.I64 () in
+            let r = B.load fb T.I64 pr in
+            let a = B.load fb T.I64 acc in
+            let a = B.bin fb Ir.Add a r in
+            B.store fb T.I64 ~ptr:acc ~value:a);
+        let final = B.load fb T.I64 acc in
+        B.ret fb final
+      | _ -> assert false);
+  B.func b "main" [] T.I64 (fun fb _ ->
+      let pickup, _ = B.alloc fb ~name:"pickup" T.I64 rows in
+      let dist, _ = B.alloc fb ~name:"dist" T.F64 rows in
+      let fare, _ = B.alloc fb ~name:"fare" T.F64 rows in
+      let pass_, _ = B.alloc fb ~name:"pass" T.I64 rows in
+      let vendor, _ = B.alloc fb ~name:"vendor" T.I64 rows in
+      let result, _ = B.alloc fb ~name:"result" T.I64 rows in
+      let fstate, _ = B.alloc fb ~name:"fstate" T.I64 (B.iconst 1) in
+      let gsum, _ = B.alloc fb ~name:"gsum" T.F64 (B.iconst cfg.groups) in
+      let gcnt, _ = B.alloc fb ~name:"gcnt" T.I64 (B.iconst cfg.groups) in
+      ignore (B.call fb "init" [ pickup; dist; fare; pass_; vendor ]);
+      B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst cfg.groups) (fun v ->
+          let ps = B.gep fb ~base:gsum ~index:v ~elem:T.F64 () in
+          B.store fb T.F64 ~ptr:ps ~value:(Ir.Ofloat 0.0);
+          let pc = B.gep fb ~base:gcnt ~index:v ~elem:T.I64 () in
+          B.store fb T.I64 ~ptr:pc ~value:(B.iconst 0));
+      ignore (B.call fb "work" [ dist; fare; vendor; result; fstate; gsum; gcnt ]);
+      let sum = B.call fb "checksum" [ result; fstate; gsum; gcnt ] in
+      B.ret fb sum);
+  B.finish b ~entry:"main"

@@ -1,0 +1,38 @@
+(** DataFrame: columnar data analytics (the paper's §6 application,
+    modelled on the NYC-taxi workload of the DataFrame library).
+
+    The table is a set of column arrays over [rows] synthetic taxi
+    trips: pickup timestamp, trip distance, fare, passenger count, and
+    vendor id.  The measured job mirrors the paper's usage:
+
+    - a {b filter} over trip distance that writes matching row indices
+      to a result vector (the writable-shared multithreading study of
+      Figure 25 runs this loop as a parallel loop);
+    - a {b group-by} on vendor id accumulating fare sums (indirect
+      writes into a small table);
+    - three {b aggregations} over the fare column — avg, min, max — as
+      three separate loops over the same column, which Mira's batching
+      pass fuses into one (Figure 23).
+
+    Columns are accessed sequentially and mostly read-only, so Mira
+    assigns them streaming sections with large lines; the result vector
+    is write-only (fetch-free stores). *)
+
+type config = {
+  rows : int;
+  groups : int;  (** group-by cardinality (taxi pickup zones) *)
+  seed : int;
+  parallel_filter : bool;  (** run the filter as a parallel loop *)
+  ops : [ `Full | `Agg_only ];
+      (** [`Agg_only] runs only the avg/min/max job (Figure 23) *)
+}
+
+val config_default : config
+(** 120k rows, 60k groups (the group tables are ~29% of the heap, so
+    the local-memory sweep exercises real pressure). *)
+
+val build : config -> Mira_mir.Ir.program
+val far_bytes : config -> int
+
+val aifm_gran : Mira_mir.Ir.program -> int -> int
+(** AIFM's DataFrame library uses chunked remote vectors: 4 KB chunks. *)

@@ -1,0 +1,218 @@
+module Ir = Mira_mir.Ir
+module B = Mira_mir.Builder
+module T = Mira_mir.Types
+
+type config = { num_nodes : int; num_arcs : int; rounds : int; seed : int }
+
+let config_default = { num_nodes = 8_000; num_arcs = 60_000; rounds = 3; seed = 5 }
+
+let rec node_def =
+  {
+    T.s_name = "mcf_node";
+    s_fields =
+      [
+        ("potential", T.I64);
+        ("parent", T.Ptr (T.Struct node_def));
+        ("child", T.Ptr (T.Struct node_def));
+        ("sibling", T.Ptr (T.Struct node_def));
+        ("orientation", T.I64);
+        ("flow", T.I64);
+        ("mark", T.I64);
+        ("pad", T.I64);
+      ];
+  }
+
+let arc_def =
+  {
+    T.s_name = "mcf_arc";
+    s_fields =
+      [
+        ("tail", T.I64);
+        ("head", T.I64);
+        ("cost", T.I64);
+        ("flow", T.I64);
+        ("state", T.I64);
+        ("pad0", T.I64);
+        ("pad1", T.I64);
+        ("pad2", T.I64);
+      ];
+  }
+
+let node_bytes = T.size_of (T.Struct node_def)
+let arc_bytes = T.size_of (T.Struct arc_def)
+
+let far_bytes cfg = (cfg.num_nodes * node_bytes) + (cfg.num_arcs * arc_bytes) + 16
+
+let aifm_gran program site = Workload_util.elem_gran program site
+
+let null = Ir.Oint 0L
+
+let build cfg =
+  let b = B.program "mcf" in
+  let node_ty = T.Struct node_def in
+  let arc_ty = T.Struct arc_def in
+  let nptr = T.Ptr node_ty in
+  let n = B.iconst cfg.num_nodes in
+  let m = B.iconst cfg.num_arcs in
+  let fld fb base i name = B.field_ptr fb ~base ~index:i ~def:node_def ~field:name in
+  let afld fb base i name = B.field_ptr fb ~base ~index:i ~def:arc_def ~field:name in
+  (* init: random spanning tree over the nodes, random arcs *)
+  B.func b "init" [ ("nodes", nptr); ("arcs", T.Ptr arc_ty) ] T.Unit
+    (fun fb args ->
+      match args with
+      | [ nodes; arcs ] ->
+        B.for_ fb ~lo:(B.iconst 0) ~hi:n (fun i ->
+            let pot = B.call fb "rand_int" [ B.iconst 1000 ] in
+            B.store fb T.I64 ~ptr:(fld fb nodes i "potential") ~value:pot;
+            B.store fb nptr ~ptr:(fld fb nodes i "parent") ~value:null;
+            B.store fb nptr ~ptr:(fld fb nodes i "child") ~value:null;
+            B.store fb nptr ~ptr:(fld fb nodes i "sibling") ~value:null;
+            let orient = B.call fb "rand_int" [ B.iconst 7 ] in
+            let orient = B.bin fb Ir.Add orient (B.iconst 1) in
+            B.store fb T.I64 ~ptr:(fld fb nodes i "orientation") ~value:orient;
+            B.store fb T.I64 ~ptr:(fld fb nodes i "flow") ~value:(B.iconst 0);
+            B.store fb T.I64 ~ptr:(fld fb nodes i "mark") ~value:(B.iconst 0));
+        (* random tree: node i attaches under a random earlier node *)
+        B.for_ fb ~lo:(B.iconst 1) ~hi:n (fun i ->
+            let p = B.call fb "rand_int" [ i ] in
+            let child_of_p = B.load fb nptr (fld fb nodes p "child") in
+            let self = B.gep fb ~base:nodes ~index:i ~elem:node_ty () in
+            let parent_ptr = B.gep fb ~base:nodes ~index:p ~elem:node_ty () in
+            B.store fb nptr ~ptr:(fld fb nodes i "parent") ~value:parent_ptr;
+            B.store fb nptr ~ptr:(fld fb nodes i "sibling") ~value:child_of_p;
+            B.store fb nptr ~ptr:(fld fb nodes p "child") ~value:self);
+        B.for_ fb ~lo:(B.iconst 0) ~hi:m (fun a ->
+            let t = B.call fb "rand_int" [ n ] in
+            let h = B.call fb "rand_int" [ n ] in
+            let c = B.call fb "rand_int" [ B.iconst 1000 ] in
+            B.store fb T.I64 ~ptr:(afld fb arcs a "tail") ~value:t;
+            B.store fb T.I64 ~ptr:(afld fb arcs a "head") ~value:h;
+            B.store fb T.I64 ~ptr:(afld fb arcs a "cost") ~value:c;
+            B.store fb T.I64 ~ptr:(afld fb arcs a "flow") ~value:(B.iconst 0);
+            B.store fb T.I64 ~ptr:(afld fb arcs a "state") ~value:(B.iconst 0))
+      | _ -> assert false);
+  (* refresh_potential: pre-order tree walk via pointer chasing *)
+  B.func b "refresh_potential" [ ("nodes", nptr) ] T.Unit (fun fb args ->
+      match args with
+      | [ nodes ] ->
+        let cur, _ =
+          B.alloc fb ~name:"walk_cursor" ~space:Ir.Stack nptr (B.iconst 1)
+        in
+        let root_child = B.load fb nptr (fld fb nodes (B.iconst 0) "child") in
+        B.store fb nptr ~ptr:cur ~value:root_child;
+        B.while_ fb
+          ~cond:(fun () ->
+            let c = B.load fb nptr cur in
+            B.cmp fb Ir.Ne c null)
+          ~body:(fun () ->
+            let c = B.load fb nptr cur in
+            (* potential = parent.potential + orientation *)
+            let par = B.load fb nptr (B.gep fb ~base:c ~index:(B.iconst 0) ~elem:node_ty ~field_off:(T.field_offset node_def "parent") ()) in
+            let ppot = B.load fb T.I64 (B.gep fb ~base:par ~index:(B.iconst 0) ~elem:node_ty ~field_off:(T.field_offset node_def "potential") ()) in
+            let orient = B.load fb T.I64 (B.gep fb ~base:c ~index:(B.iconst 0) ~elem:node_ty ~field_off:(T.field_offset node_def "orientation") ()) in
+            let newpot = B.bin fb Ir.Add ppot orient in
+            B.store fb T.I64
+              ~ptr:(B.gep fb ~base:c ~index:(B.iconst 0) ~elem:node_ty ~field_off:(T.field_offset node_def "potential") ())
+              ~value:newpot;
+            (* descend to child if any, else climb until a sibling *)
+            let child = B.load fb nptr (B.gep fb ~base:c ~index:(B.iconst 0) ~elem:node_ty ~field_off:(T.field_offset node_def "child") ()) in
+            let has_child = B.cmp fb Ir.Ne child null in
+            B.if_ fb has_child
+              (fun () -> B.store fb nptr ~ptr:cur ~value:child)
+              ~else_:(fun () ->
+                B.while_ fb
+                  ~cond:(fun () ->
+                    let c2 = B.load fb nptr cur in
+                    let alive = B.cmp fb Ir.Ne c2 null in
+                    let sib =
+                      B.load fb nptr (B.gep fb ~base:c2 ~index:(B.iconst 0) ~elem:node_ty ~field_off:(T.field_offset node_def "sibling") ())
+                    in
+                    let no_sib = B.cmp fb Ir.Eq sib null in
+                    let both = B.bin fb Ir.Land (B.mov fb alive) (B.mov fb no_sib) in
+                    B.cmp fb Ir.Ne both (B.iconst 0))
+                  ~body:(fun () ->
+                    let c2 = B.load fb nptr cur in
+                    let up = B.load fb nptr (B.gep fb ~base:c2 ~index:(B.iconst 0) ~elem:node_ty ~field_off:(T.field_offset node_def "parent") ()) in
+                    B.store fb nptr ~ptr:cur ~value:up);
+                let c3 = B.load fb nptr cur in
+                let alive = B.cmp fb Ir.Ne c3 null in
+                B.if_ fb alive
+                  (fun () ->
+                    let sib =
+                      B.load fb nptr (B.gep fb ~base:c3 ~index:(B.iconst 0) ~elem:node_ty ~field_off:(T.field_offset node_def "sibling") ())
+                    in
+                    B.store fb nptr ~ptr:cur ~value:sib)
+                  ())
+              ())
+      | _ -> assert false);
+  (* price_scan: sequential arc scan with indirect endpoint reads *)
+  B.func b "price_scan"
+    [ ("nodes", nptr); ("arcs", T.Ptr arc_ty); ("stats", T.Ptr T.I64) ]
+    T.Unit
+    (fun fb args ->
+      match args with
+      | [ nodes; arcs; stats ] ->
+        B.for_ fb ~lo:(B.iconst 0) ~hi:m (fun a ->
+            let t = B.load fb T.I64 (afld fb arcs a "tail") in
+            let h = B.load fb T.I64 (afld fb arcs a "head") in
+            let c = B.load fb T.I64 (afld fb arcs a "cost") in
+            let pt = B.load fb T.I64 (fld fb nodes t "potential") in
+            let ph = B.load fb T.I64 (fld fb nodes h "potential") in
+            let red = B.bin fb Ir.Sub (B.bin fb Ir.Add c ph) pt in
+            let neg = B.cmp fb Ir.Lt red (B.iconst 0) in
+            B.if_ fb neg
+              (fun () ->
+                let pf = afld fb arcs a "flow" in
+                let f = B.load fb T.I64 pf in
+                let f' = B.bin fb Ir.Add f (B.iconst 1) in
+                B.store fb T.I64 ~ptr:pf ~value:f';
+                B.store fb T.I64 ~ptr:(afld fb arcs a "state") ~value:(B.iconst 1);
+                let cnt = B.load fb T.I64 stats in
+                let cnt' = B.bin fb Ir.Add cnt (B.iconst 1) in
+                B.store fb T.I64 ~ptr:stats ~value:cnt')
+              ~else_:(fun () ->
+                B.store fb T.I64 ~ptr:(afld fb arcs a "state") ~value:(B.iconst 0))
+              ())
+      | _ -> assert false);
+  B.func b "work"
+    [ ("nodes", nptr); ("arcs", T.Ptr arc_ty); ("stats", T.Ptr T.I64) ]
+    T.Unit
+    (fun fb args ->
+      match args with
+      | [ nodes; arcs; stats ] ->
+        B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst cfg.rounds) (fun _r ->
+            ignore (B.call fb "refresh_potential" [ nodes ]);
+            ignore (B.call fb "price_scan" [ nodes; arcs; stats ]))
+      | _ -> assert false);
+  B.func b "checksum"
+    [ ("nodes", nptr); ("arcs", T.Ptr arc_ty); ("stats", T.Ptr T.I64) ]
+    T.I64
+    (fun fb args ->
+      match args with
+      | [ nodes; arcs; stats ] ->
+        let acc, _ = B.alloc fb ~name:"mcf_acc" ~space:Ir.Stack T.I64 (B.iconst 1) in
+        let cnt = B.load fb T.I64 stats in
+        B.store fb T.I64 ~ptr:acc ~value:cnt;
+        let nstep = max 1 (cfg.num_nodes / 256) in
+        B.for_ fb ~lo:(B.iconst 0) ~hi:n ~step:(B.iconst nstep) (fun i ->
+            let p = B.load fb T.I64 (fld fb nodes i "potential") in
+            let a = B.load fb T.I64 acc in
+            B.store fb T.I64 ~ptr:acc ~value:(B.bin fb Ir.Add a p));
+        let astep = max 1 (cfg.num_arcs / 256) in
+        B.for_ fb ~lo:(B.iconst 0) ~hi:m ~step:(B.iconst astep) (fun a ->
+            let f = B.load fb T.I64 (afld fb arcs a "flow") in
+            let x = B.load fb T.I64 acc in
+            B.store fb T.I64 ~ptr:acc ~value:(B.bin fb Ir.Add x f));
+        let final = B.load fb T.I64 acc in
+        B.ret fb final
+      | _ -> assert false);
+  B.func b "main" [] T.I64 (fun fb _ ->
+      let nodes, _ = B.alloc fb ~name:"nodes" node_ty n in
+      let arcs, _ = B.alloc fb ~name:"arcs" arc_ty m in
+      let stats, _ = B.alloc fb ~name:"stats" T.I64 (B.iconst 2) in
+      B.store fb T.I64 ~ptr:stats ~value:(B.iconst 0);
+      ignore (B.call fb "init" [ nodes; arcs ]);
+      ignore (B.call fb "work" [ nodes; arcs; stats ]);
+      let sum = B.call fb "checksum" [ nodes; arcs; stats ] in
+      B.ret fb sum);
+  B.finish b ~entry:"main"

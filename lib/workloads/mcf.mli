@@ -1,0 +1,37 @@
+(** MCF: simplified single-depot vehicle-scheduling kernel (SPEC-2006
+    429.mcf / network simplex).
+
+    Two far-memory objects mirror MCF's memory behaviour:
+
+    - a {b node array} (64 B entries) organized as a spanning tree via
+      [parent]/[child]/[sibling] pointers — traversed by pointer
+      chasing in [refresh_potential], the value-dependent access that
+      defeats purely static analysis (§6.1: Mira falls back to swap at
+      large memory and switches to a set-associative section with
+      pointer-following prefetch when memory is scarce);
+    - an {b arc array} (64 B entries) scanned sequentially by the
+      pricing loop, with indirect reads of the endpoint nodes'
+      potentials ([B[A[i]]] again, at struct granularity).
+
+    [work] alternates [rounds] of potential refresh and arc pricing,
+    like the simplex iterations of the original benchmark. *)
+
+type config = {
+  num_nodes : int;
+  num_arcs : int;
+  rounds : int;
+  seed : int;
+}
+
+val config_default : config
+(** 8k nodes, 60k arcs, 3 rounds. *)
+
+val node_bytes : int
+val arc_bytes : int
+
+val build : config -> Mira_mir.Ir.program
+val far_bytes : config -> int
+
+val aifm_gran : Mira_mir.Ir.program -> int -> int
+(** AIFM's array library: one remoteable pointer per element (the
+    metadata weight that makes AIFM fail below full memory, Fig. 18). *)

@@ -1,0 +1,16 @@
+module Ir = Mira_mir.Ir
+module T = Mira_mir.Types
+
+let site_id program name =
+  match
+    List.find_opt (fun s -> String.equal s.Ir.si_name name) program.Ir.p_sites
+  with
+  | Some s -> s.Ir.si_id
+  | None -> raise Not_found
+
+let elem_gran program site =
+  match Ir.find_site program site with
+  | info -> max 8 (T.size_of info.Ir.si_elem)
+  | exception Not_found -> 8
+
+let chunked_gran ~chunk _program _site = chunk

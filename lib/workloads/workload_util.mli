@@ -1,0 +1,13 @@
+(** Helpers shared by the workload builders and the bench harness. *)
+
+val site_id : Mira_mir.Ir.program -> string -> int
+(** Allocation-site id by name.  Raises [Not_found]. *)
+
+val elem_gran : Mira_mir.Ir.program -> int -> int
+(** Element size of a site (>= 8 bytes); the default AIFM caching
+    granularity (its array library keeps one remoteable pointer per
+    element). *)
+
+val chunked_gran : chunk:int -> Mira_mir.Ir.program -> int -> int
+(** Fixed-chunk granularity (AIFM libraries with chunked remote
+    vectors, e.g. its DataFrame). *)

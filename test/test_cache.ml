@@ -1,0 +1,371 @@
+(* Tests for cache sections, the swap section, the manager and the
+   sizing solver — including the central coherence property: any
+   access sequence through any section configuration must read the same
+   data as a flat reference memory. *)
+module Params = Mira_sim.Params
+module Clock = Mira_sim.Clock
+module Net = Mira_sim.Net
+module Far_store = Mira_sim.Far_store
+module Section = Mira_cache.Section
+module Swap = Mira_cache.Swap_section
+module Manager = Mira_cache.Manager
+module Sizing = Mira_cache.Sizing
+
+let make_env () =
+  let net = Net.create Params.default in
+  let far = Far_store.create ~capacity:(1 lsl 20) in
+  (net, far, Clock.create ())
+
+let cfg_of structure ~line ~size =
+  { (Section.config_default ~sec_id:1 ~name:"t" ~line ~size) with
+    Section.structure }
+
+let test_section_basic structure () =
+  let net, far, clock = make_env () in
+  let s = Section.create net far (cfg_of structure ~line:64 ~size:1024) in
+  Section.store s ~clock ~addr:128 ~len:8 42L;
+  Alcotest.(check int64) "read back" 42L (Section.load s ~clock ~addr:128 ~len:8);
+  Alcotest.(check bool) "resident" true (Section.resident s ~addr:128);
+  let st = Section.stats s in
+  Alcotest.(check bool) "counted" true (st.Section.hits + st.Section.misses >= 2)
+
+let test_section_writeback_on_evict () =
+  let net, far, clock = make_env () in
+  (* Two-line direct section: address 0 and 128 conflict (line 64, 2 slots:
+     lines 0 and 2 map to slot 0). *)
+  let s = Section.create net far (cfg_of Section.Direct ~line:64 ~size:128) in
+  Section.store s ~clock ~addr:0 ~len:8 7L;
+  (* line index 2 -> slot 0: evicts line 0, forcing writeback *)
+  Section.store s ~clock ~addr:128 ~len:8 9L;
+  Alcotest.(check int64) "evicted data persisted" 7L (Far_store.read_i64 far ~addr:0);
+  Alcotest.(check int64) "reload" 7L (Section.load s ~clock ~addr:0 ~len:8)
+
+let test_section_prefetch_ready_time () =
+  let net, far, clock = make_env () in
+  let s = Section.create net far (cfg_of Section.Full_assoc ~line:64 ~size:1024) in
+  Far_store.write_i64 far ~addr:256 5L;
+  Section.prefetch s ~clock ~addr:256 ~len:8;
+  let before = Clock.now clock in
+  let v = Section.load s ~clock ~addr:256 ~len:8 in
+  Alcotest.(check int64) "prefetched value" 5L v;
+  let st = Section.stats s in
+  Alcotest.(check int) "late prefetch stalled" 1 st.Section.late_prefetch;
+  Alcotest.(check bool) "clock moved to ready" true (Clock.now clock > before)
+
+let test_section_flush_evict_priority () =
+  let net, far, clock = make_env () in
+  let s = Section.create net far (cfg_of Section.Full_assoc ~line:64 ~size:256) in
+  (* Fill the 4 slots. *)
+  List.iter (fun a -> Section.store s ~clock ~addr:a ~len:8 1L) [ 0; 64; 128; 192 ];
+  Section.flush_evict s ~clock ~addr:64 ~len:8;
+  (* Next insertion should evict the hinted line (64). *)
+  Section.store s ~clock ~addr:512 ~len:8 2L;
+  let st = Section.stats s in
+  Alcotest.(check int) "hinted victim" 1 st.Section.hinted_evictions;
+  Alcotest.(check bool) "hinted line gone" false (Section.resident s ~addr:64)
+
+let test_section_dont_evict () =
+  let net, far, clock = make_env () in
+  let s = Section.create net far (cfg_of Section.Full_assoc ~line:64 ~size:128) in
+  Section.store s ~clock ~addr:0 ~len:8 1L;
+  Section.mark_dont_evict s ~addr:0 ~len:8 ~pinned:true;
+  Section.store s ~clock ~addr:64 ~len:8 2L;
+  Section.store s ~clock ~addr:128 ~len:8 3L;
+  Section.store s ~clock ~addr:192 ~len:8 4L;
+  Alcotest.(check bool) "pinned survives" true (Section.resident s ~addr:0)
+
+let test_section_native_fallback () =
+  let net, far, clock = make_env () in
+  let s = Section.create net far (cfg_of Section.Direct ~line:64 ~size:256) in
+  Far_store.write_i64 far ~addr:0 77L;
+  (* native load on an absent line must still return correct data *)
+  Alcotest.(check int64) "fallback correct" 77L
+    (Section.load_native s ~clock ~addr:0 ~len:8)
+
+let test_section_no_meta_cheap_hits () =
+  let net, far, clock = make_env () in
+  let cfg = { (cfg_of Section.Direct ~line:64 ~size:256) with Section.no_meta = true } in
+  let s = Section.create net far cfg in
+  Section.store s ~clock ~addr:0 ~len:8 1L;
+  let t0 = Clock.now clock in
+  ignore (Section.load s ~clock ~addr:0 ~len:8);
+  let hit_cost = Clock.now clock -. t0 in
+  Alcotest.(check bool) "hit is native cost" true
+    (hit_cost <= Params.default.Params.native_mem_ns +. 0.001);
+  Alcotest.(check int) "no metadata" 0 (Section.metadata_bytes s)
+
+let test_section_discard_range () =
+  let net, far, clock = make_env () in
+  let s = Section.create net far (cfg_of Section.Full_assoc ~line:64 ~size:256) in
+  Far_store.write_i64 far ~addr:0 10L;
+  ignore (Section.load s ~clock ~addr:0 ~len:8);
+  Section.store s ~clock ~addr:0 ~len:8 99L;
+  (* Simulate a far-side mutation, then discard the stale line. *)
+  Section.discard_range s ~addr:0 ~len:8;
+  Far_store.write_i64 far ~addr:0 55L;
+  Alcotest.(check int64) "fresh data after discard" 55L
+    (Section.load s ~clock ~addr:0 ~len:8)
+
+let test_swap_basic () =
+  let net, far, clock = make_env () in
+  let sw = Swap.create net far { Swap.page = 4096; capacity = 16384; side = Net.One_sided } in
+  Swap.store sw ~clock ~addr:100 ~len:8 13L;
+  Alcotest.(check int64) "read" 13L (Swap.load sw ~clock ~addr:100 ~len:8);
+  let st = Swap.stats sw in
+  Alcotest.(check int) "one fault" 1 st.Swap.faults;
+  Alcotest.(check int) "one hit" 1 st.Swap.hits
+
+let test_swap_eviction_and_writeback () =
+  let net, far, clock = make_env () in
+  let sw = Swap.create net far { Swap.page = 4096; capacity = 8192; side = Net.One_sided } in
+  Swap.store sw ~clock ~addr:0 ~len:8 1L;
+  Swap.store sw ~clock ~addr:4096 ~len:8 2L;
+  Swap.store sw ~clock ~addr:8192 ~len:8 3L;  (* evicts a dirty page *)
+  Alcotest.(check int64) "data survives eviction" 1L
+    (Swap.load sw ~clock ~addr:0 ~len:8)
+
+let test_swap_readahead () =
+  let net, far, clock = make_env () in
+  let sw = Swap.create net far { Swap.page = 4096; capacity = 65536; side = Net.One_sided } in
+  Swap.set_readahead sw (fun pno -> [ pno + 1; pno + 2 ]);
+  ignore (Swap.load sw ~clock ~addr:0 ~len:8);
+  Alcotest.(check bool) "readahead pages present" true
+    (Swap.resident sw ~addr:4096 && Swap.resident sw ~addr:8192);
+  let st = Swap.stats sw in
+  Alcotest.(check int) "readahead count" 2 st.Swap.readahead_pages
+
+let test_swap_resize () =
+  let net, far, clock = make_env () in
+  let sw = Swap.create net far { Swap.page = 4096; capacity = 65536; side = Net.One_sided } in
+  Swap.store sw ~clock ~addr:0 ~len:8 9L;
+  Swap.resize sw ~capacity:8192 ~clock;
+  Alcotest.(check int) "capacity updated" 8192 (Swap.capacity_bytes sw);
+  Alcotest.(check int64) "data survives resize" 9L (Swap.load sw ~clock ~addr:0 ~len:8)
+
+let test_manager_budget () =
+  let net, far, clock = make_env () in
+  let m = Manager.create net far ~budget:65536 ~page:4096 ~side:Net.One_sided in
+  let cfg = cfg_of Section.Direct ~line:64 ~size:16384 in
+  (match Manager.add_section m ~clock cfg with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "swap shrank" (65536 - 16384)
+    (Swap.capacity_bytes (Manager.swap m));
+  let too_big = { (cfg_of Section.Direct ~line:64 ~size:65536) with Section.sec_id = 2 } in
+  Alcotest.(check bool) "over budget rejected" true
+    (Result.is_error (Manager.add_section m ~clock too_big));
+  Manager.end_section m ~clock ~id:1;
+  Alcotest.(check int) "swap restored" 65536 (Swap.capacity_bytes (Manager.swap m))
+
+let test_manager_routing () =
+  let net, far, clock = make_env () in
+  let m = Manager.create net far ~budget:65536 ~page:4096 ~side:Net.One_sided in
+  (match Manager.add_section m ~clock (cfg_of Section.Direct ~line:64 ~size:8192) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Manager.assign_site m ~site:3 ~sec_id:1;
+  Alcotest.(check bool) "routed" true (Manager.route m ~site:3 <> None);
+  Alcotest.(check bool) "unrouted" true (Manager.route m ~site:9 = None);
+  Manager.unassign_site m ~site:3;
+  Alcotest.(check bool) "unassigned" true (Manager.route m ~site:3 = None)
+
+(* --- the coherence property ---------------------------------------------- *)
+
+type op = Load of int | Store of int * int64 | Pf of int | Flush of int | Evict of int
+
+let op_gen space =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun a -> Load (a * 8 mod space)) (int_bound (space / 8)));
+        ( 4,
+          map2
+            (fun a v -> Store (a * 8 mod space, Int64.of_int v))
+            (int_bound (space / 8))
+            (int_bound 1_000_000) );
+        (1, map (fun a -> Pf (a * 8 mod space)) (int_bound (space / 8)));
+        (1, map (fun a -> Flush (a * 8 mod space)) (int_bound (space / 8)));
+        (1, map (fun a -> Evict (a * 8 mod space)) (int_bound (space / 8)));
+      ])
+
+let coherence_for structure line size =
+  let space = 8192 in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "coherence %s line=%d size=%d"
+         (match structure with
+         | Section.Direct -> "direct"
+         | Section.Set_assoc k -> Printf.sprintf "set%d" k
+         | Section.Full_assoc -> "full")
+         line size)
+    ~count:60
+    QCheck.(make (QCheck.Gen.list_size (QCheck.Gen.int_bound 200) (op_gen space)))
+    (fun ops ->
+      let net, far, clock = make_env () in
+      let cfg = cfg_of structure ~line ~size in
+      let s = Section.create net far cfg in
+      let reference = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Load addr ->
+            let expect =
+              match Hashtbl.find_opt reference addr with Some v -> v | None -> 0L
+            in
+            let got = Section.load s ~clock ~addr ~len:8 in
+            if got <> expect then ok := false
+          | Store (addr, v) ->
+            Hashtbl.replace reference addr v;
+            Section.store s ~clock ~addr ~len:8 v
+          | Pf addr -> Section.prefetch s ~clock ~addr ~len:8
+          | Flush addr -> Section.flush_evict s ~clock ~addr ~len:8
+          | Evict addr -> Section.flush_range s ~clock ~addr ~len:8)
+        ops;
+      (* Final drain: everything must land in the far store. *)
+      Section.drop_all s ~clock;
+      Hashtbl.iter
+        (fun addr v -> if Far_store.read_i64 far ~addr <> v then ok := false)
+        reference;
+      !ok)
+
+let coherence_swap =
+  QCheck.Test.make ~name:"coherence swap section" ~count:60
+    QCheck.(make (QCheck.Gen.list_size (QCheck.Gen.int_bound 200) (op_gen 65536)))
+    (fun ops ->
+      let net, far, clock = make_env () in
+      let sw =
+        Swap.create net far { Swap.page = 4096; capacity = 16384; side = Net.One_sided }
+      in
+      let reference = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Load addr ->
+            let expect =
+              match Hashtbl.find_opt reference addr with Some v -> v | None -> 0L
+            in
+            if Swap.load sw ~clock ~addr ~len:8 <> expect then ok := false
+          | Store (addr, v) ->
+            Hashtbl.replace reference addr v;
+            Swap.store sw ~clock ~addr ~len:8 v
+          | Pf addr -> Swap.prefetch_page sw ~clock ~page:(addr / 4096)
+          | Flush addr -> Swap.evict_hint sw ~clock ~addr ~len:8
+          | Evict addr -> Swap.flush_range sw ~clock ~addr ~len:8)
+        ops;
+      Swap.drop_all sw ~clock;
+      Hashtbl.iter
+        (fun addr v -> if Far_store.read_i64 far ~addr <> v then ok := false)
+        reference;
+      !ok)
+
+(* --- sizing --------------------------------------------------------------- *)
+
+let test_sizing_simple () =
+  let candidates =
+    [
+      { Sizing.cand_id = 1; options = [| (100, 10.0); (200, 4.0) |];
+        live_from = 0; live_to = 1 };
+      { Sizing.cand_id = 2; options = [| (100, 8.0); (200, 2.0) |];
+        live_from = 0; live_to = 1 };
+    ]
+  in
+  (* (200,4)+(200,2) would be 6 but needs 400 > 300; the optimum mixes
+     one large and one small section at total overhead 12. *)
+  match Sizing.solve ~budget:300 candidates with
+  | Ok { Sizing.assignment; total_overhead } ->
+    Alcotest.(check (float 1e-9)) "optimal" 12.0 total_overhead;
+    Alcotest.(check int) "fits budget" 300
+      (List.fold_left (fun acc (_, s) -> acc + s) 0 assignment)
+  | Error e -> Alcotest.fail e
+
+let test_sizing_lifetime_overlap () =
+  (* Disjoint lifetimes can both take the whole budget. *)
+  let candidates =
+    [
+      { Sizing.cand_id = 1; options = [| (100, 5.0); (300, 1.0) |];
+        live_from = 0; live_to = 0 };
+      { Sizing.cand_id = 2; options = [| (100, 5.0); (300, 1.0) |];
+        live_from = 1; live_to = 1 };
+    ]
+  in
+  match Sizing.solve ~budget:300 candidates with
+  | Ok { Sizing.total_overhead; _ } ->
+    Alcotest.(check (float 1e-9)) "both get max" 2.0 total_overhead
+  | Error e -> Alcotest.fail e
+
+let test_sizing_infeasible () =
+  let candidates =
+    [ { Sizing.cand_id = 1; options = [| (500, 1.0) |]; live_from = 0; live_to = 0 } ]
+  in
+  Alcotest.(check bool) "infeasible" true
+    (Result.is_error (Sizing.solve ~budget:100 candidates))
+
+let qcheck_sizing_matches_brute =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 4 in
+      let* budget = int_range 100 600 in
+      let* cands =
+        list_repeat n
+          (let* k = int_range 1 4 in
+           let* opts =
+             list_repeat k (pair (int_range 10 300) (float_bound_exclusive 100.0))
+           in
+           let* lo = int_range 0 2 in
+           let* len = int_range 0 2 in
+           return (Array.of_list opts, lo, lo + len))
+      in
+      return (budget, cands))
+  in
+  QCheck.Test.make ~name:"sizing branch&bound == brute force" ~count:200
+    (QCheck.make gen)
+    (fun (budget, cands) ->
+      let candidates =
+        List.mapi
+          (fun i (options, lo, hi) ->
+            { Sizing.cand_id = i; options; live_from = lo; live_to = hi })
+          cands
+      in
+      match (Sizing.solve ~budget candidates, Sizing.solve_brute ~budget candidates) with
+      | Ok a, Ok b -> Float.abs (a.Sizing.total_overhead -. b.Sizing.total_overhead) < 1e-9
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let test_interpolate () =
+  let curve = [| (100, 10.0); (200, 4.0); (400, 2.0) |] in
+  Alcotest.(check (float 1e-9)) "below" 10.0 (Sizing.interpolate curve 50);
+  Alcotest.(check (float 1e-9)) "above" 2.0 (Sizing.interpolate curve 500);
+  Alcotest.(check (float 1e-9)) "between" 7.0 (Sizing.interpolate curve 150);
+  Alcotest.(check (float 1e-9)) "exact" 4.0 (Sizing.interpolate curve 200)
+
+let suite =
+  [
+    Alcotest.test_case "section basic direct" `Quick (test_section_basic Section.Direct);
+    Alcotest.test_case "section basic set4" `Quick (test_section_basic (Section.Set_assoc 4));
+    Alcotest.test_case "section basic full" `Quick (test_section_basic Section.Full_assoc);
+    Alcotest.test_case "section writeback" `Quick test_section_writeback_on_evict;
+    Alcotest.test_case "section prefetch ready" `Quick test_section_prefetch_ready_time;
+    Alcotest.test_case "section evict hint" `Quick test_section_flush_evict_priority;
+    Alcotest.test_case "section dont-evict" `Quick test_section_dont_evict;
+    Alcotest.test_case "section native fallback" `Quick test_section_native_fallback;
+    Alcotest.test_case "section no_meta" `Quick test_section_no_meta_cheap_hits;
+    Alcotest.test_case "section discard" `Quick test_section_discard_range;
+    Alcotest.test_case "swap basic" `Quick test_swap_basic;
+    Alcotest.test_case "swap eviction" `Quick test_swap_eviction_and_writeback;
+    Alcotest.test_case "swap readahead" `Quick test_swap_readahead;
+    Alcotest.test_case "swap resize" `Quick test_swap_resize;
+    Alcotest.test_case "manager budget" `Quick test_manager_budget;
+    Alcotest.test_case "manager routing" `Quick test_manager_routing;
+    QCheck_alcotest.to_alcotest (coherence_for Section.Direct 64 512);
+    QCheck_alcotest.to_alcotest (coherence_for (Section.Set_assoc 4) 64 1024);
+    QCheck_alcotest.to_alcotest (coherence_for Section.Full_assoc 128 1024);
+    QCheck_alcotest.to_alcotest (coherence_for Section.Direct 256 512);
+    QCheck_alcotest.to_alcotest coherence_swap;
+    Alcotest.test_case "sizing simple" `Quick test_sizing_simple;
+    Alcotest.test_case "sizing lifetimes" `Quick test_sizing_lifetime_overlap;
+    Alcotest.test_case "sizing infeasible" `Quick test_sizing_infeasible;
+    QCheck_alcotest.to_alcotest qcheck_sizing_matches_brute;
+    Alcotest.test_case "sizing interpolate" `Quick test_interpolate;
+  ]

@@ -1,0 +1,193 @@
+(* The iterative controller: section planning, end-to-end optimization,
+   the rollback guarantee, and result preservation. *)
+module C = Mira.Controller
+module SP = Mira.Section_planner
+module Pattern = Mira_analysis.Pattern
+module Section = Mira_cache.Section
+module Machine = Mira_interp.Machine
+module Value = Mira_interp.Value
+module G = Mira_workloads.Graph_traversal
+
+let params = Mira_sim.Params.default
+
+let summary ~site ~kind ~elem ~ro ~wo =
+  {
+    Pattern.ss_site = site;
+    ss_kind = kind;
+    ss_reads = (if wo then 0 else 4);
+    ss_writes = (if ro then 0 else 4);
+    ss_fields_read = (if wo then [] else [ 0 ]);
+    ss_fields_written = (if ro then [] else [ 0 ]);
+    ss_elem = elem;
+    ss_read_only = ro;
+    ss_write_only = wo;
+  }
+
+let test_planner_sequential_stream () =
+  let specs =
+    SP.plan ~params
+      ~summaries:[ (summary ~site:0 ~kind:(Pattern.Sequential 24) ~elem:24 ~ro:true ~wo:false, (0, 0)) ]
+      ~site_bytes:(fun _ -> 1 lsl 20)
+      ~first_id:1
+  in
+  match specs with
+  | [ s ] ->
+    Alcotest.(check bool) "direct" true
+      (s.SP.sp_cfg.Section.structure = Section.Direct);
+    Alcotest.(check bool) "big line" true (s.SP.sp_cfg.Section.line >= 1024);
+    Alcotest.(check bool) "no metadata" true s.SP.sp_cfg.Section.no_meta;
+    Alcotest.(check bool) "streaming" true s.SP.sp_seq;
+    Alcotest.(check bool) "read discard" true s.SP.sp_cfg.Section.read_discard
+  | _ -> Alcotest.failf "expected 1 spec, got %d" (List.length specs)
+
+let test_planner_indirect () =
+  let specs =
+    SP.plan ~params
+      ~summaries:[ (summary ~site:1 ~kind:(Pattern.Indirect 0) ~elem:128 ~ro:false ~wo:false, (0, 0)) ]
+      ~site_bytes:(fun _ -> 1 lsl 20)
+      ~first_id:1
+  in
+  match specs with
+  | [ s ] ->
+    Alcotest.(check bool) "set assoc" true
+      (match s.SP.sp_cfg.Section.structure with Section.Set_assoc _ -> true | _ -> false);
+    Alcotest.(check int) "element line" 128 s.SP.sp_cfg.Section.line;
+    Alcotest.(check bool) "not streaming" false s.SP.sp_seq
+  | _ -> Alcotest.fail "expected 1 spec"
+
+let test_planner_random_full () =
+  let specs =
+    SP.plan ~params
+      ~summaries:[ (summary ~site:1 ~kind:Pattern.Random ~elem:8 ~ro:false ~wo:false, (0, 0)) ]
+      ~site_bytes:(fun _ -> 4096)
+      ~first_id:1
+  in
+  match specs with
+  | [ s ] ->
+    Alcotest.(check bool) "full assoc" true
+      (s.SP.sp_cfg.Section.structure = Section.Full_assoc)
+  | _ -> Alcotest.fail "expected 1 spec"
+
+let test_planner_selective_transmission () =
+  (* 128B element, only one 8B field touched: two-sided partial payload *)
+  let ss = summary ~site:2 ~kind:(Pattern.Indirect 0) ~elem:128 ~ro:false ~wo:false in
+  let specs =
+    SP.plan ~params ~summaries:[ (ss, (0, 0)) ] ~site_bytes:(fun _ -> 4096) ~first_id:1
+  in
+  match specs with
+  | [ s ] ->
+    Alcotest.(check bool) "two sided" true
+      (s.SP.sp_cfg.Section.side = Mira_sim.Net.Two_sided);
+    Alcotest.(check (option int)) "partial payload" (Some 8)
+      s.SP.sp_cfg.Section.payload
+  | _ -> Alcotest.fail "expected 1 spec"
+
+let test_planner_grouping () =
+  (* identical streaming decisions merge even across disjoint lifetimes;
+     identical non-streaming ones merge only when lifetimes overlap *)
+  let stream site interval =
+    (summary ~site ~kind:(Pattern.Sequential 8) ~elem:8 ~ro:true ~wo:false, interval)
+  in
+  let rw site interval =
+    (summary ~site ~kind:Pattern.Random ~elem:8 ~ro:false ~wo:false, interval)
+  in
+  let specs =
+    SP.plan ~params
+      ~summaries:[ stream 0 (0, 0); stream 1 (5, 5); rw 2 (0, 0); rw 3 (5, 5) ]
+      ~site_bytes:(fun _ -> 4096)
+      ~first_id:1
+  in
+  Alcotest.(check int) "streams merge, rw stay apart" 3 (List.length specs)
+
+let test_planner_line_rule () =
+  let small = SP.seq_line_bytes ~params ~elem:8 in
+  Alcotest.(check bool) "network sweet spot" true (small >= 1024 && small <= 8192);
+  let sized = SP.seq_section_bytes ~params ~line:2048 ~body_ops:64 in
+  Alcotest.(check bool) "window at least a few lines" true (sized >= 8 * 2048)
+
+let optimize_graph ?(budget_frac = 0.3) ?(iters = 3) () =
+  let cfg = { G.config_default with G.num_edges = 8_000; num_nodes = 800 } in
+  let prog = G.build cfg in
+  let far = G.far_bytes cfg in
+  let opts =
+    { (C.options_default ~local_budget:(int_of_float (float_of_int far *. budget_frac))
+         ~far_capacity:(4 * far))
+      with C.max_iterations = iters }
+  in
+  (prog, opts, C.optimize opts prog)
+
+let test_controller_improves_graph () =
+  let _, _, compiled = optimize_graph () in
+  Alcotest.(check bool) "created sections" true
+    (List.length compiled.C.c_assignments >= 1);
+  (* the measured best must not be worse than the initial swap run:
+     the rollback guarantee *)
+  Alcotest.(check bool) "iterations ran" true (compiled.C.c_iterations >= 0);
+  Alcotest.(check bool) "log kept" true (List.length compiled.C.c_log > 0)
+
+let test_controller_rollback_guarantee () =
+  (* With sections disabled the result must equal the swap-only run;
+     with them enabled the final time can never exceed it. *)
+  let prog, opts, compiled = optimize_graph () in
+  let swap_only = C.optimize { opts with C.feat_sections = false } prog in
+  Alcotest.(check bool) "never worse than swap" true
+    (compiled.C.c_work_ns <= swap_only.C.c_work_ns *. 1.001)
+
+let test_controller_result_preserved () =
+  let prog, _, compiled = optimize_graph () in
+  let native = Mira_baselines.Native.create ~capacity:(1 lsl 24) () in
+  let expected = Machine.run (Machine.create native prog) in
+  let v, _ = C.run compiled in
+  Alcotest.(check bool) "checksum preserved" true (Value.equal expected v)
+
+let test_controller_ablation_flags () =
+  let cfg = { G.config_default with G.num_edges = 3_000; num_nodes = 300 } in
+  let prog = G.build cfg in
+  let far = G.far_bytes cfg in
+  let base =
+    { (C.options_default ~local_budget:(far / 4) ~far_capacity:(4 * far)) with
+      C.max_iterations = 2 }
+  in
+  (* all-off must behave like plain swap (no sections assigned) *)
+  let off =
+    C.optimize
+      { base with
+        C.feat_sections = false; feat_prefetch = false; feat_evict = false;
+        feat_fusion = false; feat_native = false }
+      prog
+  in
+  Alcotest.(check int) "no sections" 0 (List.length off.C.c_assignments);
+  let v, _ = C.run off in
+  let native = Mira_baselines.Native.create ~capacity:(4 * far) () in
+  Alcotest.(check bool) "all-off correct" true
+    (Value.equal (Machine.run (Machine.create native prog)) v)
+
+let test_report () =
+  let _, _, compiled = optimize_graph () in
+  let text = Mira.Report.describe compiled in
+  Alcotest.(check bool) "mentions iterations" true
+    (String.length text > 40);
+  let rt, _ = C.instantiate compiled in
+  let _ = C.run compiled in
+  let stats = Mira.Report.runtime_stats rt in
+  Alcotest.(check bool) "stats render" true (String.length stats > 40)
+
+let test_work_function () =
+  let prog = G.build { G.config_default with G.num_edges = 100; num_nodes = 16 } in
+  Alcotest.(check string) "work" "work" (C.work_function prog)
+
+let suite =
+  [
+    Alcotest.test_case "planner stream" `Quick test_planner_sequential_stream;
+    Alcotest.test_case "planner indirect" `Quick test_planner_indirect;
+    Alcotest.test_case "planner random" `Quick test_planner_random_full;
+    Alcotest.test_case "planner selective" `Quick test_planner_selective_transmission;
+    Alcotest.test_case "planner grouping" `Quick test_planner_grouping;
+    Alcotest.test_case "planner line rule" `Quick test_planner_line_rule;
+    Alcotest.test_case "controller improves" `Slow test_controller_improves_graph;
+    Alcotest.test_case "controller rollback" `Slow test_controller_rollback_guarantee;
+    Alcotest.test_case "controller preserves result" `Slow test_controller_result_preserved;
+    Alcotest.test_case "controller ablation" `Slow test_controller_ablation_flags;
+    Alcotest.test_case "work function" `Quick test_work_function;
+    Alcotest.test_case "report" `Slow test_report;
+  ]

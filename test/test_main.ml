@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "mira"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("mir", Test_mir.suite);
+      ("cache", Test_cache.suite);
+      ("runtime", Test_runtime.suite);
+      ("interp", Test_interp.suite);
+      ("analysis", Test_analysis.suite);
+      ("passes", Test_passes.suite);
+      ("baselines", Test_baselines.suite);
+      ("workloads", Test_workloads.suite);
+      ("controller", Test_controller.suite);
+      ("random-programs", Test_random_programs.suite);
+    ]

@@ -1,0 +1,258 @@
+(* Compiler-pass tests: each transformation must produce verifying IR,
+   insert what it promises, and preserve program results. *)
+module T = Mira_mir.Types
+module Ir = Mira_mir.Ir
+module B = Mira_mir.Builder
+module Verifier = Mira_mir.Verifier
+module Instrument = Mira_passes.Instrument
+module Convert = Mira_passes.Convert_remote
+module Prefetch = Mira_passes.Prefetch_pass
+module Evict = Mira_passes.Evict_hints
+module Fusion = Mira_passes.Fusion
+module Native = Mira_passes.Native_deref
+module Pipeline = Mira_passes.Pipeline
+module Machine = Mira_interp.Machine
+module Value = Mira_interp.Value
+
+let params = Mira_sim.Params.default
+
+let count_ops pred prog =
+  List.fold_left
+    (fun acc (_, f) ->
+      Ir.fold_ops (fun n op -> if pred op then n + 1 else n) acc f.Ir.f_body)
+    0 prog.Ir.p_funcs
+
+let graph_program () =
+  Mira_workloads.Graph_traversal.build
+    { Mira_workloads.Graph_traversal.config_default with
+      Mira_workloads.Graph_traversal.num_edges = 2000;
+      num_nodes = 300 }
+
+let run_native prog =
+  let ms = Mira_baselines.Native.create ~capacity:(1 lsl 24) () in
+  Machine.run (Machine.create ms prog)
+
+let edges_site prog = Mira_workloads.Workload_util.site_id prog "edges"
+let nodes_site prog = Mira_workloads.Workload_util.site_id prog "nodes"
+
+let test_instrument () =
+  let prog = graph_program () in
+  let inst = Instrument.run prog in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Verifier.verify inst));
+  let enters = count_ops (function Ir.ProfEnter _ -> true | _ -> false) inst in
+  Alcotest.(check int) "one enter per function" (List.length inst.Ir.p_funcs) enters;
+  let stripped = Instrument.strip inst in
+  Alcotest.(check int) "strip removes" 0
+    (count_ops (function Ir.ProfEnter _ | Ir.ProfExit _ -> true | _ -> false) stripped);
+  (* idempotent *)
+  let twice = Instrument.run inst in
+  Alcotest.(check int) "idempotent" enters
+    (count_ops (function Ir.ProfEnter _ -> true | _ -> false) twice)
+
+let test_instrument_only () =
+  let prog = graph_program () in
+  let inst = Instrument.run_only prog ~names:[ "work" ] in
+  let enters = count_ops (function Ir.ProfEnter _ -> true | _ -> false) inst in
+  Alcotest.(check int) "only work instrumented" 1 enters
+
+let test_convert_marks_selected () =
+  let prog = graph_program () in
+  let e = edges_site prog and n = nodes_site prog in
+  let conv = Convert.run prog ~selected:[ e; n ] in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Verifier.verify conv));
+  let remote_loads =
+    count_ops
+      (function Ir.Load { meta; _ } -> meta.Ir.am_remote | _ -> false)
+      conv
+  in
+  Alcotest.(check bool) "loads converted" true (remote_loads > 0);
+  let conv_none = Convert.run prog ~selected:[] in
+  Alcotest.(check int) "nothing selected, nothing converted" 0
+    (count_ops
+       (function
+         | Ir.Load { meta; _ } | Ir.Store { meta; _ } -> meta.Ir.am_remote
+         | _ -> false)
+       conv_none)
+
+let test_prefetch_inserts () =
+  let prog = graph_program () in
+  let e = edges_site prog and n = nodes_site prog in
+  let conv = Convert.run prog ~selected:[ e; n ] in
+  let line_of site = if site = e then Some 1024 else if site = n then Some 128 else None in
+  let pf = Prefetch.run conv ~params ~line_of in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Verifier.verify pf));
+  let prefetches = count_ops (function Ir.Prefetch _ -> true | _ -> false) pf in
+  (* sequential edges + two indirect node groups + preamble *)
+  Alcotest.(check bool) "prefetches inserted" true (prefetches >= 3)
+
+let test_prefetch_distance () =
+  let d_small = Prefetch.distance_iters ~params ~body_ops:1000 in
+  let d_big = Prefetch.distance_iters ~params ~body_ops:5 in
+  Alcotest.(check bool) "heavier body, shorter distance" true (d_small < d_big);
+  Alcotest.(check bool) "at least 1" true (d_small >= 1)
+
+let test_evict_inserts () =
+  let prog = graph_program () in
+  let e = edges_site prog in
+  let conv = Convert.run prog ~selected:[ e ] in
+  let line_of site = if site = e then Some 1024 else None in
+  let ev = Evict.run conv ~line_of in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Verifier.verify ev));
+  let flushes = count_ops (function Ir.FlushEvict _ -> true | _ -> false) ev in
+  Alcotest.(check bool) "flush-behind inserted" true (flushes > 0)
+
+let fusable_program () =
+  let b = B.program "fuse" in
+  B.func b "main" [] T.I64 (fun fb _ ->
+      let n = 64 in
+      let a, _ = B.alloc fb ~name:"fa" T.I64 (B.iconst n) in
+      let c, _ = B.alloc fb ~name:"fc" T.I64 (B.iconst n) in
+      B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst n) (fun i ->
+          let p = B.gep fb ~base:a ~index:i ~elem:T.I64 () in
+          B.store fb T.I64 ~ptr:p ~value:i);
+      B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst n) (fun i ->
+          let p = B.gep fb ~base:c ~index:i ~elem:T.I64 () in
+          B.store fb T.I64 ~ptr:p ~value:(B.bin fb Ir.Mul i (B.iconst 2)));
+      (* dependent loop: reads both; cannot fuse with the writers above
+         (write->read across different iterations is conservative) *)
+      let acc, _ = B.alloc fb ~name:"facc" ~space:Ir.Stack T.I64 (B.iconst 1) in
+      B.store fb T.I64 ~ptr:acc ~value:(B.iconst 0);
+      B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst n) (fun i ->
+          let p = B.gep fb ~base:a ~index:i ~elem:T.I64 () in
+          let v1 = B.load fb T.I64 p in
+          let q = B.gep fb ~base:c ~index:i ~elem:T.I64 () in
+          let v2 = B.load fb T.I64 q in
+          let s = B.load fb T.I64 acc in
+          let s = B.bin fb Ir.Add s (B.bin fb Ir.Add v1 v2) in
+          B.store fb T.I64 ~ptr:acc ~value:s);
+      let v = B.load fb T.I64 acc in
+      B.ret fb v);
+  B.finish b ~entry:"main"
+
+let count_loops prog =
+  count_ops (function Ir.For _ -> true | _ -> false) prog
+
+let test_fusion_fuses_independent () =
+  let prog = fusable_program () in
+  let before = count_loops prog in
+  let fused = Fusion.run prog in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Verifier.verify fused));
+  Alcotest.(check int) "two writers fused" (before - 1) (count_loops fused);
+  (* semantics preserved *)
+  Alcotest.(check bool) "same result" true
+    (Value.equal (run_native prog) (run_native fused))
+
+let test_fusion_respects_dependences () =
+  (* writer then reader of the same site must NOT fuse *)
+  let b = B.program "nofuse" in
+  B.func b "main" [] T.I64 (fun fb _ ->
+      let n = 16 in
+      let a, _ = B.alloc fb ~name:"na" T.I64 (B.iconst n) in
+      B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst n) (fun i ->
+          let p = B.gep fb ~base:a ~index:i ~elem:T.I64 () in
+          B.store fb T.I64 ~ptr:p ~value:i);
+      B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst n) (fun i ->
+          let p = B.gep fb ~base:a ~index:i ~elem:T.I64 () in
+          ignore (B.load fb T.I64 p));
+      B.ret fb (B.iconst 0));
+  let prog = B.finish b ~entry:"main" in
+  let fused = Fusion.run prog in
+  Alcotest.(check int) "loops unchanged" (count_loops prog) (count_loops fused)
+
+let test_native_deref_marks () =
+  let prog = graph_program () in
+  let e = edges_site prog and n = nodes_site prog in
+  let conv = Convert.run prog ~selected:[ e; n ] in
+  let line_of site = if site = e || site = n then Some 1024 else None in
+  let marked = Native.run conv ~line_of in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Verifier.verify marked));
+  let natives =
+    count_ops
+      (function
+        | Ir.Load { meta; _ } | Ir.Store { meta; _ } -> meta.Ir.am_native
+        | _ -> false)
+      marked
+  in
+  (* edges[i].to / .weight after .from, plus node field reuses *)
+  Alcotest.(check bool) "subsequent accesses native" true (natives >= 2)
+
+let test_pipeline_preserves_semantics () =
+  let prog = graph_program () in
+  let e = edges_site prog and n = nodes_site prog in
+  let plan = Pipeline.plan_all ~selected:[ e; n ] ~lines:[ (e, 1024); (n, 128) ] in
+  let compiled = Pipeline.apply prog plan ~params in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Verifier.verify compiled));
+  let v1 = run_native prog in
+  let v2 = run_native compiled in
+  Alcotest.(check bool) "identical results" true (Value.equal v1 v2);
+  (* and on the full Mira runtime with sections *)
+  let rt =
+    Mira_runtime.Runtime.create
+      (Mira_runtime.Runtime.config_default ~local_budget:(1 lsl 17)
+         ~far_capacity:(1 lsl 22))
+  in
+  let mgr = Mira_runtime.Runtime.manager rt in
+  let clock = Mira_sim.Clock.create () in
+  (match
+     Mira_cache.Manager.add_section mgr ~clock
+       (Mira_cache.Section.config_default ~sec_id:1 ~name:"e" ~line:1024
+          ~size:(1 lsl 14))
+   with
+  | Ok _ -> Mira_cache.Manager.assign_site mgr ~site:e ~sec_id:1
+  | Error m -> Alcotest.fail m);
+  (match
+     Mira_cache.Manager.add_section mgr ~clock
+       { (Mira_cache.Section.config_default ~sec_id:2 ~name:"n" ~line:128
+            ~size:(1 lsl 15))
+         with Mira_cache.Section.structure = Mira_cache.Section.Set_assoc 8 }
+   with
+  | Ok _ -> Mira_cache.Manager.assign_site mgr ~site:n ~sec_id:2
+  | Error m -> Alcotest.fail m);
+  let v3 = Machine.run (Machine.create (Mira_runtime.Runtime.memsys rt) compiled) in
+  Alcotest.(check bool) "sections produce same data" true (Value.equal v1 v3)
+
+let test_pipeline_all_workloads_preserved () =
+  (* Every workload compiled with every optimization must compute the
+     same checksum as its uncompiled form. *)
+  let check name prog =
+    let heap_sites =
+      List.map (fun s -> s.Ir.si_id) prog.Ir.p_sites
+    in
+    let lines = List.map (fun s -> (s, 256)) heap_sites in
+    let plan = Pipeline.plan_all ~selected:heap_sites ~lines in
+    let plan = { plan with Pipeline.offload = `None } in
+    let compiled = Pipeline.apply prog plan ~params in
+    Alcotest.(check bool) (name ^ " same result") true
+      (Value.equal (run_native prog) (run_native compiled))
+  in
+  check "graph"
+    (Mira_workloads.Graph_traversal.build
+       { Mira_workloads.Graph_traversal.config_default with
+         Mira_workloads.Graph_traversal.num_edges = 500; num_nodes = 64 });
+  check "dataframe"
+    (Mira_workloads.Dataframe.build
+       { Mira_workloads.Dataframe.config_default with
+         Mira_workloads.Dataframe.rows = 500; groups = 32 });
+  check "mcf"
+    (Mira_workloads.Mcf.build
+       { Mira_workloads.Mcf.config_default with
+         Mira_workloads.Mcf.num_nodes = 100; num_arcs = 400; rounds = 2 });
+  check "gpt2"
+    (Mira_workloads.Gpt2.build
+       { Mira_workloads.Gpt2.config_default with
+         Mira_workloads.Gpt2.layers = 2; d_model = 8; seq = 4 })
+
+let suite =
+  [
+    Alcotest.test_case "instrument" `Quick test_instrument;
+    Alcotest.test_case "instrument only" `Quick test_instrument_only;
+    Alcotest.test_case "convert selection" `Quick test_convert_marks_selected;
+    Alcotest.test_case "prefetch inserts" `Quick test_prefetch_inserts;
+    Alcotest.test_case "prefetch distance" `Quick test_prefetch_distance;
+    Alcotest.test_case "evict inserts" `Quick test_evict_inserts;
+    Alcotest.test_case "fusion fuses" `Quick test_fusion_fuses_independent;
+    Alcotest.test_case "fusion dependences" `Quick test_fusion_respects_dependences;
+    Alcotest.test_case "native deref" `Quick test_native_deref_marks;
+    Alcotest.test_case "pipeline semantics" `Quick test_pipeline_preserves_semantics;
+    Alcotest.test_case "pipeline all workloads" `Slow test_pipeline_all_workloads_preserved;
+  ]

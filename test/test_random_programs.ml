@@ -1,0 +1,213 @@
+(* Differential testing with randomly generated programs.
+
+   A generator builds random (but always verifying) programs over a few
+   far-memory arrays — nested loops, affine and data-dependent indexing
+   guarded by modulo, reads/writes, reductions.  The property: the full
+   optimization pipeline (fusion, conversion, prefetching, eviction
+   hints, native-deref) and every memory system must compute exactly
+   the value the native baseline computes. *)
+module T = Mira_mir.Types
+module Ir = Mira_mir.Ir
+module B = Mira_mir.Builder
+module Machine = Mira_interp.Machine
+module Value = Mira_interp.Value
+module Pipeline = Mira_passes.Pipeline
+
+(* Recipe for one random program, small enough to print on failure. *)
+type array_spec = { a_elems : int }
+
+type stmt =
+  | Seq_read of int  (** arr index, a[i] added to the accumulator *)
+  | Seq_write of int  (** a[i] <- f(i) *)
+  | Indirect_rmw of int * int  (** b[a[i] mod |b|] += 1 *)
+  | Strided_read of int * int  (** a[(i*s) mod n] *)
+  | Rev_read of int  (** a[n-1-i] *)
+
+type recipe = {
+  arrays : array_spec list;
+  loops : (int * stmt list) list;  (** (trip count, body statements) *)
+}
+
+let pp_stmt = function
+  | Seq_read a -> Printf.sprintf "read a%d[i]" a
+  | Seq_write a -> Printf.sprintf "write a%d[i]" a
+  | Indirect_rmw (a, b) -> Printf.sprintf "a%d[a%d[i] mod n]+=1" b a
+  | Strided_read (a, s) -> Printf.sprintf "read a%d[i*%d mod n]" a s
+  | Rev_read a -> Printf.sprintf "read a%d[n-1-i]" a
+
+let pp_recipe r =
+  Printf.sprintf "arrays=[%s] loops=[%s]"
+    (String.concat ";" (List.map (fun a -> string_of_int a.a_elems) r.arrays))
+    (String.concat " | "
+       (List.map
+          (fun (trip, body) ->
+            Printf.sprintf "%dx{%s}" trip (String.concat "," (List.map pp_stmt body)))
+          r.loops))
+
+let gen_recipe =
+  QCheck.Gen.(
+    let* n_arrays = int_range 1 3 in
+    let* arrays = list_repeat n_arrays (map (fun e -> { a_elems = 64 + (e * 8) }) (int_bound 64)) in
+    let arr = int_bound (n_arrays - 1) in
+    let gen_stmt =
+      frequency
+        [
+          (3, map (fun a -> Seq_read a) arr);
+          (3, map (fun a -> Seq_write a) arr);
+          (2, map2 (fun a b -> Indirect_rmw (a, b)) arr arr);
+          (2, map2 (fun a s -> Strided_read (a, 1 + s)) arr (int_bound 6));
+          (1, map (fun a -> Rev_read a) arr);
+        ]
+    in
+    let* n_loops = int_range 1 4 in
+    let* loops =
+      list_repeat n_loops
+        (let* trip = int_range 8 128 in
+         let* body = list_size (int_range 1 4) gen_stmt in
+         return (trip, body))
+    in
+    return { arrays; loops })
+
+let build_program (r : recipe) =
+  let b = B.program "random" in
+  B.func b "main" [] T.I64 (fun fb _ ->
+      let arrays =
+        List.mapi
+          (fun idx spec ->
+            let ptr, _ =
+              B.alloc fb ~name:(Printf.sprintf "ra%d" idx) T.I64
+                (B.iconst spec.a_elems)
+            in
+            (ptr, spec.a_elems))
+          r.arrays
+      in
+      let acc, _ = B.alloc fb ~name:"racc" ~space:Ir.Stack T.I64 (B.iconst 1) in
+      B.store fb T.I64 ~ptr:acc ~value:(B.iconst 0);
+      (* deterministic init *)
+      List.iter
+        (fun (ptr, elems) ->
+          B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst elems) (fun i ->
+              let p = B.gep fb ~base:ptr ~index:i ~elem:T.I64 () in
+              let v = B.bin fb Ir.Mul i (B.iconst 7) in
+              let v = B.bin fb Ir.Land v (B.iconst 0xFF) in
+              B.store fb T.I64 ~ptr:p ~value:v))
+        arrays;
+      let bump v =
+        let s = B.load fb T.I64 acc in
+        B.store fb T.I64 ~ptr:acc ~value:(B.bin fb Ir.Add s v)
+      in
+      List.iter
+        (fun (trip, body) ->
+          B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst trip) (fun i ->
+              List.iter
+                (fun stmt ->
+                  match stmt with
+                  | Seq_read a ->
+                    let ptr, elems = List.nth arrays a in
+                    let idx = B.bin fb Ir.Rem i (B.iconst elems) in
+                    let p = B.gep fb ~base:ptr ~index:idx ~elem:T.I64 () in
+                    bump (B.load fb T.I64 p)
+                  | Seq_write a ->
+                    let ptr, elems = List.nth arrays a in
+                    let idx = B.bin fb Ir.Rem i (B.iconst elems) in
+                    let p = B.gep fb ~base:ptr ~index:idx ~elem:T.I64 () in
+                    B.store fb T.I64 ~ptr:p ~value:(B.bin fb Ir.Add i (B.iconst 3))
+                  | Indirect_rmw (a, bdst) ->
+                    let aptr, aelems = List.nth arrays a in
+                    let bptr, belems = List.nth arrays bdst in
+                    let ai = B.bin fb Ir.Rem i (B.iconst aelems) in
+                    let p = B.gep fb ~base:aptr ~index:ai ~elem:T.I64 () in
+                    let v = B.load fb T.I64 p in
+                    let bi = B.bin fb Ir.Rem v (B.iconst belems) in
+                    let q = B.gep fb ~base:bptr ~index:bi ~elem:T.I64 () in
+                    let w = B.load fb T.I64 q in
+                    B.store fb T.I64 ~ptr:q ~value:(B.bin fb Ir.Add w (B.iconst 1))
+                  | Strided_read (a, s) ->
+                    let ptr, elems = List.nth arrays a in
+                    let idx = B.bin fb Ir.Rem (B.bin fb Ir.Mul i (B.iconst s)) (B.iconst elems) in
+                    let p = B.gep fb ~base:ptr ~index:idx ~elem:T.I64 () in
+                    bump (B.load fb T.I64 p)
+                  | Rev_read a ->
+                    let ptr, elems = List.nth arrays a in
+                    let idx = B.bin fb Ir.Rem i (B.iconst elems) in
+                    let idx = B.bin fb Ir.Sub (B.iconst (elems - 1)) idx in
+                    let p = B.gep fb ~base:ptr ~index:idx ~elem:T.I64 () in
+                    bump (B.load fb T.I64 p))
+                body))
+        r.loops;
+      (* fold the arrays into the checksum *)
+      List.iter
+        (fun (ptr, elems) ->
+          B.for_ fb ~lo:(B.iconst 0) ~hi:(B.iconst elems) (fun i ->
+              let p = B.gep fb ~base:ptr ~index:i ~elem:T.I64 () in
+              bump (B.load fb T.I64 p)))
+        arrays;
+      let v = B.load fb T.I64 acc in
+      B.ret fb v);
+  B.finish b ~entry:"main"
+
+let far_capacity = 1 lsl 20
+
+let run_on ms prog = Machine.run (Machine.create ~seed:9 ms prog)
+
+let native_value prog =
+  run_on (Mira_baselines.Native.create ~capacity:far_capacity ()) prog
+
+let qcheck_pipeline_preserves =
+  QCheck.Test.make ~name:"pipeline preserves random programs" ~count:60
+    (QCheck.make ~print:pp_recipe gen_recipe)
+    (fun recipe ->
+      let prog = build_program recipe in
+      Mira_mir.Verifier.verify_exn prog;
+      let expected = native_value prog in
+      let sites = List.map (fun s -> s.Ir.si_id) prog.Ir.p_sites in
+      let plan =
+        Pipeline.plan_all ~selected:sites ~lines:(List.map (fun s -> (s, 256)) sites)
+      in
+      let plan = { plan with Pipeline.offload = `None } in
+      let compiled = Pipeline.apply prog plan ~params:Mira_sim.Params.default in
+      Value.equal expected (native_value compiled))
+
+let qcheck_systems_agree =
+  QCheck.Test.make ~name:"all memory systems agree on random programs" ~count:40
+    (QCheck.make ~print:pp_recipe gen_recipe)
+    (fun recipe ->
+      let prog = build_program recipe in
+      let expected = native_value prog in
+      let budget = 16 * 4096 in
+      let swap =
+        Mira_runtime.Runtime.(
+          memsys (create (config_default ~local_budget:budget ~far_capacity)))
+      in
+      let fs =
+        Mira_baselines.Fastswap.create ~local_budget:budget ~far_capacity ()
+      in
+      let aifm =
+        Mira_baselines.Aifm.create ~gran:(fun _ -> 512) ~local_budget:budget
+          ~far_capacity ()
+      in
+      Value.equal expected (run_on swap prog)
+      && Value.equal expected (run_on fs prog)
+      && Value.equal expected (run_on aifm prog))
+
+let qcheck_controller_preserves =
+  QCheck.Test.make ~name:"controller preserves random programs" ~count:10
+    (QCheck.make ~print:pp_recipe gen_recipe)
+    (fun recipe ->
+      let prog = build_program recipe in
+      let expected = native_value prog in
+      let opts =
+        { (Mira.Controller.options_default ~local_budget:(16 * 4096)
+             ~far_capacity)
+          with Mira.Controller.max_iterations = 2; seed = 9 }
+      in
+      let compiled = Mira.Controller.optimize opts prog in
+      let v, _ = Mira.Controller.run compiled in
+      Value.equal expected v)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_pipeline_preserves;
+    QCheck_alcotest.to_alcotest qcheck_systems_agree;
+    QCheck_alcotest.to_alcotest qcheck_controller_preserves;
+  ]

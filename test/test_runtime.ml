@@ -1,0 +1,268 @@
+(* Tests for the runtime layer: pointer encoding, the buffering local
+   allocator, profiling counters, and the section-based memory system. *)
+module Rptr = Mira_runtime.Rptr
+module Local_alloc = Mira_runtime.Local_alloc
+module Profile = Mira_runtime.Profile
+module Runtime = Mira_runtime.Runtime
+module Memsys = Mira_runtime.Memsys
+module Manager = Mira_cache.Manager
+module Section = Mira_cache.Section
+module Remote_alloc = Mira_sim.Remote_alloc
+
+let test_rptr_roundtrip () =
+  let cases = [ (0, 0); (1, 0); (42, 123456); (Rptr.max_section, Rptr.max_offset) ] in
+  List.iter
+    (fun (section, offset) ->
+      let v = Rptr.encode ~section ~offset in
+      Alcotest.(check int) "section" section (Rptr.section v);
+      Alcotest.(check int) "offset" offset (Rptr.offset v))
+    cases
+
+let test_rptr_local () =
+  let v = Rptr.encode_local 999 in
+  Alcotest.(check bool) "local" true (Rptr.is_local v);
+  Alcotest.(check int) "addr" 999 (Rptr.offset v);
+  let remote = Rptr.encode ~section:5 ~offset:10 in
+  Alcotest.(check bool) "remote" false (Rptr.is_local remote)
+
+let test_rptr_bounds () =
+  Alcotest.(check bool) "section too big" true
+    (try
+       ignore (Rptr.encode ~section:(Rptr.max_section + 1) ~offset:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "offset too big" true
+    (try
+       ignore (Rptr.encode ~section:0 ~offset:(Rptr.max_offset + 1));
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_rptr =
+  QCheck.Test.make ~name:"rptr roundtrip" ~count:1000
+    QCheck.(pair (int_bound Rptr.max_section) (int_bound 1_000_000_000))
+    (fun (section, offset) ->
+      let v = Rptr.encode ~section ~offset in
+      Rptr.section v = section && Rptr.offset v = offset)
+
+let test_local_alloc_buffers () =
+  let remote = Remote_alloc.create ~base:0 ~limit:(1 lsl 20) in
+  let la = Local_alloc.create remote ~chunk:4096 in
+  let _, refilled1 = Local_alloc.alloc la 100 in
+  Alcotest.(check bool) "first refills" true refilled1;
+  let _, refilled2 = Local_alloc.alloc la 100 in
+  Alcotest.(check bool) "second buffered" false refilled2;
+  Alcotest.(check int) "one remote round trip" 1 (Local_alloc.refills la)
+
+let test_local_alloc_reuse () =
+  let remote = Remote_alloc.create ~base:0 ~limit:(1 lsl 20) in
+  let la = Local_alloc.create remote ~chunk:4096 in
+  let a, _ = Local_alloc.alloc la 256 in
+  Local_alloc.free la ~addr:a ~len:256;
+  let b, refilled = Local_alloc.alloc la 256 in
+  Alcotest.(check bool) "reused without refill" false refilled;
+  Alcotest.(check int) "same range" a b
+
+let test_local_alloc_fallback () =
+  (* When the remote space is smaller than the chunk, refill must fall
+     back to the exact request instead of failing. *)
+  let remote = Remote_alloc.create ~base:0 ~limit:1024 in
+  let la = Local_alloc.create remote ~chunk:(1 lsl 20) in
+  let _, refilled = Local_alloc.alloc la 512 in
+  Alcotest.(check bool) "fallback worked" true refilled
+
+let test_profile_attribution () =
+  let p = Profile.create () in
+  Profile.enter p ~tid:0 ~now:0.0 "outer";
+  Profile.enter p ~tid:0 ~now:10.0 "inner";
+  Profile.add_runtime p ~tid:0 ~ns:5.0;
+  Profile.add_event p ~tid:0 ~hit:false;
+  Profile.exit_ p ~tid:0 ~now:50.0 "inner";
+  Profile.exit_ p ~tid:0 ~now:100.0 "outer";
+  let stats = Profile.fn_stats p in
+  let outer = List.assoc "outer" stats and inner = List.assoc "inner" stats in
+  Alcotest.(check (float 1e-9)) "outer inclusive" 100.0 outer.Profile.total_ns;
+  Alcotest.(check (float 1e-9)) "inner inclusive" 40.0 inner.Profile.total_ns;
+  (* runtime time attributed to the whole stack *)
+  Alcotest.(check (float 1e-9)) "outer runtime" 5.0 outer.Profile.runtime_ns;
+  Alcotest.(check (float 1e-9)) "inner runtime" 5.0 inner.Profile.runtime_ns;
+  Alcotest.(check int) "miss counted" 1 inner.Profile.misses
+
+let test_profile_selection () =
+  let p = Profile.create () in
+  Profile.enter p ~tid:0 ~now:0.0 "hot";
+  Profile.touch p ~tid:0 ~site:1;
+  Profile.add_runtime p ~tid:0 ~ns:1000.0;
+  Profile.add_site_overhead p ~site:1 ~ns:1000.0;
+  Profile.exit_ p ~tid:0 ~now:1100.0 "hot";
+  Profile.enter p ~tid:0 ~now:1100.0 "cold";
+  Profile.touch p ~tid:0 ~site:2;
+  Profile.add_runtime p ~tid:0 ~ns:10.0;
+  Profile.add_site_overhead p ~site:2 ~ns:10.0;
+  Profile.exit_ p ~tid:0 ~now:2200.0 "cold";
+  Profile.add_alloc p ~site:1 ~bytes:100;
+  Profile.add_alloc p ~site:2 ~bytes:1_000_000;
+  (match Profile.top_functions p ~frac:0.5 with
+  | [ f ] -> Alcotest.(check string) "hot first" "hot" f
+  | other -> Alcotest.failf "expected 1 function, got %d" (List.length other));
+  (* overhead outranks size *)
+  match Profile.largest_sites p ~frac:0.5 ~among:[ "hot"; "cold" ] with
+  | [ s ] -> Alcotest.(check int) "costliest site" 1 s
+  | other -> Alcotest.failf "expected 1 site, got %d" (List.length other)
+
+let make_runtime ?(budget = 1 lsl 16) () =
+  Runtime.create
+    { (Runtime.config_default ~local_budget:budget ~far_capacity:(1 lsl 20)) with
+      Runtime.swap_readahead = 0 }
+
+let test_runtime_alloc_load_store () =
+  let rt = make_runtime () in
+  let ms = Runtime.memsys rt in
+  let ptr = ms.Memsys.alloc ~tid:0 ~site:1 ~bytes:4096 ~heap:true in
+  Alcotest.(check bool) "far" true (ptr.Memsys.space = Memsys.Far);
+  ms.Memsys.store ~tid:0 ~ptr ~len:8 ~native:false ~value:77L;
+  Alcotest.(check int64) "read" 77L (ms.Memsys.load ~tid:0 ~ptr ~len:8 ~native:false);
+  let sptr = ms.Memsys.alloc ~tid:0 ~site:2 ~bytes:64 ~heap:false in
+  Alcotest.(check bool) "stack local" true (sptr.Memsys.space = Memsys.Local);
+  ms.Memsys.store ~tid:0 ~ptr:sptr ~len:8 ~native:false ~value:5L;
+  Alcotest.(check int64) "stack read" 5L
+    (ms.Memsys.load ~tid:0 ~ptr:sptr ~len:8 ~native:false)
+
+let test_runtime_section_routing () =
+  let rt = make_runtime () in
+  let ms = Runtime.memsys rt in
+  let mgr = Runtime.manager rt in
+  let clock = Mira_sim.Clock.create () in
+  let cfg = Section.config_default ~sec_id:1 ~name:"s" ~line:64 ~size:4096 in
+  (match Manager.add_section mgr ~clock cfg with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Manager.assign_site mgr ~site:7 ~sec_id:1;
+  let ptr = ms.Memsys.alloc ~tid:0 ~site:7 ~bytes:1024 ~heap:true in
+  ms.Memsys.store ~tid:0 ~ptr ~len:8 ~native:false ~value:3L;
+  let section = Option.get (Manager.find_section mgr ~id:1) in
+  Alcotest.(check bool) "went through the section" true
+    ((Section.stats section).Section.misses > 0);
+  Alcotest.(check int64) "value" 3L (ms.Memsys.load ~tid:0 ~ptr ~len:8 ~native:false)
+
+let test_runtime_free_reuses () =
+  let rt = make_runtime () in
+  let ms = Runtime.memsys rt in
+  let ptr = ms.Memsys.alloc ~tid:0 ~site:1 ~bytes:1024 ~heap:true in
+  ms.Memsys.free ~tid:0 ~ptr;
+  let ptr2 = ms.Memsys.alloc ~tid:0 ~site:1 ~bytes:1024 ~heap:true in
+  Alcotest.(check int) "address reused" ptr.Memsys.addr ptr2.Memsys.addr
+
+let test_runtime_flush_discard_sites () =
+  let rt = make_runtime () in
+  let ms = Runtime.memsys rt in
+  let far = Runtime.far_store rt in
+  let ptr = ms.Memsys.alloc ~tid:0 ~site:3 ~bytes:256 ~heap:true in
+  ms.Memsys.store ~tid:0 ~ptr ~len:8 ~native:false ~value:11L;
+  ms.Memsys.flush_sites ~tid:0 ~sites:[ 3 ];
+  Alcotest.(check int64) "flushed to far" 11L
+    (Mira_sim.Far_store.read_i64 far ~addr:ptr.Memsys.addr);
+  (* Far-side mutation then discard: next load must see the new value. *)
+  Mira_sim.Far_store.write_i64 far ~addr:ptr.Memsys.addr 22L;
+  ms.Memsys.discard_sites ~tid:0 ~sites:[ 3 ];
+  Alcotest.(check int64) "sees far mutation" 22L
+    (ms.Memsys.load ~tid:0 ~ptr ~len:8 ~native:false)
+
+let test_runtime_offload_mode () =
+  let rt = make_runtime () in
+  let ms = Runtime.memsys rt in
+  let ptr = ms.Memsys.alloc ~tid:0 ~site:1 ~bytes:256 ~heap:true in
+  ms.Memsys.store ~tid:0 ~ptr ~len:8 ~native:false ~value:1L;
+  ms.Memsys.flush_sites ~tid:0 ~sites:[ 1 ];
+  ms.Memsys.offload_begin ~tid:0;
+  (* Offloaded accesses are far-node local: no cache involvement. *)
+  ms.Memsys.store ~tid:0 ~ptr ~len:8 ~native:false ~value:42L;
+  Alcotest.(check int64) "far-node read" 42L
+    (ms.Memsys.load ~tid:0 ~ptr ~len:8 ~native:false);
+  ms.Memsys.offload_end ~tid:0;
+  ms.Memsys.discard_sites ~tid:0 ~sites:[ 1 ];
+  Alcotest.(check int64) "local node sees far write" 42L
+    (ms.Memsys.load ~tid:0 ~ptr ~len:8 ~native:false)
+
+let test_runtime_reset_timing () =
+  let rt = make_runtime () in
+  let ms = Runtime.memsys rt in
+  let ptr = ms.Memsys.alloc ~tid:0 ~site:1 ~bytes:256 ~heap:true in
+  ms.Memsys.store ~tid:0 ~ptr ~len:8 ~native:false ~value:9L;
+  Alcotest.(check bool) "time advanced" true (ms.Memsys.elapsed () > 0.0);
+  ms.Memsys.reset_timing ();
+  Alcotest.(check (float 0.0)) "clocks zeroed" 0.0 (ms.Memsys.elapsed ());
+  Alcotest.(check int64) "data kept" 9L
+    (ms.Memsys.load ~tid:0 ~ptr ~len:8 ~native:false)
+
+let test_runtime_private_sections () =
+  let rt = make_runtime () in
+  let ms = Runtime.memsys rt in
+  let mgr = Runtime.manager rt in
+  let clock = Mira_sim.Clock.create () in
+  List.iter
+    (fun id ->
+      match
+        Manager.add_section mgr ~clock
+          (Section.config_default ~sec_id:id ~name:"p" ~line:64 ~size:2048)
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    [ 1; 2 ];
+  Runtime.set_private_sections rt ~site:5 ~sec_ids:[| 1; 2 |];
+  let ptr = ms.Memsys.alloc ~tid:0 ~site:5 ~bytes:512 ~heap:true in
+  ignore (ms.Memsys.load ~tid:0 ~ptr ~len:8 ~native:false);
+  ignore (ms.Memsys.load ~tid:1 ~ptr ~len:8 ~native:false);
+  let s1 = Option.get (Manager.find_section mgr ~id:1) in
+  let s2 = Option.get (Manager.find_section mgr ~id:2) in
+  Alcotest.(check int) "tid0 in section 1" 1 (Section.stats s1).Section.misses;
+  Alcotest.(check int) "tid1 in section 2" 1 (Section.stats s2).Section.misses
+
+(* Regression: objects must never share a swap page / section line —
+   two incoherent cached copies of the overlap would clobber each other
+   (found by the DataFrame checksum guard). *)
+let test_runtime_no_page_sharing () =
+  let rt = make_runtime () in
+  let ms = Runtime.memsys rt in
+  let mgr = Runtime.manager rt in
+  let clock = Mira_sim.Clock.create () in
+  (match
+     Manager.add_section mgr ~clock
+       (Section.config_default ~sec_id:1 ~name:"s" ~line:2048 ~size:8192)
+   with
+  | Ok _ -> Manager.assign_site mgr ~site:1 ~sec_id:1
+  | Error e -> Alcotest.fail e);
+  (* site 1 sectioned, site 2 on swap, allocated back to back *)
+  let p1 = ms.Memsys.alloc ~tid:0 ~site:1 ~bytes:24 ~heap:true in
+  let p2 = ms.Memsys.alloc ~tid:0 ~site:2 ~bytes:24 ~heap:true in
+  Alcotest.(check bool) "page aligned" true (p1.Memsys.addr mod 4096 = 0);
+  Alcotest.(check bool) "no shared page" true
+    (p1.Memsys.addr / 4096 <> p2.Memsys.addr / 4096);
+  (* interleaved writes through the two paths stay coherent *)
+  ms.Memsys.store ~tid:0 ~ptr:p1 ~len:8 ~native:false ~value:1L;
+  ms.Memsys.store ~tid:0 ~ptr:p2 ~len:8 ~native:false ~value:2L;
+  ms.Memsys.flush_sites ~tid:0 ~sites:[ 1; 2 ];
+  Alcotest.(check int64) "site1 intact" 1L
+    (ms.Memsys.load ~tid:0 ~ptr:p1 ~len:8 ~native:false);
+  Alcotest.(check int64) "site2 intact" 2L
+    (ms.Memsys.load ~tid:0 ~ptr:p2 ~len:8 ~native:false)
+
+let suite =
+  [
+    Alcotest.test_case "rptr roundtrip" `Quick test_rptr_roundtrip;
+    Alcotest.test_case "rptr local" `Quick test_rptr_local;
+    Alcotest.test_case "rptr bounds" `Quick test_rptr_bounds;
+    QCheck_alcotest.to_alcotest qcheck_rptr;
+    Alcotest.test_case "local_alloc buffers" `Quick test_local_alloc_buffers;
+    Alcotest.test_case "local_alloc reuse" `Quick test_local_alloc_reuse;
+    Alcotest.test_case "local_alloc fallback" `Quick test_local_alloc_fallback;
+    Alcotest.test_case "profile attribution" `Quick test_profile_attribution;
+    Alcotest.test_case "profile selection" `Quick test_profile_selection;
+    Alcotest.test_case "runtime alloc/load/store" `Quick test_runtime_alloc_load_store;
+    Alcotest.test_case "runtime section routing" `Quick test_runtime_section_routing;
+    Alcotest.test_case "runtime free reuse" `Quick test_runtime_free_reuses;
+    Alcotest.test_case "runtime flush/discard" `Quick test_runtime_flush_discard_sites;
+    Alcotest.test_case "runtime offload mode" `Quick test_runtime_offload_mode;
+    Alcotest.test_case "runtime reset timing" `Quick test_runtime_reset_timing;
+    Alcotest.test_case "runtime private sections" `Quick test_runtime_private_sections;
+    Alcotest.test_case "runtime page segregation" `Quick test_runtime_no_page_sharing;
+  ]

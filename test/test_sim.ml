@@ -1,0 +1,173 @@
+(* Unit and property tests for Mira_sim. *)
+module Params = Mira_sim.Params
+module Clock = Mira_sim.Clock
+module Net = Mira_sim.Net
+module Far_store = Mira_sim.Far_store
+module Remote_alloc = Mira_sim.Remote_alloc
+module Rpc = Mira_sim.Rpc
+
+let test_clock_basic () =
+  let c = Clock.create () in
+  Alcotest.(check (float 0.0)) "starts at 0" 0.0 (Clock.now c);
+  Clock.advance c 5.0;
+  Clock.advance c 2.5;
+  Alcotest.(check (float 1e-9)) "advances" 7.5 (Clock.now c);
+  let stall = Clock.wait_until c 10.0 in
+  Alcotest.(check (float 1e-9)) "stall" 2.5 stall;
+  Alcotest.(check (float 1e-9)) "at deadline" 10.0 (Clock.now c);
+  let stall2 = Clock.wait_until c 3.0 in
+  Alcotest.(check (float 0.0)) "past deadline free" 0.0 stall2;
+  Clock.reset c;
+  Alcotest.(check (float 0.0)) "reset" 0.0 (Clock.now c)
+
+let test_net_latency_ordering () =
+  let net = Net.create Params.default in
+  let x1 = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:64 () in
+  let x2 = Net.fetch net ~side:Net.Two_sided ~purpose:Net.Demand ~now:0.0 ~bytes:64 () in
+  Alcotest.(check bool) "two-sided slower" true (x2.Net.done_at > x1.Net.done_at)
+
+let test_net_bandwidth_serializes () =
+  let net = Net.create Params.default in
+  let big = 1 lsl 20 in
+  let x1 = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:big () in
+  let x2 = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:big () in
+  let wire = float_of_int big /. Params.default.Params.bandwidth_bytes_per_ns in
+  Alcotest.(check bool) "second waits for wire" true
+    (x2.Net.done_at -. x1.Net.done_at >= wire -. 1.0)
+
+let test_net_async_cheaper () =
+  let net = Net.create Params.default in
+  let sync = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:64 () in
+  let asyn =
+    Net.fetch net ~async:true ~side:Net.One_sided ~purpose:Net.Prefetch ~now:0.0
+      ~bytes:64 ()
+  in
+  Alcotest.(check bool) "async post cheaper" true
+    (asyn.Net.issue_cpu_ns < sync.Net.issue_cpu_ns)
+
+let test_net_stats () =
+  let net = Net.create Params.default in
+  ignore (Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:100 ());
+  ignore (Net.push net ~side:Net.One_sided ~purpose:Net.Writeback ~now:0.0 ~bytes:50 ());
+  let s = Net.stats net in
+  Alcotest.(check int) "msgs" 2 s.Net.msg_count;
+  Alcotest.(check int) "in" 100 s.Net.bytes_in;
+  Alcotest.(check int) "out" 50 s.Net.bytes_out;
+  Alcotest.(check int) "demand" 100 s.Net.bytes_demand;
+  Alcotest.(check int) "writeback" 50 s.Net.bytes_writeback;
+  Net.reset_stats net;
+  Alcotest.(check int) "reset" 0 (Net.stats net).Net.msg_count
+
+let test_far_store_rw () =
+  let fs = Far_store.create ~capacity:(1 lsl 16) in
+  Far_store.write_i64 fs ~addr:128 0xDEADBEEFL;
+  Alcotest.(check int64) "read back" 0xDEADBEEFL (Far_store.read_i64 fs ~addr:128);
+  Alcotest.(check int64) "zero fill" 0L (Far_store.read_i64 fs ~addr:1024);
+  let src = Bytes.of_string "hello world!" in
+  Far_store.write fs ~addr:500 ~len:12 ~src ~src_off:0;
+  let dst = Bytes.make 12 ' ' in
+  Far_store.read fs ~addr:500 ~len:12 ~dst ~dst_off:0;
+  Alcotest.(check string) "blit" "hello world!" (Bytes.to_string dst)
+
+let test_far_store_capacity () =
+  let fs = Far_store.create ~capacity:4096 in
+  Alcotest.check_raises "over capacity"
+    (Failure "Far_store: access at 4104 exceeds capacity 4096") (fun () ->
+      Far_store.write_i64 fs ~addr:4096 1L)
+
+let test_far_store_blit_within () =
+  let fs = Far_store.create ~capacity:(1 lsl 12) in
+  Far_store.write_i64 fs ~addr:0 42L;
+  Far_store.blit_within fs ~src:0 ~dst:512 ~len:8;
+  Alcotest.(check int64) "copied" 42L (Far_store.read_i64 fs ~addr:512)
+
+let test_remote_alloc_basic () =
+  let ra = Remote_alloc.create ~base:64 ~limit:4096 in
+  let a = Remote_alloc.alloc ra 100 in
+  let b = Remote_alloc.alloc ra 100 in
+  Alcotest.(check bool) "disjoint" true (abs (a - b) >= 104);
+  Alcotest.(check bool) "aligned" true (a mod 8 = 0 && b mod 8 = 0);
+  Alcotest.(check int) "live" 208 (Remote_alloc.live_bytes ra);
+  Remote_alloc.free ra ~addr:a ~len:100;
+  Alcotest.(check int) "after free" 104 (Remote_alloc.live_bytes ra);
+  Alcotest.(check bool) "no overlap" true (Remote_alloc.check_no_overlap ra)
+
+let test_remote_alloc_exhaustion () =
+  let ra = Remote_alloc.create ~base:0 ~limit:256 in
+  let _ = Remote_alloc.alloc ra 128 in
+  let _ = Remote_alloc.alloc ra 120 in
+  Alcotest.check_raises "exhausted" Out_of_memory (fun () ->
+      ignore (Remote_alloc.alloc ra 64))
+
+let test_remote_alloc_coalesce () =
+  let ra = Remote_alloc.create ~base:0 ~limit:256 in
+  let a = Remote_alloc.alloc ra 64 in
+  let b = Remote_alloc.alloc ra 64 in
+  let c = Remote_alloc.alloc ra 64 in
+  Remote_alloc.free ra ~addr:a ~len:64;
+  Remote_alloc.free ra ~addr:c ~len:64;
+  Remote_alloc.free ra ~addr:b ~len:64;
+  (* After coalescing, a full-size allocation must succeed again. *)
+  let big = Remote_alloc.alloc ra 256 in
+  Alcotest.(check int) "coalesced" 0 big
+
+let test_remote_alloc_double_free () =
+  let ra = Remote_alloc.create ~base:0 ~limit:256 in
+  let a = Remote_alloc.alloc ra 64 in
+  Remote_alloc.free ra ~addr:a ~len:64;
+  Alcotest.(check bool) "double free rejected" true
+    (try
+       Remote_alloc.free ra ~addr:a ~len:64;
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: random alloc/free sequences keep live ranges disjoint and
+   high-water monotone. *)
+let qcheck_alloc_free =
+  QCheck.Test.make ~name:"remote_alloc random ops stay consistent" ~count:100
+    QCheck.(list (int_range 8 512))
+    (fun sizes ->
+      let ra = Remote_alloc.create ~base:0 ~limit:(1 lsl 20) in
+      let live = ref [] in
+      let step i size =
+        if i mod 3 = 2 && !live <> [] then begin
+          match !live with
+          | (addr, len) :: rest ->
+            Remote_alloc.free ra ~addr ~len;
+            live := rest
+          | [] -> ()
+        end
+        else begin
+          let addr = Remote_alloc.alloc ra size in
+          live := (addr, size) :: !live
+        end
+      in
+      List.iteri step sizes;
+      Remote_alloc.check_no_overlap ra
+      && Remote_alloc.high_water ra >= Remote_alloc.live_bytes ra)
+
+let test_rpc_cost () =
+  let net = Net.create Params.default in
+  let c = Rpc.issue net ~now:0.0 ~args_bytes:64 in
+  Alcotest.(check bool) "send after rpc overhead" true
+    (c.Rpc.send_done_at >= Params.default.Params.rpc_overhead_ns);
+  let done_at = Rpc.complete net ~body_done_at:c.Rpc.send_done_at ~ret_bytes:8 in
+  Alcotest.(check bool) "completion later" true (done_at > c.Rpc.send_done_at)
+
+let suite =
+  [
+    Alcotest.test_case "clock basic" `Quick test_clock_basic;
+    Alcotest.test_case "net latency" `Quick test_net_latency_ordering;
+    Alcotest.test_case "net bandwidth" `Quick test_net_bandwidth_serializes;
+    Alcotest.test_case "net async" `Quick test_net_async_cheaper;
+    Alcotest.test_case "net stats" `Quick test_net_stats;
+    Alcotest.test_case "far_store rw" `Quick test_far_store_rw;
+    Alcotest.test_case "far_store capacity" `Quick test_far_store_capacity;
+    Alcotest.test_case "far_store blit" `Quick test_far_store_blit_within;
+    Alcotest.test_case "remote_alloc basic" `Quick test_remote_alloc_basic;
+    Alcotest.test_case "remote_alloc exhaustion" `Quick test_remote_alloc_exhaustion;
+    Alcotest.test_case "remote_alloc coalesce" `Quick test_remote_alloc_coalesce;
+    Alcotest.test_case "remote_alloc double free" `Quick test_remote_alloc_double_free;
+    Alcotest.test_case "rpc cost" `Quick test_rpc_cost;
+    QCheck_alcotest.to_alcotest qcheck_alloc_free;
+  ]

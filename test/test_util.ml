@@ -1,0 +1,136 @@
+(* Unit and property tests for Mira_util. *)
+module Prng = Mira_util.Prng
+module Stats = Mira_util.Stats
+module Misc = Mira_util.Misc
+module Table = Mira_util.Table
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let t = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_in () =
+  let t = Prng.create 3 in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_in t (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_split_independent () =
+  let t = Prng.create 9 in
+  let u = Prng.split t in
+  let xs = List.init 16 (fun _ -> Prng.next_int64 t) in
+  let ys = List.init 16 (fun _ -> Prng.next_int64 u) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_uniformish () =
+  let t = Prng.create 123 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int t 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true
+        (abs (c - (n / 10)) < n / 50))
+    buckets
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_stats_mean_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.stddev xs)
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_stats_empty () =
+  Alcotest.(check (float 0.0)) "mean empty" 0.0 (Stats.mean [||]);
+  Alcotest.check_raises "percentile empty"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 50.0))
+
+let test_stats_online () =
+  let o = Stats.online_create () in
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Array.iter (Stats.online_add o) xs;
+  Alcotest.(check int) "count" 8 (Stats.online_count o);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean xs) (Stats.online_mean o);
+  Alcotest.(check (float 1e-6)) "stddev" (Stats.stddev xs) (Stats.online_stddev o)
+
+let test_misc_round () =
+  Alcotest.(check int) "round_up" 16 (Misc.round_up 13 8);
+  Alcotest.(check int) "round_up exact" 16 (Misc.round_up 16 8);
+  Alcotest.(check int) "round_down" 8 (Misc.round_down 13 8);
+  Alcotest.(check int) "divide_ceil" 3 (Misc.divide_ceil 17 8)
+
+let test_misc_pow2 () =
+  Alcotest.(check bool) "pow2" true (Misc.is_pow2 64);
+  Alcotest.(check bool) "not pow2" false (Misc.is_pow2 48);
+  Alcotest.(check int) "next_pow2" 64 (Misc.next_pow2 33);
+  Alcotest.(check int) "next_pow2 exact" 32 (Misc.next_pow2 32);
+  Alcotest.(check int) "log2" 5 (Misc.log2 32);
+  Alcotest.(check int) "log2 floor" 5 (Misc.log2 63)
+
+let test_misc_clamp () =
+  Alcotest.(check int) "clamp lo" 3 (Misc.clamp ~lo:3 ~hi:9 1);
+  Alcotest.(check int) "clamp hi" 9 (Misc.clamp ~lo:3 ~hi:9 99);
+  Alcotest.(check int) "clamp mid" 5 (Misc.clamp ~lo:3 ~hi:9 5)
+
+let test_table_render () =
+  let t = Table.create ~header:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length out > 0 && String.sub out 0 4 = "name");
+  (* rows render in insertion order *)
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 4 (List.length lines)
+
+let qcheck_round_up =
+  QCheck.Test.make ~name:"round_up is minimal multiple" ~count:500
+    QCheck.(pair (int_bound 100_000) (int_range 1 512))
+    (fun (x, align) ->
+      let r = Misc.round_up x align in
+      r >= x && r mod align = 0 && r - x < align)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng int_in" `Quick test_prng_int_in;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng uniform" `Quick test_prng_uniformish;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutation;
+    Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats online" `Quick test_stats_online;
+    Alcotest.test_case "misc round" `Quick test_misc_round;
+    Alcotest.test_case "misc pow2" `Quick test_misc_pow2;
+    Alcotest.test_case "misc clamp" `Quick test_misc_clamp;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    QCheck_alcotest.to_alcotest qcheck_round_up;
+  ]
