@@ -681,32 +681,15 @@ let taba () =
       let total_funcs = List.length prog.Ir.p_funcs in
       let total_sites = List.length prog.Ir.p_sites in
       let sel_sites = List.length compiled.C.c_plan.Pipeline.selected in
-      (* functions the profiler actually selected: parse the decision log *)
+      (* functions the profiler actually selected: widest Select event *)
       let sel_funcs =
         List.fold_left
-          (fun acc line ->
-            match String.index_opt line '[' with
-            | Some i when
-                String.length line > 20
-                && String.sub line 0 9 = "iteration"
-                && String.length line > i ->
-              (match String.index_from_opt line i ']' with
-              | Some j ->
-                let inner = String.sub line (i + 1) (j - i - 1) in
-                if inner = "" then acc
-                else max acc (List.length (String.split_on_char ',' inner))
-              | None -> acc)
+          (fun acc d ->
+            match d with
+            | Mira_telemetry.Decision.Select { functions; _ } ->
+              max acc (List.length functions)
             | _ -> acc)
-          0
-          (List.filter
-             (fun l ->
-               (* "iteration N: functions=[...] sites=[...]" lines *)
-               String.length l > 10
-               &&
-               match String.index_opt l 'f' with
-               | Some _ -> true
-               | None -> false)
-             compiled.C.c_log)
+          0 compiled.C.c_log
       in
       (* recompilation wall time for the final plan *)
       let t0 = Unix.gettimeofday () in

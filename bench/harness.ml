@@ -6,6 +6,8 @@ module Machine = Mira_interp.Machine
 module Value = Mira_interp.Value
 module C = Mira.Controller
 module Table = Mira_util.Table
+module Json = Mira_telemetry.Json
+module Decision = Mira_telemetry.Decision
 
 type system =
   | Native
@@ -45,36 +47,38 @@ let make_ctx ?(params = Mira_sim.Params.default) ?(verbose = false)
 
 let measured ctx = Mira_passes.Instrument.run_only ctx.prog ~names:[ C.work_function ctx.prog ]
 
-(* Simulated work time for one system at one local-memory budget. *)
-let run ctx ~budget system =
+(* Simulated work time for one system at one local-memory budget;
+   for Mira also the (iteration, work_ns) trajectory from the
+   controller's decision trace. *)
+let run_detail ctx ~budget system =
   let p = ctx.params in
   try
     match system with
     | Native ->
       let ms = Mira_baselines.Native.create ~params:p ~capacity:ctx.far_capacity () in
       let machine = Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx) in
-      Time (snd (C.measure_work ms machine))
+      (Time (snd (C.measure_work ms machine)), None)
     | Fastswap ->
       let ms =
         Mira_baselines.Fastswap.create ~params:p ~local_budget:budget
           ~far_capacity:ctx.far_capacity ()
       in
       let machine = Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx) in
-      Time (snd (C.measure_work ms machine))
+      (Time (snd (C.measure_work ms machine)), None)
     | Leap ->
       let ms =
         Mira_baselines.Leap.create ~params:p ~local_budget:budget
           ~far_capacity:ctx.far_capacity ()
       in
       let machine = Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx) in
-      Time (snd (C.measure_work ms machine))
+      (Time (snd (C.measure_work ms machine)), None)
     | Aifm gran ->
       let ms =
         Mira_baselines.Aifm.create ~params:p ~gran:(gran ctx.prog)
           ~local_budget:budget ~far_capacity:ctx.far_capacity ()
       in
       let machine = Machine.create ~nthreads:ctx.nthreads ~seed:42 ms (measured ctx) in
-      Time (snd (C.measure_work ms machine))
+      (Time (snd (C.measure_work ms machine)), None)
     | Mira_sys tweak ->
       let opts =
         tweak
@@ -85,10 +89,22 @@ let run ctx ~budget system =
             verbose = ctx.verbose }
       in
       let compiled = C.optimize opts ctx.prog in
-      Time (snd (C.run compiled))
+      let trajectory =
+        List.filter_map
+          (function
+            | Decision.Profile_run { iteration; work_ns } ->
+              Some (iteration, work_ns)
+            | Decision.Measure { iteration; work_ns; _ } ->
+              Some (iteration, work_ns)
+            | _ -> None)
+          compiled.C.c_log
+      in
+      (Time (snd (C.run compiled)), Some trajectory)
   with
-  | Mira_baselines.Aifm.Oom _ -> Failed "OOM"
-  | e -> Failed (Printexc.to_string e)
+  | Mira_baselines.Aifm.Oom _ -> (Failed "OOM", None)
+  | e -> (Failed (Printexc.to_string e), None)
+
+let run ctx ~budget system = fst (run_detail ctx ~budget system)
 
 let cell ~native = function
   | Time t -> Printf.sprintf "%.2fx" (t /. native)
@@ -97,6 +113,61 @@ let cell ~native = function
 let cell_ms = function
   | Time t -> Printf.sprintf "%.3f" (t /. 1e6)
   | Failed msg -> msg
+
+(* When MIRA_BENCH_JSON names a directory, every sweep also writes a
+   machine-readable BENCH_<slug>.json there (see EXPERIMENTS.md). *)
+let bench_json_dir () =
+  match Sys.getenv_opt "MIRA_BENCH_JSON" with
+  | Some d when d <> "" -> Some d
+  | _ -> None
+
+let slug title =
+  let b = Buffer.create (String.length title) in
+  let last_us = ref true in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' ->
+        Buffer.add_char b c;
+        last_us := false
+      | 'A' .. 'Z' ->
+        Buffer.add_char b (Char.lowercase_ascii c);
+        last_us := false
+      | _ ->
+        if not !last_us then Buffer.add_char b '_';
+        last_us := true)
+    title;
+  let s = Buffer.contents b in
+  if s <> "" && s.[String.length s - 1] = '_' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let outcome_json ~native (outcome, trajectory) name =
+  let base =
+    match outcome with
+    | Time t ->
+      [
+        ("system", Json.Str name);
+        ("work_ms", Json.Float (t /. 1e6));
+        ("slowdown_vs_native", Json.Float (t /. native));
+      ]
+    | Failed msg -> [ ("system", Json.Str name); ("failed", Json.Str msg) ]
+  in
+  let traj =
+    match trajectory with
+    | None -> []
+    | Some points ->
+      [
+        ( "iterations",
+          Json.List
+            (List.map
+               (fun (i, ns) ->
+                 Json.Obj
+                   [ ("iteration", Json.Int i); ("work_ns", Json.Float ns) ])
+               points) );
+      ]
+  in
+  Json.Obj (base @ traj)
 
 (* Sweep local-memory ratios for a list of systems; prints relative
    slowdown vs native (1.00x = full-local-memory speed). *)
@@ -112,18 +183,54 @@ let sweep ctx ~far_bytes ~ratios ~systems ~title =
   let t =
     Table.create ~header:("local memory" :: List.map system_name systems)
   in
+  let rows = ref [] in
   List.iter
     (fun ratio ->
       let budget =
         max (10 * 4096) (int_of_float (float_of_int far_bytes *. ratio))
       in
+      let outcomes =
+        List.map (fun s -> (system_name s, run_detail ctx ~budget s)) systems
+      in
       let row =
         Printf.sprintf "%.0f%%" (ratio *. 100.0)
-        :: List.map (fun s -> cell ~native (run ctx ~budget s)) systems
+        :: List.map (fun (_, (o, _)) -> cell ~native o) outcomes
       in
-      Table.add_row t row)
+      Table.add_row t row;
+      rows :=
+        Json.Obj
+          [
+            ("ratio", Json.Float ratio);
+            ("local_budget_bytes", Json.Int budget);
+            ( "systems",
+              Json.List
+                (List.map (fun (n, d) -> outcome_json ~native d n) outcomes) );
+          ]
+        :: !rows)
     ratios;
-  Table.print t
+  Table.print t;
+  match bench_json_dir () with
+  | None -> ()
+  | Some dir ->
+    let doc =
+      Json.Obj
+        [
+          ("title", Json.Str title);
+          ("native_work_ms", Json.Float (native /. 1e6));
+          ("far_bytes", Json.Int far_bytes);
+          ("nthreads", Json.Int ctx.nthreads);
+          ("rows", Json.List (List.rev !rows));
+        ]
+    in
+    let path = Filename.concat dir ("BENCH_" ^ slug title ^ ".json") in
+    (* never lose a finished sweep to an unwritable output directory *)
+    (try
+       let oc = open_out path in
+       output_string oc (Json.to_string_pretty doc);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "[bench json: %s]\n" path
+     with Sys_error msg -> Printf.eprintf "[bench json skipped: %s]\n" msg)
 
 let checksum_guard ctx ~budget =
   (* every system must compute the same program result *)

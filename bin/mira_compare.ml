@@ -2,10 +2,14 @@
    memory system at a chosen local-memory ratio.
 
      dune exec bin/mira_compare.exe -- --workload graph --ratio 0.2
-     dune exec bin/mira_compare.exe -- -w mcf -r 0.12 -i 4 -v *)
+     dune exec bin/mira_compare.exe -- -w mcf -r 0.12 -i 4 -v
+     dune exec bin/mira_compare.exe -- -w graph --json report.json \
+       --trace trace.jsonl *)
 
 module C = Mira.Controller
 module Machine = Mira_interp.Machine
+module Json = Mira_telemetry.Json
+module Trace = Mira_telemetry.Trace
 
 type workload = {
   name : string;
@@ -42,7 +46,7 @@ let workload_of = function
           native_mem_ns = 0.3 } }
   | other -> failwith ("unknown workload: " ^ other)
 
-let compare_systems wname ratio iterations threads verbose =
+let compare_systems wname ratio iterations threads verbose json_out trace_out =
   let w = workload_of wname in
   let far_capacity = 4 * w.far_bytes in
   let budget =
@@ -54,11 +58,13 @@ let compare_systems wname ratio iterations threads verbose =
     Mira_passes.Instrument.run_only w.program
       ~names:[ C.work_function w.program ]
   in
+  let results = ref [] in
   let time name ms =
     let machine = Machine.create ~nthreads:threads ~seed:42 ms measured in
     let v, ns = C.measure_work ms machine in
     Printf.printf "%-10s %12.3f ms   checksum=%s\n%!" name (ns /. 1e6)
       (Format.asprintf "%a" Mira_interp.Value.pp v);
+    results := (name, ns) :: !results;
     ns
   in
   let native =
@@ -79,6 +85,7 @@ let compare_systems wname ratio iterations threads verbose =
           (Mira_baselines.Aifm.create ~params:w.params ~gran:(w.aifm_gran w.program)
              ~local_budget:budget ~far_capacity ()))
    with Mira_baselines.Aifm.Oom msg -> Printf.printf "%-10s %s\n" "aifm" msg);
+  if trace_out <> None then Trace.enable ();
   let opts =
     { (C.options_default ~local_budget:budget ~far_capacity) with
       C.params = w.params; max_iterations = iterations; nthreads = threads;
@@ -88,6 +95,17 @@ let compare_systems wname ratio iterations threads verbose =
   let rt, machine = C.instantiate compiled in
   let ms = Mira_runtime.Runtime.memsys rt in
   let v, mira = C.measure_work ms machine in
+  results := ("mira", mira) :: !results;
+  (match trace_out with
+   | Some path ->
+     let n = List.length (Trace.events ()) in
+     (try
+        Trace.write_jsonl path;
+        Printf.printf "trace written to %s (%d events)\n" path n
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write trace: %s\n" msg);
+     Trace.disable ()
+   | None -> ());
   Printf.printf "%-10s %12.3f ms   checksum=%s  (%.2fx native)\n\n" "mira"
     (mira /. 1e6)
     (Format.asprintf "%a" Mira_interp.Value.pp v)
@@ -96,7 +114,43 @@ let compare_systems wname ratio iterations threads verbose =
   if verbose then begin
     print_newline ();
     print_string (Mira.Report.runtime_stats rt)
-  end
+  end;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let systems =
+      List.rev_map
+        (fun (name, ns) ->
+          Json.Obj
+            [
+              ("system", Json.Str name);
+              ("work_ms", Json.Float (ns /. 1e6));
+              ("slowdown_vs_native", Json.Float (ns /. native));
+            ])
+        !results
+    in
+    let report =
+      Json.Obj
+        [
+          ("workload", Json.Str w.name);
+          ("ratio", Json.Float ratio);
+          ("threads", Json.Int threads);
+          ("local_budget_bytes", Json.Int budget);
+          ("far_bytes", Json.Int w.far_bytes);
+          ("systems", Json.List systems);
+          ("mira", Mira.Report.to_json compiled);
+          ("mira_runtime_stats", Mira.Report.runtime_stats_json rt);
+        ]
+    in
+    (try
+       let oc = open_out path in
+       output_string oc (Json.to_string_pretty report);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "report written to %s\n" path
+     with Sys_error msg ->
+       Printf.eprintf "error: cannot write report: %s\n" msg;
+       exit 1)
 
 open Cmdliner
 
@@ -116,10 +170,23 @@ let threads_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"controller log")
 
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"write a machine-readable run report (systems, sections, \
+                 decision trace, runtime metrics) to $(docv)")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"write a Chrome trace_event-format JSONL trace of the mira \
+                 optimization + run (network transfers, cache fetches, \
+                 controller phases) to $(docv); see docs/OBSERVABILITY.md")
+
 let cmd =
   let doc = "compare memory systems on a Mira workload" in
   Cmd.v (Cmd.info "mira_compare" ~doc)
     Term.(const compare_systems $ workload_arg $ ratio_arg $ iter_arg
-          $ threads_arg $ verbose_arg)
+          $ threads_arg $ verbose_arg $ json_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

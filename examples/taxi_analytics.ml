@@ -50,4 +50,4 @@ let () =
   Printf.printf "\ncontroller decisions:\n";
   List.iter
     (fun l -> if String.length l < 100 then Printf.printf "  %s\n" l)
-    compiled.C.c_log
+    (C.log_strings compiled)

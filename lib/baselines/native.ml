@@ -85,6 +85,7 @@ let create ?(params = Sim.Params.default) ~capacity () =
       (fun () ->
         Hashtbl.iter (fun _ c -> Sim.Clock.reset c) t.clocks;
         Sim.Net.reset_stats t.net;
+        Sim.Net.reset_link t.net;
         Rt.Profile.reset t.profile);
     elapsed =
       (fun () -> Hashtbl.fold (fun _ c acc -> Float.max acc (Sim.Clock.now c)) t.clocks 0.0);

@@ -92,3 +92,10 @@ let drop_all t ~clock =
 let reset_stats t =
   Hashtbl.iter (fun _ s -> Section.reset_stats s) t.sections;
   Swap_section.reset_stats t.swap
+
+let publish t reg =
+  List.iter (fun s -> Section.publish s reg) (sections t);
+  Swap_section.publish t.swap reg;
+  Mira_telemetry.Metrics.set_gauge reg "cache.metadata_bytes"
+    (float_of_int (metadata_bytes t));
+  Mira_telemetry.Metrics.set_counter reg "cache.section_bytes" t.section_bytes

@@ -46,3 +46,7 @@ val drop_all : t -> clock:Mira_sim.Clock.t -> unit
 (** Empty every section and the swap cache (between runs). *)
 
 val reset_stats : t -> unit
+
+val publish : t -> Mira_telemetry.Metrics.t -> unit
+(** Export every live section's stats, the swap section's, and the
+    manager-level gauges ([cache.*]). *)

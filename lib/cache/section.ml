@@ -38,6 +38,7 @@ type stats = {
   mutable miss_ns : float;
   mutable stall_ns : float;
   mutable bytes_fetched : int;
+  lat_fetch : Mira_telemetry.Metrics.hist;
 }
 
 let fresh_stats () =
@@ -52,6 +53,7 @@ let fresh_stats () =
     miss_ns = 0.0;
     stall_ns = 0.0;
     bytes_fetched = 0;
+    lat_fetch = Mira_telemetry.Metrics.hist_create ();
   }
 
 type line_state = {
@@ -118,18 +120,35 @@ let config t = t.cfg
 let stats t = t.stats
 
 let reset_stats t =
-  let s = fresh_stats () in
   let d = t.stats in
-  d.hits <- s.hits;
-  d.misses <- s.misses;
-  d.late_prefetch <- s.late_prefetch;
-  d.evictions <- s.evictions;
-  d.hinted_evictions <- s.hinted_evictions;
-  d.writebacks <- s.writebacks;
-  d.hit_ns <- s.hit_ns;
-  d.miss_ns <- s.miss_ns;
-  d.stall_ns <- s.stall_ns;
-  d.bytes_fetched <- s.bytes_fetched
+  d.hits <- 0;
+  d.misses <- 0;
+  d.late_prefetch <- 0;
+  d.evictions <- 0;
+  d.hinted_evictions <- 0;
+  d.writebacks <- 0;
+  d.hit_ns <- 0.0;
+  d.miss_ns <- 0.0;
+  d.stall_ns <- 0.0;
+  d.bytes_fetched <- 0;
+  Mira_telemetry.Metrics.hist_reset d.lat_fetch
+
+let publish t reg =
+  let m = Mira_telemetry.Metrics.set_counter reg in
+  let g = Mira_telemetry.Metrics.set_gauge reg in
+  let s = t.stats in
+  let p name = Printf.sprintf "section.%s.%s" t.cfg.sec_name name in
+  m (p "hits") s.hits;
+  m (p "misses") s.misses;
+  m (p "late_prefetch") s.late_prefetch;
+  m (p "evictions") s.evictions;
+  m (p "hinted_evictions") s.hinted_evictions;
+  m (p "writebacks") s.writebacks;
+  m (p "bytes_fetched") s.bytes_fetched;
+  g (p "hit_ns") s.hit_ns;
+  g (p "miss_ns") s.miss_ns;
+  g (p "stall_ns") s.stall_ns;
+  Mira_telemetry.Metrics.set_hist reg (p "fetch_latency") s.lat_fetch
 
 let lines_total t = Array.length t.lines
 let lines_used t = t.used
@@ -360,7 +379,14 @@ let ensure t ~clock ~addr ~for_write =
         slot
       end
     in
-    t.stats.miss_ns <- t.stats.miss_ns +. (Mira_sim.Clock.now clock -. start);
+    let miss_ns = Mira_sim.Clock.now clock -. start in
+    t.stats.miss_ns <- t.stats.miss_ns +. miss_ns;
+    Mira_telemetry.Metrics.hist_observe t.stats.lat_fetch miss_ns;
+    if Mira_telemetry.Trace.enabled () then
+      Mira_telemetry.Trace.complete ~name:"demand-fetch" ~cat:"cache"
+        ~lane:("section:" ^ t.cfg.sec_name) ~ts_ns:start ~dur_ns:miss_ns
+        ~args:[ ("addr", Mira_telemetry.Json.Int addr) ]
+        ();
     touch t ~clock slot;
     slot
 

@@ -47,6 +47,8 @@ type stats = {
   mutable miss_ns : float;  (** blocking time spent on misses *)
   mutable stall_ns : float;  (** time waiting for in-flight prefetches *)
   mutable bytes_fetched : int;
+  lat_fetch : Mira_telemetry.Metrics.hist;
+      (** per-demand-miss blocking latency distribution *)
 }
 
 type t
@@ -55,6 +57,9 @@ val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> config -> t
 val config : t -> config
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val publish : t -> Mira_telemetry.Metrics.t -> unit
+(** Export this section's statistics under [section.<name>.*]. *)
 
 val lines_total : t -> int
 val lines_used : t -> int

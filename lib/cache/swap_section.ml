@@ -10,6 +10,7 @@ type stats = {
   mutable fault_ns : float;
   mutable stall_ns : float;
   mutable bytes_fetched : int;
+  lat_fault : Mira_telemetry.Metrics.hist;
 }
 
 let fresh_stats () =
@@ -23,6 +24,7 @@ let fresh_stats () =
     fault_ns = 0.0;
     stall_ns = 0.0;
     bytes_fetched = 0;
+    lat_fault = Mira_telemetry.Metrics.hist_create ();
   }
 
 type page_state = {
@@ -82,7 +84,24 @@ let reset_stats t =
   d.writebacks <- 0;
   d.fault_ns <- 0.0;
   d.stall_ns <- 0.0;
-  d.bytes_fetched <- 0
+  d.bytes_fetched <- 0;
+  Mira_telemetry.Metrics.hist_reset d.lat_fault
+
+let publish t reg =
+  let m = Mira_telemetry.Metrics.set_counter reg in
+  let g = Mira_telemetry.Metrics.set_gauge reg in
+  let s = t.stats in
+  m "swap.hits" s.hits;
+  m "swap.faults" s.faults;
+  m "swap.readahead_pages" s.readahead_pages;
+  m "swap.late_readahead" s.late_readahead;
+  m "swap.evictions" s.evictions;
+  m "swap.writebacks" s.writebacks;
+  m "swap.bytes_fetched" s.bytes_fetched;
+  m "swap.capacity_bytes" t.cfg.capacity;
+  g "swap.fault_ns" s.fault_ns;
+  g "swap.stall_ns" s.stall_ns;
+  Mira_telemetry.Metrics.set_hist reg "swap.fault_latency" s.lat_fault
 
 let config t = t.cfg
 let set_readahead t f = t.readahead <- f
@@ -200,7 +219,14 @@ let fault t ~clock ~pno =
   List.iter
     (fun extra -> if extra >= 0 && extra <> pno then prefetch_page t ~clock ~page:extra)
     (t.readahead pno);
-  t.stats.fault_ns <- t.stats.fault_ns +. (Mira_sim.Clock.now clock -. start);
+  let this_fault_ns = Mira_sim.Clock.now clock -. start in
+  t.stats.fault_ns <- t.stats.fault_ns +. this_fault_ns;
+  Mira_telemetry.Metrics.hist_observe t.stats.lat_fault this_fault_ns;
+  if Mira_telemetry.Trace.enabled () then
+    Mira_telemetry.Trace.complete ~name:"page-fault" ~cat:"cache" ~lane:"swap"
+      ~ts_ns:start ~dur_ns:this_fault_ns
+      ~args:[ ("page", Mira_telemetry.Json.Int pno) ]
+      ();
   (* With very small frame pools the readahead itself may have evicted
      the demand page; reinstall so the caller's frame is valid (a real
      kernel locks the faulting page instead — no extra cost charged). *)

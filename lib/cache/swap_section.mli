@@ -29,6 +29,8 @@ type stats = {
   mutable fault_ns : float;
   mutable stall_ns : float;
   mutable bytes_fetched : int;
+  lat_fault : Mira_telemetry.Metrics.hist;
+      (** per-fault blocking latency distribution *)
 }
 
 type t
@@ -37,6 +39,9 @@ val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> config -> t
 val stats : t -> stats
 val reset_stats : t -> unit
 val config : t -> config
+
+val publish : t -> Mira_telemetry.Metrics.t -> unit
+(** Export the swap section's statistics under [swap.*]. *)
 
 val set_readahead : t -> (int -> int list) -> unit
 (** Install a readahead policy: fault page -> pages to prefetch. *)

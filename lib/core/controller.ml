@@ -11,6 +11,9 @@ module Pattern = Mira_analysis.Pattern
 module Lifetime = Mira_analysis.Lifetime
 module Pipeline = Mira_passes.Pipeline
 module Instrument = Mira_passes.Instrument
+module Decision = Mira_telemetry.Decision
+module Trace = Mira_telemetry.Trace
+module Log = Mira_telemetry.Log
 
 type options = {
   params : Params.t;
@@ -59,8 +62,10 @@ type compiled = {
   c_options : options;
   c_iterations : int;
   c_work_ns : float;
-  c_log : string list;
+  c_log : Decision.t list;
 }
+
+let log_strings c = List.map Decision.render c.c_log
 
 let work_function (p : Ir.program) =
   if List.mem_assoc "work" p.Ir.p_funcs then "work" else p.Ir.p_entry
@@ -239,7 +244,7 @@ let summarize_sites program ~within sites =
 
 (* --- sizing --------------------------------------------------------------- *)
 
-let size_specs opts specs ~build_plan =
+let size_specs opts specs ~build_plan ~iter =
   let page = opts.params.Params.page_size in
   let budget = opts.local_budget in
   let body_ops_hint = 64 in
@@ -339,9 +344,13 @@ let size_specs opts specs ~build_plan =
                   with
                   | _, work_ns, _ ->
                     sample_logs :=
-                      Printf.sprintf "sample sec%d size=%dK work=%.2fms"
-                        spec.Section_planner.sp_cfg.Section.sec_id (size / 1024)
-                        (work_ns /. 1e6)
+                      Decision.Size_sample
+                        {
+                          iteration = iter;
+                          sec_id = spec.Section_planner.sp_cfg.Section.sec_id;
+                          size;
+                          work_ns;
+                        }
                       :: !sample_logs;
                     Some (size, work_ns)
                   | exception _ -> None
@@ -444,7 +453,7 @@ let size_specs opts specs ~build_plan =
         (fun (best_t, best_a) cand ->
           let t = measure cand in
           sample_logs :=
-            Printf.sprintf "joint allocation: work=%.2fms" (t /. 1e6)
+            Decision.Joint_sample { iteration = iter; work_ns = t }
             :: !sample_logs;
           if t < best_t then (t, cand) else (best_t, best_a))
         (infinity, ilp_assignment) joint_candidates
@@ -487,18 +496,34 @@ let build_plan_for opts assignments ~instrument =
   }
 
 let optimize opts original =
+  Log.set_level (if opts.verbose then Log.Info else Log.Quiet);
   let log = ref [] in
-  let say fmt =
-    Printf.ksprintf
-      (fun s ->
-        log := s :: !log;
-        if opts.verbose then prerr_endline ("[mira] " ^ s))
-      fmt
+  (* Controller phases happen in host time, which the simulation never
+     sees; to still give them a trace lane we lay them out on a
+     synthetic sequence clock: consecutive fixed-width spans, in
+     decision order.  docs/OBSERVABILITY.md explains the convention. *)
+  let seq = ref 0.0 in
+  let phase name =
+    if Trace.enabled () then begin
+      Trace.complete ~name ~cat:"controller" ~lane:"controller" ~ts_ns:!seq
+        ~dur_ns:1000.0 ();
+      seq := !seq +. 1000.0
+    end
+  in
+  let decide d =
+    log := d :: !log;
+    Log.info "%s" (Decision.render d);
+    if Trace.enabled () then
+      Trace.instant ~name:(Decision.name d) ~cat:"controller"
+        ~lane:"controller" ~ts_ns:!seq
+        ~args:[ ("detail", Decision.to_json d) ]
+        ()
   in
   (* Iteration 0: generic swap, fully instrumented. *)
+  phase "profile";
   let prog0 = Instrument.run original in
   let _, base_ns, rt0 = eval opts prog0 [] in
-  say "initial swap run: work=%.3f ms" (base_ns /. 1e6);
+  decide (Decision.Profile_run { iteration = 0; work_ns = base_ns });
   let profile0 = Runtime.profile rt0 in
   let heap = heap_sites original in
   (* Scope selection to the measured function's dynamic call tree:
@@ -548,22 +573,31 @@ let optimize opts original =
       Profile.largest_sites !profile ~frac:(2.0 *. frac) ~among:funcs
       |> List.filter (fun s -> List.mem s heap)
     in
-    say "iteration %d: functions=[%s] sites=[%s]" !i (String.concat "," funcs)
-      (String.concat "," (List.map string_of_int sites));
+    phase "select";
+    decide (Decision.Select { iteration = !i; functions = funcs; sites });
     if sites = [] then continue_ := false
     else begin
+      phase "analyze";
       let summaries = summarize_sites original ~within:allowed_functions sites in
       List.iter
         (fun ((ss : Pattern.site_summary), _) ->
-          say "  site %d: %s elem=%dB ro=%b wo=%b" ss.Pattern.ss_site
-            (Pattern.kind_to_string ss.Pattern.ss_kind) ss.Pattern.ss_elem
-            ss.Pattern.ss_read_only ss.Pattern.ss_write_only)
+          decide
+            (Decision.Analyze
+               {
+                 iteration = !i;
+                 site = ss.Pattern.ss_site;
+                 pattern = Pattern.kind_to_string ss.Pattern.ss_kind;
+                 elem = ss.Pattern.ss_elem;
+                 read_only = ss.Pattern.ss_read_only;
+                 write_only = ss.Pattern.ss_write_only;
+               }))
         summaries;
       let site_bytes site =
         match List.assoc_opt site (Profile.site_stats !profile) with
         | Some st -> st.Profile.alloc_bytes
         | None -> 0
       in
+      phase "plan";
       let specs =
         Section_planner.plan ~params:opts.params ~summaries ~site_bytes
           ~first_id:1
@@ -578,39 +612,59 @@ let optimize opts original =
           (build_plan_for opts tentative ~instrument:true)
           ~params:opts.params
       in
-      let assignments, sample_log = size_specs opts specs ~build_plan in
-      List.iter (fun s -> say "  %s" s) sample_log;
+      phase "size";
+      let assignments, sample_log =
+        size_specs opts specs ~build_plan ~iter:!i
+      in
+      List.iter decide sample_log;
       List.iter
         (fun a ->
           let cfg = a.a_spec.Section_planner.sp_cfg in
-          say "  section %s line=%dB size=%dK %s sites=[%s]"
-            cfg.Section.sec_name cfg.Section.line (a.a_size / 1024)
-            (match cfg.Section.structure with
-            | Section.Direct -> "direct"
-            | Section.Set_assoc k -> Printf.sprintf "set%d" k
-            | Section.Full_assoc -> "full")
-            (String.concat ","
-               (List.map string_of_int a.a_spec.Section_planner.sp_sites)))
+          decide
+            (Decision.Plan_section
+               {
+                 iteration = !i;
+                 name = cfg.Section.sec_name;
+                 line = cfg.Section.line;
+                 size = a.a_size;
+                 structure =
+                   (match cfg.Section.structure with
+                   | Section.Direct -> "direct"
+                   | Section.Set_assoc k -> Printf.sprintf "set%d" k
+                   | Section.Full_assoc -> "full");
+                 sites = a.a_spec.Section_planner.sp_sites;
+               }))
         assignments;
+      phase "compile";
       let plan = build_plan_for opts assignments ~instrument:true in
       let prog = Mira_passes.Pipeline.apply original plan ~params:opts.params in
       match eval opts prog assignments with
       | _, work_ns, rt ->
         let best_ns, _, _, _, _ = !best in
-        say "iteration %d: work=%.3f ms (best %.3f ms)" !i (work_ns /. 1e6)
-          (best_ns /. 1e6);
+        decide
+          (Decision.Measure { iteration = !i; work_ns; best_ns });
         if work_ns < best_ns || opts.always_accept then begin
+          phase "accept";
+          decide (Decision.Accept { iteration = !i; work_ns });
           best := (work_ns, prog, assignments, plan, !i);
           profile := Runtime.profile rt;
           if work_ns > 0.98 *. best_ns && not opts.always_accept then
             continue_ := false
         end
-        else
+        else begin
           (* Roll back to the previous configuration but keep iterating
              with a wider selection (§4.1). *)
-          say "iteration %d: regression, rolling back" !i
+          phase "rollback";
+          decide (Decision.Rollback { iteration = !i; reason = "regression" })
+        end
       | exception e ->
-        say "iteration %d failed (%s), rolling back" !i (Printexc.to_string e)
+        phase "rollback";
+        decide
+          (Decision.Rollback
+             {
+               iteration = !i;
+               reason = Printf.sprintf "failed (%s)" (Printexc.to_string e);
+             })
     end
   done;
   let best_ns, _, assignments, plan, iters = !best in

@@ -42,8 +42,12 @@ type compiled = {
   c_options : options;
   c_iterations : int;  (** profiling-optimization rounds executed *)
   c_work_ns : float;  (** best measured work time during optimization *)
-  c_log : string list;  (** decision trace, oldest first *)
+  c_log : Mira_telemetry.Decision.t list;  (** decision trace, oldest first *)
 }
+
+val log_strings : compiled -> string list
+(** [c_log] rendered as the classic human-readable log lines
+    ([Mira_telemetry.Decision.render]), oldest first. *)
 
 val optimize : options -> Mira_mir.Ir.program -> compiled
 (** Run the full iterative flow. *)

@@ -64,6 +64,70 @@ let describe (c : Controller.compiled) =
   end;
   Buffer.contents buf
 
+module Json = Mira_telemetry.Json
+module Metrics = Mira_telemetry.Metrics
+
+let to_json (c : Controller.compiled) =
+  let plan = c.Controller.c_plan in
+  let opts = c.Controller.c_options in
+  let optimizations =
+    List.filter_map
+      (fun (on, name) -> if on then Some (Json.Str name) else None)
+      [
+        (plan.Pipeline.fuse, "batching");
+        (plan.Pipeline.prefetch, "prefetch");
+        (plan.Pipeline.evict, "evict-hints");
+        (plan.Pipeline.native, "native-deref");
+        (plan.Pipeline.offload <> `None, "offload");
+      ]
+  in
+  let sections =
+    List.map
+      (fun (a : Controller.assignment) ->
+        let cfg = a.Controller.a_spec.Section_planner.sp_cfg in
+        Json.Obj
+          [
+            ("name", Json.Str cfg.Section.sec_name);
+            ("structure", Json.Str (structure_name cfg.Section.structure));
+            ("line_bytes", Json.Int cfg.Section.line);
+            ("size_bytes", Json.Int a.Controller.a_size);
+            ("side", Json.Str (side_name cfg.Section.side));
+            ("flags", Json.List (List.map (fun f -> Json.Str f) (flags cfg)));
+            ( "sites",
+              Json.List
+                (List.map
+                   (fun s -> Json.Int s)
+                   a.Controller.a_spec.Section_planner.sp_sites) );
+          ])
+      c.Controller.c_assignments
+  in
+  Json.Obj
+    [
+      ("iterations", Json.Int c.Controller.c_iterations);
+      ("work_ns", Json.Float c.Controller.c_work_ns);
+      ("optimizations", Json.List optimizations);
+      ("sections", Json.List sections);
+      ( "options",
+        Json.Obj
+          [
+            ("local_budget", Json.Int opts.Controller.local_budget);
+            ("far_capacity", Json.Int opts.Controller.far_capacity);
+            ("max_iterations", Json.Int opts.Controller.max_iterations);
+            ("nthreads", Json.Int opts.Controller.nthreads);
+            ("seed", Json.Int opts.Controller.seed);
+          ] );
+      ( "decisions",
+        Json.List
+          (List.map Mira_telemetry.Decision.to_json c.Controller.c_log) );
+    ]
+
+let runtime_metrics rt =
+  let reg = Metrics.create () in
+  Runtime.publish rt reg;
+  reg
+
+let runtime_stats_json rt = Metrics.to_json (runtime_metrics rt)
+
 let runtime_stats rt =
   let buf = Buffer.create 512 in
   let mgr = Runtime.manager rt in

@@ -11,3 +11,16 @@ val runtime_stats : Mira_runtime.Runtime.t -> string
 (** Post-run statistics: per-section hits/misses/evictions and
     hit/miss/stall time, swap-section behaviour, and network traffic
     by purpose. *)
+
+val to_json : Controller.compiled -> Mira_telemetry.Json.t
+(** Machine-readable report: iterations, best work time, enabled
+    optimizations, planned sections, key options, and the full typed
+    decision trace.  Schema in docs/OBSERVABILITY.md. *)
+
+val runtime_metrics : Mira_runtime.Runtime.t -> Mira_telemetry.Metrics.t
+(** Fresh registry with every runtime/cache/network metric published
+    ([Mira_runtime.Runtime.publish]). *)
+
+val runtime_stats_json : Mira_runtime.Runtime.t -> Mira_telemetry.Json.t
+(** [runtime_metrics] rendered as one JSON object keyed by metric name
+    (including [net.fetch_latency] percentiles). *)

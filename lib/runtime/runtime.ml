@@ -372,6 +372,17 @@ let reset_timing t =
 let elapsed t =
   Hashtbl.fold (fun _ c acc -> Float.max acc (Sim.Clock.now c)) t.clocks 0.0
 
+(* Pull-model telemetry: flatten the whole runtime's statistics —
+   network, swap, every live section, allocator and profiler gauges —
+   into a metrics registry for machine-readable reports. *)
+let publish t reg =
+  Sim.Net.publish t.net reg;
+  Cache.Manager.publish t.manager reg;
+  Mira_telemetry.Metrics.set_counter reg "runtime.live_far_bytes"
+    (Sim.Remote_alloc.live_bytes t.remote_space);
+  Mira_telemetry.Metrics.set_counter reg "runtime.nthreads" t.nthreads;
+  Mira_telemetry.Metrics.set_gauge reg "runtime.elapsed_ns" (elapsed t)
+
 let memsys t =
   {
     Memsys.name = "mira";

@@ -49,3 +49,9 @@ val site_ranges : t -> site:int -> (int * int) list
 (** Live far-memory [(addr, len)] ranges allocated at [site]. *)
 
 val live_far_bytes : t -> int
+
+val publish : t -> Mira_telemetry.Metrics.t -> unit
+(** Export the runtime's statistics — network counters and latency
+    histograms, per-section and swap cache stats, allocator gauges —
+    into a metrics registry ([net.*], [section.*], [swap.*],
+    [cache.*], [runtime.*]). *)

@@ -1,5 +1,14 @@
+module Metrics = Mira_telemetry.Metrics
+module Trace = Mira_telemetry.Trace
+
 type side = One_sided | Two_sided
 type purpose = Demand | Prefetch | Writeback | Rpc
+
+let purpose_name = function
+  | Demand -> "demand"
+  | Prefetch -> "prefetch"
+  | Writeback -> "writeback"
+  | Rpc -> "rpc"
 
 type xfer = { issue_cpu_ns : float; done_at : float }
 
@@ -11,6 +20,8 @@ type stats = {
   mutable bytes_prefetch : int;
   mutable bytes_writeback : int;
   mutable bytes_rpc : int;
+  lat_fetch : Metrics.hist;
+  lat_rtt : Metrics.hist;
 }
 
 type t = { params : Params.t; mutable link_free_at : float; stats : stats }
@@ -24,6 +35,8 @@ let empty_stats () =
     bytes_prefetch = 0;
     bytes_writeback = 0;
     bytes_rpc = 0;
+    lat_fetch = Metrics.hist_create ();
+    lat_rtt = Metrics.hist_create ();
   }
 
 let create params = { params; link_free_at = 0.0; stats = empty_stats () }
@@ -38,9 +51,23 @@ let reset_stats t =
   s.bytes_demand <- 0;
   s.bytes_prefetch <- 0;
   s.bytes_writeback <- 0;
-  s.bytes_rpc <- 0
+  s.bytes_rpc <- 0;
+  Metrics.hist_reset s.lat_fetch;
+  Metrics.hist_reset s.lat_rtt
 
 let reset_link t = t.link_free_at <- 0.0
+
+let publish t reg =
+  let s = t.stats in
+  Metrics.set_counter reg "net.msg_count" s.msg_count;
+  Metrics.set_counter reg "net.bytes_in" s.bytes_in;
+  Metrics.set_counter reg "net.bytes_out" s.bytes_out;
+  Metrics.set_counter reg "net.bytes_demand" s.bytes_demand;
+  Metrics.set_counter reg "net.bytes_prefetch" s.bytes_prefetch;
+  Metrics.set_counter reg "net.bytes_writeback" s.bytes_writeback;
+  Metrics.set_counter reg "net.bytes_rpc" s.bytes_rpc;
+  Metrics.set_hist reg "net.fetch_latency" s.lat_fetch;
+  Metrics.set_hist reg "net.rtt" s.lat_rtt
 
 let record t ~purpose ~inbound bytes =
   let s = t.stats in
@@ -72,7 +99,25 @@ let transfer t ~side ~purpose ~now ~bytes ~inbound ~async =
   let issue_cpu_ns =
     if async then p.Params.async_post_ns else p.Params.msg_cpu_ns
   in
-  { issue_cpu_ns; done_at = start +. wire +. latency +. extra }
+  let done_at = start +. wire +. latency +. extra in
+  (* Host-side telemetry only: the latency histograms and optional trace
+     span never advance any simulated clock. *)
+  Metrics.hist_observe t.stats.lat_rtt (done_at -. start);
+  if inbound then Metrics.hist_observe t.stats.lat_fetch (done_at -. now);
+  if Trace.enabled () then
+    Trace.complete ~name:(purpose_name purpose) ~cat:"net" ~lane:"net"
+      ~ts_ns:now ~dur_ns:(done_at -. now)
+      ~args:
+        [
+          ("bytes", Mira_telemetry.Json.Int bytes);
+          ( "side",
+            Mira_telemetry.Json.Str
+              (match side with One_sided -> "one-sided" | Two_sided -> "two-sided") );
+          ("inbound", Mira_telemetry.Json.Bool inbound);
+          ("queue_ns", Mira_telemetry.Json.Float (start -. now));
+        ]
+      ();
+  { issue_cpu_ns; done_at }
 
 let fetch t ?(async = false) ~side ~purpose ~now ~bytes () =
   transfer t ~side ~purpose ~now ~bytes ~inbound:true ~async

@@ -15,6 +15,8 @@ type purpose = Demand | Prefetch | Writeback | Rpc
 (** Why the transfer happened; kept per-purpose in the statistics so
     the amplification and traffic figures can be produced. *)
 
+val purpose_name : purpose -> string
+
 type xfer = {
   issue_cpu_ns : float;  (** local CPU time consumed posting the message *)
   done_at : float;  (** absolute simulated time of completion *)
@@ -28,6 +30,11 @@ type stats = {
   mutable bytes_prefetch : int;
   mutable bytes_writeback : int;
   mutable bytes_rpc : int;
+  lat_fetch : Mira_telemetry.Metrics.hist;
+      (** caller-observed latency (incl. link queueing) of inbound
+          transfers *)
+  lat_rtt : Mira_telemetry.Metrics.hist;
+      (** pure wire+latency round trip, excl. queueing, all transfers *)
 }
 
 type t
@@ -36,6 +43,9 @@ val create : Params.t -> t
 val params : t -> Params.t
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val publish : t -> Mira_telemetry.Metrics.t -> unit
+(** Export counters and latency histograms under [net.*]. *)
 
 val fetch :
   t -> ?async:bool -> side:side -> purpose:purpose -> now:float -> bytes:int ->

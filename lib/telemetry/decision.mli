@@ -1,0 +1,53 @@
+(** Typed controller decision events.
+
+    The iterative controller used to keep its decision trace as a
+    [string list]; these constructors replace it with structured data
+    that reports, benches, and traces can consume directly.  [render]
+    is the backwards-compatible shim producing (approximately) the old
+    log lines; [to_json] feeds [--json] reports and [BENCH_*.json].
+
+    Iteration 0 is the initial swap-everything profiling run; the
+    optimization rounds are 1-based, matching the paper's §3 flow:
+    profile → select → analyze → plan → size → compile →
+    accept/rollback. *)
+
+type t =
+  | Profile_run of { iteration : int; work_ns : float }
+      (** a fully-instrumented measurement run completed *)
+  | Select of { iteration : int; functions : string list; sites : int list }
+      (** top-overhead functions and their largest/hottest sites *)
+  | Analyze of {
+      iteration : int;
+      site : int;
+      pattern : string;
+      elem : int;
+      read_only : bool;
+      write_only : bool;
+    }  (** merged access-pattern summary for one selected site *)
+  | Plan_section of {
+      iteration : int;
+      name : string;
+      line : int;
+      size : int;
+      structure : string;
+      sites : int list;
+    }  (** one section of the accepted plan, with its sized capacity *)
+  | Size_sample of { iteration : int; sec_id : int; size : int; work_ns : float }
+      (** one sampled (section, size) profiling run *)
+  | Joint_sample of { iteration : int; work_ns : float }
+      (** one whole-allocation candidate measurement *)
+  | Measure of { iteration : int; work_ns : float; best_ns : float }
+      (** the compiled candidate's measured work time vs best so far *)
+  | Accept of { iteration : int; work_ns : float }
+  | Rollback of { iteration : int; reason : string }
+
+val iteration : t -> int
+
+val name : t -> string
+(** Constructor tag ([accept], [rollback], ...), as used in JSON and
+    trace event names. *)
+
+val render : t -> string
+val to_json : t -> Json.t
+(** [{"event": ..., "iteration": ..., ...}] — field set depends on the
+    constructor; see docs/OBSERVABILITY.md. *)

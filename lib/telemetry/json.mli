@@ -1,0 +1,35 @@
+(** Minimal hand-rolled JSON: a value type, a writer, and a parser.
+
+    Used for the machine-readable run reports ([Mira.Report.to_json],
+    [bin/mira_compare --json]), the Chrome trace_event sink ([Trace]),
+    and the [BENCH_*.json] files the bench harness emits.  The parser
+    exists so tests and CI can validate that emitted documents are
+    well-formed without external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values serialize as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read. *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset this module emits (full JSON minus
+    surrogate-pair escapes, which decode to U+FFFD).  The whole string
+    must be one document (surrounding whitespace allowed). *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up a field; [None] on missing key or
+    non-object. *)
+
+val to_float_opt : t -> float option
+(** Numeric accessor: accepts both [Int] and [Float]. *)

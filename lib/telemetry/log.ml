@@ -1,0 +1,15 @@
+type level = Quiet | Info | Debug
+
+let current = ref Quiet
+let set_level l = current := l
+let level () = !current
+
+let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
+
+let emit at fmt =
+  Printf.ksprintf
+    (fun s -> if rank !current >= rank at then prerr_endline ("[mira] " ^ s))
+    fmt
+
+let info fmt = emit Info fmt
+let debug fmt = emit Debug fmt

@@ -1,0 +1,18 @@
+(** Leveled diagnostic logger for the whole stack.
+
+    Replaces the ad-hoc [prerr_endline ("[mira] " ^ s)] sprinkled
+    through the controller.  [Quiet] (the default) suppresses
+    everything; [Info] is what [--verbose] turns on; [Debug] adds
+    high-volume detail.  Messages go to stderr so they never corrupt
+    machine-readable stdout/JSON output. *)
+
+type level = Quiet | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val info : ('a, unit, string, unit) format4 -> 'a
+(** Printed at [Info] and [Debug]. *)
+
+val debug : ('a, unit, string, unit) format4 -> 'a
+(** Printed at [Debug] only. *)

@@ -1,0 +1,122 @@
+module Stats = Mira_util.Stats
+
+(* Quarter-octave buckets: bucket i covers [2^(i/4), 2^((i+1)/4)) ns.
+   176 buckets reach 2^44 ns (~4.8 hours of simulated time), far beyond
+   any latency the simulator produces. *)
+let buckets_per_octave = 4
+let nbuckets = 176
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else begin
+    let idx =
+      int_of_float (Float.log2 v *. float_of_int buckets_per_octave)
+    in
+    Mira_util.Misc.clamp ~lo:0 ~hi:(nbuckets - 1) idx
+  end
+
+let bucket_lo i = Float.pow 2.0 (float_of_int i /. float_of_int buckets_per_octave)
+let bucket_hi i = bucket_lo (i + 1)
+
+type hist = {
+  counts : int array;
+  online : Stats.online;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let hist_create () =
+  {
+    counts = Array.make nbuckets 0;
+    online = Stats.online_create ();
+    h_min = infinity;
+    h_max = neg_infinity;
+  }
+
+let hist_observe h v =
+  let i = bucket_of v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  Stats.online_add h.online v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let hist_count h = Stats.online_count h.online
+let hist_mean h = Stats.online_mean h.online
+let hist_stddev h = Stats.online_stddev h.online
+let hist_min h = if hist_count h = 0 then 0.0 else h.h_min
+let hist_max h = if hist_count h = 0 then 0.0 else h.h_max
+
+let hist_percentile h p =
+  let n = hist_count h in
+  if n = 0 then 0.0
+  else begin
+    let rank = p /. 100.0 *. float_of_int n in
+    let rec walk i seen =
+      if i >= nbuckets then hist_max h
+      else begin
+        let seen' = seen + h.counts.(i) in
+        if float_of_int seen' >= rank && h.counts.(i) > 0 then begin
+          (* Linear interpolation inside the bucket's span. *)
+          let frac =
+            (rank -. float_of_int seen) /. float_of_int h.counts.(i)
+          in
+          let frac = Mira_util.Misc.clamp_f ~lo:0.0 ~hi:1.0 frac in
+          bucket_lo i +. (frac *. (bucket_hi i -. bucket_lo i))
+        end
+        else walk (i + 1) seen'
+      end
+    in
+    let est = walk 0 0 in
+    Mira_util.Misc.clamp_f ~lo:(hist_min h) ~hi:(hist_max h) est
+  end
+
+let hist_reset h =
+  Array.fill h.counts 0 nbuckets 0;
+  Stats.online_reset h.online;
+  h.h_min <- infinity;
+  h.h_max <- neg_infinity
+
+let hist_to_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (hist_count h));
+      ("mean_ns", Json.Float (hist_mean h));
+      ("stddev_ns", Json.Float (hist_stddev h));
+      ("min_ns", Json.Float (hist_min h));
+      ("max_ns", Json.Float (hist_max h));
+      ("p50_ns", Json.Float (hist_percentile h 50.0));
+      ("p95_ns", Json.Float (hist_percentile h 95.0));
+      ("p99_ns", Json.Float (hist_percentile h 99.0));
+    ]
+
+(* --- registry ------------------------------------------------------------ *)
+
+type value = Counter of int | Gauge of float | Hist of hist
+
+type t = {
+  table : (string, value) Hashtbl.t;
+  mutable order : string list;  (* reverse publication order *)
+}
+
+let create () = { table = Hashtbl.create 64; order = [] }
+
+let set t name v =
+  if not (Hashtbl.mem t.table name) then t.order <- name :: t.order;
+  Hashtbl.replace t.table name v
+
+let set_counter t name i = set t name (Counter i)
+let set_gauge t name f = set t name (Gauge f)
+let set_hist t name h = set t name (Hist h)
+let find t name = Hashtbl.find_opt t.table name
+let names t = List.rev t.order
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun name ->
+         ( name,
+           match Hashtbl.find t.table name with
+           | Counter i -> Json.Int i
+           | Gauge f -> Json.Float f
+           | Hist h -> hist_to_json h ))
+       (names t))

@@ -1,0 +1,61 @@
+(** Metric types for the telemetry subsystem: counters, gauges, and
+    log-scale latency histograms, plus a named registry to export them.
+
+    Histograms are the always-on latency recorders embedded in
+    [Mira_sim.Net] and the cache sections: a fixed array of
+    exponentially spaced buckets (quarter-octave resolution, so
+    percentile estimates are within ~19% of the true value) alongside a
+    Welford accumulator ([Mira_util.Stats.online]) for exact count /
+    mean / stddev and exact min / max.  Observing a sample is a handful
+    of float operations on the host — it never touches the simulated
+    clock, so enabling telemetry cannot perturb simulated results.
+
+    The registry is pull-model: components keep their own mutable
+    stats and [publish] them under hierarchical dotted names
+    ([net.bytes_demand], [section.node.hits], ...) when a report is
+    requested. *)
+
+type hist
+
+val hist_create : unit -> hist
+val hist_observe : hist -> float -> unit
+(** Record a sample (ns).  Non-positive samples land in the lowest
+    bucket; min/max/mean remain exact. *)
+
+val hist_count : hist -> int
+val hist_mean : hist -> float
+val hist_stddev : hist -> float
+val hist_min : hist -> float  (** 0 when empty *)
+
+val hist_max : hist -> float  (** 0 when empty *)
+
+val hist_percentile : hist -> float -> float
+(** [hist_percentile h p] with [p] in [0,100]; bucket-interpolated,
+    clamped to the exact observed min/max.  0 on an empty histogram. *)
+
+val hist_reset : hist -> unit
+
+val hist_to_json : hist -> Json.t
+(** [{count, mean_ns, stddev_ns, min_ns, max_ns, p50_ns, p95_ns,
+    p99_ns}]. *)
+
+(** {1 Registry} *)
+
+type value = Counter of int | Gauge of float | Hist of hist
+type t
+
+val create : unit -> t
+
+val set_counter : t -> string -> int -> unit
+(** Publish a monotonic count under [name] (overwrites). *)
+
+val set_gauge : t -> string -> float -> unit
+val set_hist : t -> string -> hist -> unit
+
+val find : t -> string -> value option
+val names : t -> string list
+(** Publication order. *)
+
+val to_json : t -> Json.t
+(** One object, publication order; histograms expand to their summary
+    object. *)

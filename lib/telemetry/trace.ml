@@ -1,0 +1,150 @@
+type phase = Complete | Instant
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_phase : phase;
+  ev_ts_ns : float;
+  ev_dur_ns : float;
+  ev_lane : string;
+  ev_args : (string * Json.t) list;
+}
+
+type sink = {
+  mutable on : bool;
+  mutable buf : event list;  (* newest first *)
+  mutable count : int;
+  mutable limit : int;
+  mutable dropped : int;
+}
+
+let sink = { on = false; buf = []; count = 0; limit = 200_000; dropped = 0 }
+
+let clear () =
+  sink.buf <- [];
+  sink.count <- 0;
+  sink.dropped <- 0
+
+let enable () =
+  clear ();
+  sink.on <- true
+
+let disable () = sink.on <- false
+let enabled () = sink.on
+let set_limit n = sink.limit <- max 1 n
+let dropped () = sink.dropped
+
+let push ev =
+  (* Controller events are tiny and carry the decision history; never
+     drop them even when transfer spans have filled the buffer. *)
+  if sink.count < sink.limit || String.equal ev.ev_cat "controller" then begin
+    sink.buf <- ev :: sink.buf;
+    sink.count <- sink.count + 1
+  end
+  else sink.dropped <- sink.dropped + 1
+
+let complete ?(args = []) ~name ~cat ~lane ~ts_ns ~dur_ns () =
+  if sink.on then
+    push
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_phase = Complete;
+        ev_ts_ns = ts_ns;
+        ev_dur_ns = dur_ns;
+        ev_lane = lane;
+        ev_args = args;
+      }
+
+let instant ?(args = []) ~name ~cat ~lane ~ts_ns () =
+  if sink.on then
+    push
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_phase = Instant;
+        ev_ts_ns = ts_ns;
+        ev_dur_ns = 0.0;
+        ev_lane = lane;
+        ev_args = args;
+      }
+
+let events () = List.rev sink.buf
+
+(* Chrome's ts/dur are microseconds; we map 1 simulated ns -> 0.001 us. *)
+let event_to_json ~lanes ev =
+  let tid = match List.assoc_opt ev.ev_lane lanes with Some t -> t | None -> 0 in
+  let base =
+    [
+      ("name", Json.Str ev.ev_name);
+      ("cat", Json.Str ev.ev_cat);
+      ("ph", Json.Str (match ev.ev_phase with Complete -> "X" | Instant -> "i"));
+      ("ts", Json.Float (ev.ev_ts_ns /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+    ]
+  in
+  let dur =
+    match ev.ev_phase with
+    | Complete -> [ ("dur", Json.Float (ev.ev_dur_ns /. 1e3)) ]
+    | Instant -> [ ("s", Json.Str "t") ]
+  in
+  let args =
+    if ev.ev_args = [] then [] else [ ("args", Json.Obj ev.ev_args) ]
+  in
+  Json.Obj (base @ dur @ args)
+
+let lanes_of evs =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      if not (Hashtbl.mem seen ev.ev_lane) then begin
+        Hashtbl.replace seen ev.ev_lane ();
+        order := ev.ev_lane :: !order
+      end)
+    evs;
+  List.mapi (fun i lane -> (lane, i + 1)) (List.rev !order)
+
+let to_jsonl () =
+  let evs = events () in
+  let lanes = lanes_of evs in
+  let buf = Buffer.create 4096 in
+  let line j =
+    Json.to_buffer buf j;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (lane, tid) ->
+      line
+        (Json.Obj
+           [
+             ("name", Json.Str "thread_name");
+             ("ph", Json.Str "M");
+             ("pid", Json.Int 1);
+             ("tid", Json.Int tid);
+             ("args", Json.Obj [ ("name", Json.Str lane) ]);
+           ]))
+    lanes;
+  List.iter (fun ev -> line (event_to_json ~lanes ev)) evs;
+  line
+    (Json.Obj
+       [
+         ("name", Json.Str "mira_trace_summary");
+         ("ph", Json.Str "M");
+         ("pid", Json.Int 1);
+         ("tid", Json.Int 0);
+         ( "args",
+           Json.Obj
+             [
+               ("events", Json.Int (List.length evs));
+               ("dropped", Json.Int sink.dropped);
+             ] );
+       ]);
+  Buffer.contents buf
+
+let write_jsonl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl ()))

@@ -1,0 +1,67 @@
+(** Chrome [trace_event]-format trace sink.
+
+    A process-wide collector, disabled by default.  When enabled,
+    instrumented layers ([Mira_sim.Net] transfers, cache-section demand
+    fetches, controller phases and decisions) push events tagged with
+    simulated-nanosecond timestamps and a [lane] — rendered as the
+    trace's thread, so each section / the network / the controller get
+    their own row in [chrome://tracing] or Perfetto.
+
+    Hot paths must guard event construction with [enabled ()]; when the
+    sink is disabled that is the only cost (one bool read, zero
+    simulated time).  The buffer is capped ([set_limit], default
+    200_000 events): once full, further events are dropped and counted,
+    except [controller]-category events, which are always retained so
+    decision history survives even on trace-heavy runs. *)
+
+type phase = Complete | Instant
+
+type event = {
+  ev_name : string;
+  ev_cat : string;  (** e.g. ["net"], ["cache"], ["controller"] *)
+  ev_phase : phase;
+  ev_ts_ns : float;  (** simulated time *)
+  ev_dur_ns : float;  (** [Complete] only; 0 otherwise *)
+  ev_lane : string;
+  ev_args : (string * Json.t) list;
+}
+
+val enable : unit -> unit
+(** Also clears any previously buffered events. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val clear : unit -> unit
+
+val set_limit : int -> unit
+(** Buffer cap; events beyond it are dropped (controller category
+    excepted). *)
+
+val dropped : unit -> int
+
+val complete :
+  ?args:(string * Json.t) list ->
+  name:string -> cat:string -> lane:string -> ts_ns:float -> dur_ns:float ->
+  unit -> unit
+(** Record a span.  No-op when disabled. *)
+
+val instant :
+  ?args:(string * Json.t) list ->
+  name:string -> cat:string -> lane:string -> ts_ns:float -> unit -> unit
+
+val events : unit -> event list
+(** Buffered events, oldest first. *)
+
+val event_to_json : lanes:(string * int) list -> event -> Json.t
+(** One Chrome trace_event object; [lanes] maps lane names to numeric
+    tids. *)
+
+val to_jsonl : unit -> string
+(** The buffered trace as JSONL: one [thread_name] metadata record per
+    lane, then one event per line, and a final [mira_trace_summary]
+    metadata record carrying the drop count.  Loadable by Perfetto and
+    [chrome://tracing] (after wrapping in a JSON array; see
+    docs/OBSERVABILITY.md). *)
+
+val write_jsonl : string -> unit
+(** [write_jsonl path] writes [to_jsonl ()] to [path]. *)

@@ -56,5 +56,10 @@ let online_add o x =
 let online_count o = o.count
 let online_mean o = o.m
 
+let online_reset o =
+  o.count <- 0;
+  o.m <- 0.0;
+  o.s <- 0.0
+
 let online_stddev o =
   if o.count < 2 then 0.0 else sqrt (o.s /. float_of_int o.count)

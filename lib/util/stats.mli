@@ -30,3 +30,6 @@ val online_add : online -> float -> unit
 val online_count : online -> int
 val online_mean : online -> float
 val online_stddev : online -> float
+
+val online_reset : online -> unit
+(** Forget all samples (between runs). *)

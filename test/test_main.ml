@@ -12,5 +12,6 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
       ("controller", Test_controller.suite);
+      ("telemetry", Test_telemetry.suite);
       ("random-programs", Test_random_programs.suite);
     ]

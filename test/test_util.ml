@@ -71,13 +71,43 @@ let test_stats_empty () =
     (Invalid_argument "Stats.percentile: empty array") (fun () ->
       ignore (Stats.percentile [||] 50.0))
 
+let test_stats_percentile_edges () =
+  (* single element: every percentile is that element *)
+  let one = [| 42.0 |] in
+  Alcotest.(check (float 1e-9)) "single p0" 42.0 (Stats.percentile one 0.0);
+  Alcotest.(check (float 1e-9)) "single p50" 42.0 (Stats.percentile one 50.0);
+  Alcotest.(check (float 1e-9)) "single p100" 42.0 (Stats.percentile one 100.0);
+  (* input order must not matter: percentile sorts a copy *)
+  let unsorted = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "unsorted median" 3.0 (Stats.median unsorted);
+  Alcotest.(check (float 1e-9)) "unsorted p0" 1.0 (Stats.percentile unsorted 0.0);
+  Alcotest.(check (float 1e-9)) "unsorted p100" 5.0
+    (Stats.percentile unsorted 100.0);
+  (* and the original array stays untouched *)
+  Alcotest.(check (float 1e-9)) "input not sorted in place" 5.0 unsorted.(0)
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.geomean [| 2.0; 8.0 |]);
+  Alcotest.(check (float 1e-9)) "geomean empty" 0.0 (Stats.geomean [||]);
+  (* a zero factor collapses the product *)
+  Alcotest.(check (float 1e-9)) "geomean with zero" 0.0
+    (Stats.geomean [| 0.0; 8.0; 2.0 |])
+
 let test_stats_online () =
   let o = Stats.online_create () in
   let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
   Array.iter (Stats.online_add o) xs;
   Alcotest.(check int) "count" 8 (Stats.online_count o);
   Alcotest.(check (float 1e-9)) "mean" (Stats.mean xs) (Stats.online_mean o);
-  Alcotest.(check (float 1e-6)) "stddev" (Stats.stddev xs) (Stats.online_stddev o)
+  Alcotest.(check (float 1e-6)) "stddev" (Stats.stddev xs) (Stats.online_stddev o);
+  Stats.online_reset o;
+  Alcotest.(check int) "reset count" 0 (Stats.online_count o);
+  Alcotest.(check (float 0.0)) "reset mean" 0.0 (Stats.online_mean o);
+  Alcotest.(check (float 0.0)) "reset stddev" 0.0 (Stats.online_stddev o);
+  (* refilling after reset behaves like a fresh accumulator *)
+  Array.iter (Stats.online_add o) xs;
+  Alcotest.(check (float 1e-9)) "refill mean" (Stats.mean xs)
+    (Stats.online_mean o)
 
 let test_misc_round () =
   Alcotest.(check int) "round_up" 16 (Misc.round_up 13 8);
@@ -127,6 +157,9 @@ let suite =
     Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats percentile edges" `Quick
+      test_stats_percentile_edges;
+    Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
     Alcotest.test_case "stats online" `Quick test_stats_online;
     Alcotest.test_case "misc round" `Quick test_misc_round;
     Alcotest.test_case "misc pow2" `Quick test_misc_pow2;
