@@ -43,8 +43,8 @@ let run_manual ?(params = Mira_sim.Params.default) ?(nthreads = 1) ~budget
     ~far_capacity ~prog ~plan ~sections () =
   let rt =
     Runtime.create
-      { (Runtime.config_default ~local_budget:budget ~far_capacity) with
-        Runtime.params }
+      Runtime.Config.(
+        make ~local_budget:budget ~far_capacity |> with_params params)
   in
   let mgr = Runtime.manager rt in
   let clock = Mira_sim.Clock.create () in
@@ -494,8 +494,8 @@ let fig20 () =
       (* Mira: swap + a typical pair of sections *)
       let rt =
         Runtime.create
-          { (Runtime.config_default ~local_budget:budget ~far_capacity) with
-            Runtime.params }
+          Runtime.Config.(
+            make ~local_budget:budget ~far_capacity |> with_params params)
       in
       let mgr = Runtime.manager rt in
       let clock = Mira_sim.Clock.create () in
@@ -726,8 +726,108 @@ let tabb () =
     (apps ());
   Table.print t
 
+(* --- Dataplane: in-flight window, doorbell batching, fault injection ------ *)
+
+let dp_micro_cfg =
+  { Mira_workloads.Micro_sum.config_default with
+    Mira_workloads.Micro_sum.elems = 60_000; stride = 8 }
+
+(* Sweep the network data plane on a strided scan over the swap cache:
+   the 8-page readahead clusters turn into coalesced doorbells when
+   batching is on, the window bounds how much of a cluster is in flight,
+   and the final row injects 2% loss to show bounded retries instead of
+   a hang. *)
+let figdp () =
+  let title = "Dataplane: window, doorbell batching, fault injection" in
+  Printf.printf "\n### %s (strided scan on swap)\n" title;
+  let prog = Mira_workloads.Micro_sum.build dp_micro_cfg in
+  let far = Mira_workloads.Micro_sum.far_bytes dp_micro_cfg in
+  let far_capacity = Mira_util.Misc.round_up (4 * far) 4096 in
+  let budget = far / 4 in
+  let run_dp dp =
+    let rt =
+      Runtime.create
+        Runtime.Config.(
+          make ~local_budget:budget ~far_capacity |> with_dataplane dp)
+    in
+    let ms = Runtime.memsys rt in
+    let measured =
+      Mira_passes.Instrument.run_only prog ~names:[ C.work_function prog ]
+    in
+    let machine = Machine.create ~seed:42 ms measured in
+    let _, work_ns = C.measure_work ms machine in
+    (work_ns, Mira_sim.Net.stats (Runtime.net rt))
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "dataplane"; "work (ms)"; "fetch p50 (ns)"; "doorbells";
+          "coalesced"; "inflight p95"; "retries"; "timeouts" ]
+  in
+  let rows = ref [] in
+  let record label dp =
+    let work_ns, s = run_dp dp in
+    let p50 =
+      Mira_telemetry.Metrics.hist_percentile s.Mira_sim.Net.lat_fetch 50.0
+    in
+    let occ95 =
+      Mira_telemetry.Metrics.hist_percentile s.Mira_sim.Net.occupancy 95.0
+    in
+    Table.add_row t
+      [ label;
+        Printf.sprintf "%.3f" (work_ns /. 1e6);
+        Printf.sprintf "%.0f" p50;
+        string_of_int s.Mira_sim.Net.doorbells;
+        string_of_int s.Mira_sim.Net.coalesced;
+        Printf.sprintf "%.1f" occ95;
+        string_of_int s.Mira_sim.Net.retries;
+        string_of_int s.Mira_sim.Net.timeouts ];
+    rows :=
+      Mira_telemetry.Json.Obj
+        [ ("config", Mira_telemetry.Json.Str label);
+          ("work_ms", Mira_telemetry.Json.Float (work_ns /. 1e6));
+          ("fetch_p50_ns", Mira_telemetry.Json.Float p50);
+          ("doorbells", Mira_telemetry.Json.Int s.Mira_sim.Net.doorbells);
+          ("coalesced", Mira_telemetry.Json.Int s.Mira_sim.Net.coalesced);
+          ("inflight_p95", Mira_telemetry.Json.Float occ95);
+          ("retries", Mira_telemetry.Json.Int s.Mira_sim.Net.retries);
+          ("timeouts", Mira_telemetry.Json.Int s.Mira_sim.Net.timeouts) ]
+      :: !rows
+  in
+  let dp = Mira_sim.Net.dp_default in
+  record "window=1 (sync)" { dp with Mira_sim.Net.window = 1 };
+  record "unbounded, no batching" dp;
+  record "window=4 + batching" { dp with Mira_sim.Net.window = 4; coalesce = true };
+  record "window=16 + batching" { dp with Mira_sim.Net.window = 16; coalesce = true };
+  let fault =
+    { Mira_sim.Net.Fault.default with
+      Mira_sim.Net.Fault.drop_prob = 0.02; seed = 7 }
+  in
+  record "window=16 + batching + 2% loss"
+    { dp with Mira_sim.Net.window = 16; coalesce = true; fault = Some fault };
+  Table.print t;
+  match bench_json_dir () with
+  | None -> ()
+  | Some dir ->
+    let doc =
+      Mira_telemetry.Json.Obj
+        [ ("title", Mira_telemetry.Json.Str title);
+          ("far_bytes", Mira_telemetry.Json.Int far);
+          ("local_budget_bytes", Mira_telemetry.Json.Int budget);
+          ("rows", Mira_telemetry.Json.List (List.rev !rows)) ]
+    in
+    let path = Filename.concat dir ("BENCH_" ^ slug title ^ ".json") in
+    (try
+       let oc = open_out path in
+       output_string oc (Mira_telemetry.Json.to_string_pretty doc);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "[bench json: %s]\n" path
+     with Sys_error msg -> Printf.eprintf "[bench json skipped: %s]\n" msg)
+
 let all_figures =
   [
+    ("dataplane", figdp);
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7_8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11_12); ("fig13", fig13); ("fig15", fig15);
     ("fig16", fig16); ("fig17", fig17); ("fig18", fig18); ("fig19", fig19);

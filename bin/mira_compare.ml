@@ -46,7 +46,8 @@ let workload_of = function
           native_mem_ns = 0.3 } }
   | other -> failwith ("unknown workload: " ^ other)
 
-let compare_systems wname ratio iterations threads verbose json_out trace_out =
+let compare_systems wname ratio iterations threads net_window net_coalesce
+    verbose json_out trace_out =
   let w = workload_of wname in
   let far_capacity = 4 * w.far_bytes in
   let budget =
@@ -86,10 +87,14 @@ let compare_systems wname ratio iterations threads verbose json_out trace_out =
              ~local_budget:budget ~far_capacity ()))
    with Mira_baselines.Aifm.Oom msg -> Printf.printf "%-10s %s\n" "aifm" msg);
   if trace_out <> None then Trace.enable ();
+  let dataplane =
+    { Mira_sim.Net.dp_default with
+      Mira_sim.Net.window = net_window; coalesce = net_coalesce }
+  in
   let opts =
     { (C.options_default ~local_budget:budget ~far_capacity) with
       C.params = w.params; max_iterations = iterations; nthreads = threads;
-      verbose }
+      dataplane; verbose }
   in
   let compiled = C.optimize opts w.program in
   let rt, machine = C.instantiate compiled in
@@ -168,6 +173,18 @@ let iter_arg =
 let threads_arg =
   Arg.(value & opt int 1 & info [ "t"; "threads" ] ~doc:"simulated threads")
 
+let net_window_arg =
+  Arg.(value & opt int 0
+       & info [ "net-window" ]
+           ~doc:"bound on in-flight network transfers in Mira's runtime \
+                 (0 = unbounded, the legacy synchronous data plane)")
+
+let net_coalesce_arg =
+  Arg.(value & flag
+       & info [ "net-coalesce" ]
+           ~doc:"enable doorbell batching: adjacent same-kind transfers \
+                 (e.g. a readahead cluster) merge into one network message")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"controller log")
 
 let json_arg =
@@ -187,6 +204,7 @@ let cmd =
   let doc = "compare memory systems on a Mira workload" in
   Cmd.v (Cmd.info "mira_compare" ~doc)
     Term.(const compare_systems $ workload_arg $ ratio_arg $ iter_arg
-          $ threads_arg $ verbose_arg $ json_arg $ trace_arg)
+          $ threads_arg $ net_window_arg $ net_coalesce_arg $ verbose_arg
+          $ json_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -55,11 +55,13 @@ let writeback t ~clock:c entry =
     let base = entry.e_key * entry.e_bytes in
     Sim.Far_store.write t.far ~addr:base ~len:entry.e_bytes ~src:entry.e_data
       ~src_off:0;
-    let x =
-      Sim.Net.push t.net ~side:Sim.Net.Two_sided ~purpose:Sim.Net.Writeback
-        ~now:(Sim.Clock.now c) ~bytes:entry.e_bytes ()
+    (* Fire-and-forget writeback: detached, so no completion to reap. *)
+    let sqe =
+      Sim.Net.submit t.net ~now:(Sim.Clock.now c) ~detached:true
+        (Sim.Net.Request.write ~side:Sim.Net.Two_sided
+           ~purpose:Sim.Net.Writeback entry.e_bytes)
     in
-    Sim.Clock.advance c x.Sim.Net.issue_cpu_ns;
+    Sim.Clock.advance c sqe.Sim.Net.issue_cpu_ns;
     entry.e_dirty <- false
   end
 
@@ -99,12 +101,14 @@ let ensure t ~tid ~site ~addr =
     entry
   | None ->
     evict_until t ~clock:c g;
-    let x =
-      Sim.Net.fetch t.net ~side:Sim.Net.Two_sided ~purpose:Sim.Net.Demand
-        ~now:(Sim.Clock.now c) ~bytes:g ()
+    let now = Sim.Clock.now c in
+    let sqe =
+      Sim.Net.submit t.net ~now ~urgent:true
+        (Sim.Net.Request.read ~side:Sim.Net.Two_sided ~purpose:Sim.Net.Demand g)
     in
-    Sim.Clock.advance c x.Sim.Net.issue_cpu_ns;
-    ignore (Sim.Clock.wait_until c x.Sim.Net.done_at);
+    Sim.Clock.advance c sqe.Sim.Net.issue_cpu_ns;
+    let comp = Sim.Net.await t.net ~now ~id:sqe.Sim.Net.id in
+    ignore (Sim.Clock.wait_until c comp.Sim.Net.done_at);
     let data = Bytes.make g '\000' in
     Sim.Far_store.read t.far ~addr:(addr / g * g) ~len:g ~dst:data ~dst_off:0;
     let entry =

@@ -6,8 +6,8 @@ let readahead_pages = 8
 
 let create ?(params = Sim.Params.default) ~local_budget ~far_capacity () =
   let cfg =
-    { (Rt.Runtime.config_default ~local_budget ~far_capacity) with
-      Rt.Runtime.params }
+    Rt.Runtime.Config.(
+      make ~local_budget ~far_capacity |> with_params params)
   in
   let rt = Rt.Runtime.create cfg in
   let swap = Cache.Manager.swap (Rt.Runtime.manager rt) in

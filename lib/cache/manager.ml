@@ -4,6 +4,7 @@ type t = {
   budget : int;
   page : int;
   swap : Swap_section.t;
+  swap_h : Cache_section.handle;
   sections : (int, Section.t) Hashtbl.t;
   site_to_section : (int, int) Hashtbl.t;
   mutable section_bytes : int;
@@ -18,6 +19,7 @@ let create net far ~budget ~page ~side =
     budget;
     page;
     swap;
+    swap_h = Swap_section.handle swap;
     sections = Hashtbl.create 16;
     site_to_section = Hashtbl.create 16;
     section_bytes = 0;
@@ -25,6 +27,7 @@ let create net far ~budget ~page ~side =
 
 let budget t = t.budget
 let swap t = t.swap
+let swap_handle t = t.swap_h
 let net t = t.net
 let far t = t.far
 
@@ -50,6 +53,15 @@ let end_section t ~clock ~id =
   | None -> ()
   | Some section ->
     Section.drop_all section ~clock;
+    (* Writeback-ordering barrier: the section's bytes are about to be
+       rebudgeted to swap, so its (asynchronous) final writebacks must
+       land before anything reuses the far ranges.  Only write traffic
+       is fenced — in-flight prefetches of other sections may overlap. *)
+    let now = Mira_sim.Clock.now clock in
+    let done_at =
+      Mira_sim.Net.fence ~dir:Mira_sim.Net.Request.Write t.net ~now
+    in
+    ignore (Mira_sim.Clock.wait_until clock done_at);
     t.section_bytes <- t.section_bytes - (Section.config section).Section.size;
     Hashtbl.remove t.sections id;
     let orphans =
@@ -79,23 +91,25 @@ let route t ~site =
   | None -> None
   | Some id -> Hashtbl.find_opt t.sections id
 
+let route_handle t ~site =
+  match route t ~site with
+  | Some section -> Section.handle section
+  | None -> t.swap_h
+
+let handles t = List.map Section.handle (sections t) @ [ t.swap_h ]
+
 let metadata_bytes t =
-  Hashtbl.fold
-    (fun _ s acc -> acc + Section.metadata_bytes s)
-    t.sections
-    (Swap_section.metadata_bytes t.swap)
+  List.fold_left
+    (fun acc h -> acc + Cache_section.metadata_bytes h)
+    0 (handles t)
 
 let drop_all t ~clock =
-  Hashtbl.iter (fun _ s -> Section.drop_all s ~clock) t.sections;
-  Swap_section.drop_all t.swap ~clock
+  List.iter (fun h -> Cache_section.drop_all h ~clock) (handles t)
 
-let reset_stats t =
-  Hashtbl.iter (fun _ s -> Section.reset_stats s) t.sections;
-  Swap_section.reset_stats t.swap
+let reset_stats t = List.iter Cache_section.reset_stats (handles t)
 
 let publish t reg =
-  List.iter (fun s -> Section.publish s reg) (sections t);
-  Swap_section.publish t.swap reg;
+  List.iter (fun h -> Cache_section.publish h reg) (handles t);
   Mira_telemetry.Metrics.set_gauge reg "cache.metadata_bytes"
     (float_of_int (metadata_bytes t));
   Mira_telemetry.Metrics.set_counter reg "cache.section_bytes" t.section_bytes

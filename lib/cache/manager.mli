@@ -15,6 +15,10 @@ val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> budget:int -> page:int ->
 
 val budget : t -> int
 val swap : t -> Swap_section.t
+
+val swap_handle : t -> Cache_section.handle
+(** The swap section packed behind the uniform cache contract. *)
+
 val net : t -> Mira_sim.Net.t
 val far : t -> Mira_sim.Far_store.t
 
@@ -25,7 +29,10 @@ val add_section :
 
 val end_section : t -> clock:Mira_sim.Clock.t -> id:int -> unit
 (** Write back, drop, and return the section's bytes to the swap
-    section.  Site assignments to it are removed.  No-op if absent. *)
+    section.  A write [Net.fence] is waited out before the bytes are
+    rebudgeted, so the section's final (asynchronous) writebacks are
+    ordered before any reuse of the far ranges.  Site assignments to it
+    are removed.  No-op if absent. *)
 
 val find_section : t -> id:int -> Section.t option
 val sections : t -> Section.t list
@@ -38,6 +45,14 @@ val unassign_site : t -> site:int -> unit
 
 val route : t -> site:int -> Section.t option
 (** [None] means the swap section handles this site. *)
+
+val route_handle : t -> site:int -> Cache_section.handle
+(** Uniform routing: the assigned section's handle, or the swap
+    section's when the site has none.  Callers no longer special-case
+    swap. *)
+
+val handles : t -> Cache_section.handle list
+(** Every live cache in id order, swap last. *)
 
 val metadata_bytes : t -> int
 (** Total local-memory metadata of swap + sections. *)

@@ -201,17 +201,33 @@ let find_slot t tag =
 
 (* --- victim selection --------------------------------------------------- *)
 
+(* Post one line writeback on the data plane.  [sync] posts urgently
+   and blocks on the completion; otherwise it is fire-and-forget
+   (detached: accounted and fenced, but never reaped). *)
+let post_writeback t ~clock ~sync =
+  let req =
+    Mira_sim.Net.Request.write ~side:t.cfg.side ~purpose:Mira_sim.Net.Writeback
+      t.cfg.line
+  in
+  let now = Mira_sim.Clock.now clock in
+  if sync then begin
+    let sq = Mira_sim.Net.submit t.net ~now ~urgent:true req in
+    Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
+    let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
+    ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at)
+  end
+  else begin
+    let sq = Mira_sim.Net.submit t.net ~now ~detached:true req in
+    Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns
+  end
+
 (* read_discard is a cost hint for clean lines; dirty data must always
    reach the far store or it would be lost. *)
 let writeback_victim t ~clock line =
   if line.dirty then begin
     let base = line.tag * t.cfg.line in
     Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
-    let x =
-      Mira_sim.Net.push t.net ~side:t.cfg.side ~purpose:Mira_sim.Net.Writeback
-        ~now:(Mira_sim.Clock.now clock) ~bytes:t.cfg.line ()
-    in
-    Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+    post_writeback t ~clock ~sync:false;
     t.stats.writebacks <- t.stats.writebacks + 1
   end;
   line.dirty <- false
@@ -368,13 +384,21 @@ let ensure t ~clock ~addr ~for_write =
         install t ~clock ~tag ~ready_at:(Mira_sim.Clock.now clock)
       end
       else begin
-        let x =
-          Mira_sim.Net.fetch t.net ~side:t.cfg.side ~purpose:Mira_sim.Net.Demand
-            ~now:(Mira_sim.Clock.now clock) ~bytes:(payload_bytes t) ()
+        (* Demand miss: the fast synchronous path — an urgent
+           submission followed by a blocking await.  A [Timed_out]
+           completion (faults enabled, retries exhausted) still
+           installs: [done_at] already charges every retry and the
+           final timeout, so the run degrades instead of hanging. *)
+        let now = Mira_sim.Clock.now clock in
+        let sq =
+          Mira_sim.Net.submit t.net ~now ~urgent:true
+            (Mira_sim.Net.Request.read ~side:t.cfg.side
+               ~purpose:Mira_sim.Net.Demand (payload_bytes t))
         in
-        Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
-        let slot = install t ~clock ~tag ~ready_at:x.Mira_sim.Net.done_at in
-        ignore (Mira_sim.Clock.wait_until clock x.Mira_sim.Net.done_at);
+        Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
+        let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
+        let slot = install t ~clock ~tag ~ready_at:c.Mira_sim.Net.done_at in
+        ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at);
         t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
         slot
       end
@@ -454,37 +478,59 @@ let iter_tags t ~addr ~len fn =
     fn tag
   done
 
+let prefetch_req t =
+  Mira_sim.Net.Request.read ~side:t.cfg.side ~purpose:Mira_sim.Net.Prefetch
+    (payload_bytes t)
+
+(* Tag is worth prefetching: inside the far address space (loop
+   preambles may over-prefetch near object ends) and not resident. *)
+let want_prefetch t tag =
+  ((tag + 1) * t.cfg.line) <= Mira_sim.Far_store.capacity t.far
+  && find_slot t tag = None
+
 let prefetch t ~clock ~addr ~len =
-  iter_tags t ~addr ~len (fun tag ->
-      (* Never fetch beyond the far address space (loop preambles may
-         over-prefetch near object ends). *)
-      if ((tag + 1) * t.cfg.line) > Mira_sim.Far_store.capacity t.far then ()
-      else begin
-      match find_slot t tag with
-      | Some _ -> ()
-      | None ->
-        let x =
-          Mira_sim.Net.fetch t.net ~async:true ~side:t.cfg.side
-            ~purpose:Mira_sim.Net.Prefetch ~now:(Mira_sim.Clock.now clock)
-            ~bytes:(payload_bytes t) ()
-        in
-        Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
-        t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
-        ignore (install t ~clock ~tag ~ready_at:x.Mira_sim.Net.done_at)
-      end)
+  if not (Mira_sim.Net.dataplane t.net).Mira_sim.Net.coalesce then
+    (* Per-line posting, identical in timing to the synchronous model:
+       each line pays its own doorbell and round trip. *)
+    iter_tags t ~addr ~len (fun tag ->
+        if want_prefetch t tag then begin
+          let now = Mira_sim.Clock.now clock in
+          let sq = Mira_sim.Net.submit t.net ~now (prefetch_req t) in
+          Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
+          t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
+          let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
+          ignore (install t ~clock ~tag ~ready_at:c.Mira_sim.Net.done_at)
+        end)
+  else begin
+    (* Batched doorbell: submit every absent line, ring once, then
+       install each line with the completion time of the (single,
+       coalesced) transfer it rode on. *)
+    let sqes = ref [] in
+    iter_tags t ~addr ~len (fun tag ->
+        if want_prefetch t tag then begin
+          let sq =
+            Mira_sim.Net.submit t.net ~now:(Mira_sim.Clock.now clock)
+              (prefetch_req t)
+          in
+          Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
+          t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
+          sqes := (tag, sq.Mira_sim.Net.id) :: !sqes
+        end);
+    Mira_sim.Net.ring t.net ~now:(Mira_sim.Clock.now clock);
+    List.iter
+      (fun (tag, id) ->
+        let c = Mira_sim.Net.await t.net ~now:(Mira_sim.Clock.now clock) ~id in
+        if find_slot t tag = None then
+          ignore (install t ~clock ~tag ~ready_at:c.Mira_sim.Net.done_at))
+      (List.rev !sqes)
+  end
 
 let flush_slot t ~clock slot ~sync =
   let line = t.lines.(slot) in
   if line.dirty then begin
     let base = line.tag * t.cfg.line in
     Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
-    let x =
-      Mira_sim.Net.push t.net ~async:(not sync) ~side:t.cfg.side
-        ~purpose:Mira_sim.Net.Writeback ~now:(Mira_sim.Clock.now clock)
-        ~bytes:t.cfg.line ()
-    in
-    Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
-    if sync then ignore (Mira_sim.Clock.wait_until clock x.Mira_sim.Net.done_at);
+    post_writeback t ~clock ~sync;
     line.dirty <- false;
     t.stats.writebacks <- t.stats.writebacks + 1
   end
@@ -544,3 +590,26 @@ let discard_range t ~addr ~len =
         t.used <- t.used - 1)
 
 let resident t ~addr = find_slot t (line_of_addr t addr) <> None
+
+(* --- shared cache contract ---------------------------------------------- *)
+
+module Ops : Cache_section.OPS with type t = t = struct
+  type nonrec t = t
+
+  let kind = "section"
+  let load = load
+  let store = store
+  let load_native = load_native
+  let store_native = store_native
+  let prefetch_range = prefetch
+  let evict_hint = flush_evict
+  let flush_range = flush_range
+  let discard_range = discard_range
+  let drop_all = drop_all
+  let publish = publish
+  let reset_stats = reset_stats
+  let metadata_bytes = metadata_bytes
+  let counters t = (t.stats.hits, t.stats.misses)
+end
+
+let handle t = Cache_section.Handle ((module Ops), t)

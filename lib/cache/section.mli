@@ -106,3 +106,10 @@ val discard_range : t -> addr:int -> len:int -> unit
 
 val resident : t -> addr:int -> bool
 (** True if the line covering [addr] is present (testing hook). *)
+
+module Ops : Cache_section.OPS with type t = t
+(** The shared cache contract ([prefetch_range] = [prefetch],
+    [evict_hint] = [flush_evict]). *)
+
+val handle : t -> Cache_section.handle
+(** Pack this section behind the uniform dispatch handle. *)

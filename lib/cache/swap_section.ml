@@ -117,13 +117,21 @@ let writeback t ~clock frame ~sync =
   if frame.dirty then begin
     let base = frame.pno * t.cfg.page in
     Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.page ~src:frame.data ~src_off:0;
-    let x =
-      Mira_sim.Net.push t.net ~async:(not sync) ~side:t.cfg.side
-        ~purpose:Mira_sim.Net.Writeback ~now:(Mira_sim.Clock.now clock)
-        ~bytes:t.cfg.page ()
+    let req =
+      Mira_sim.Net.Request.write ~side:t.cfg.side
+        ~purpose:Mira_sim.Net.Writeback t.cfg.page
     in
-    Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
-    if sync then ignore (Mira_sim.Clock.wait_until clock x.Mira_sim.Net.done_at);
+    let now = Mira_sim.Clock.now clock in
+    if sync then begin
+      let x = Mira_sim.Net.submit t.net ~now ~urgent:true req in
+      Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+      let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
+      ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at)
+    end
+    else begin
+      let x = Mira_sim.Net.submit t.net ~now ~detached:true req in
+      Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns
+    end;
     frame.dirty <- false;
     t.stats.writebacks <- t.stats.writebacks + 1
   end
@@ -189,17 +197,50 @@ let install t ~clock ~pno ~ready_at =
   t.used <- t.used + 1;
   idx
 
+let prefetch_req t =
+  Mira_sim.Net.Request.read ~side:t.cfg.side ~purpose:Mira_sim.Net.Prefetch
+    t.cfg.page
+
 let prefetch_page t ~clock ~page =
   if not (Hashtbl.mem t.table page) then begin
-    let x =
-      Mira_sim.Net.fetch t.net ~async:true ~side:t.cfg.side
-        ~purpose:Mira_sim.Net.Prefetch ~now:(Mira_sim.Clock.now clock)
-        ~bytes:t.cfg.page ()
-    in
+    let now = Mira_sim.Clock.now clock in
+    let x = Mira_sim.Net.submit t.net ~now (prefetch_req t) in
     Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
     t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
     t.stats.readahead_pages <- t.stats.readahead_pages + 1;
-    ignore (install t ~clock ~pno:page ~ready_at:x.Mira_sim.Net.done_at)
+    let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
+    ignore (install t ~clock ~pno:page ~ready_at:c.Mira_sim.Net.done_at)
+  end
+
+(* Readahead cluster: with doorbell batching enabled the whole cluster
+   is submitted first and posted as one coalesced message; otherwise
+   each page posts (and pays) its own doorbell, exactly like the
+   synchronous model. *)
+let prefetch_cluster t ~clock pages =
+  if not (Mira_sim.Net.dataplane t.net).Mira_sim.Net.coalesce then
+    List.iter (fun page -> prefetch_page t ~clock ~page) pages
+  else begin
+    let pages = List.filter (fun p -> not (Hashtbl.mem t.table p)) pages in
+    let sqes =
+      List.map
+        (fun page ->
+          let x =
+            Mira_sim.Net.submit t.net ~now:(Mira_sim.Clock.now clock)
+              (prefetch_req t)
+          in
+          Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+          t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
+          t.stats.readahead_pages <- t.stats.readahead_pages + 1;
+          (page, x.Mira_sim.Net.id))
+        pages
+    in
+    Mira_sim.Net.ring t.net ~now:(Mira_sim.Clock.now clock);
+    List.iter
+      (fun (page, id) ->
+        let c = Mira_sim.Net.await t.net ~now:(Mira_sim.Clock.now clock) ~id in
+        if not (Hashtbl.mem t.table page) then
+          ignore (install t ~clock ~pno:page ~ready_at:c.Mira_sim.Net.done_at))
+      sqes
   end
 
 let fault t ~clock ~pno =
@@ -207,18 +248,21 @@ let fault t ~clock ~pno =
   let start = Mira_sim.Clock.now clock in
   t.stats.faults <- t.stats.faults + 1;
   Mira_sim.Clock.advance clock (p.Mira_sim.Params.page_fault_ns +. t.extra_fault_ns);
+  let now = Mira_sim.Clock.now clock in
   let x =
-    Mira_sim.Net.fetch t.net ~side:t.cfg.side ~purpose:Mira_sim.Net.Demand
-      ~now:(Mira_sim.Clock.now clock) ~bytes:t.cfg.page ()
+    Mira_sim.Net.submit t.net ~now ~urgent:true
+      (Mira_sim.Net.Request.read ~side:t.cfg.side ~purpose:Mira_sim.Net.Demand
+         t.cfg.page)
   in
   Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
-  let idx = install t ~clock ~pno ~ready_at:x.Mira_sim.Net.done_at in
-  ignore (Mira_sim.Clock.wait_until clock x.Mira_sim.Net.done_at);
+  let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
+  let idx = install t ~clock ~pno ~ready_at:c.Mira_sim.Net.done_at in
+  ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at);
   t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
-  (* Readahead decided while the demand page is in flight. *)
-  List.iter
-    (fun extra -> if extra >= 0 && extra <> pno then prefetch_page t ~clock ~page:extra)
-    (t.readahead pno);
+  (* Readahead decided while the demand page is in flight; the cluster
+     rides one coalesced doorbell when batching is enabled. *)
+  prefetch_cluster t ~clock
+    (List.filter (fun extra -> extra >= 0 && extra <> pno) (t.readahead pno));
   let this_fault_ns = Mira_sim.Clock.now clock -. start in
   t.stats.fault_ns <- t.stats.fault_ns +. this_fault_ns;
   Mira_telemetry.Metrics.hist_observe t.stats.lat_fault this_fault_ns;
@@ -340,3 +384,34 @@ let resize t ~capacity ~clock =
   t.cfg <- { t.cfg with capacity }
 
 let resident t ~addr = Hashtbl.mem t.table (addr / t.cfg.page)
+
+let prefetch_range t ~clock ~addr ~len =
+  let first = addr / t.cfg.page in
+  let last = (addr + len - 1) / t.cfg.page in
+  prefetch_cluster t ~clock (List.init (last - first + 1) (fun i -> first + i))
+
+(* --- shared cache contract ---------------------------------------------- *)
+
+module Ops : Cache_section.OPS with type t = t = struct
+  type nonrec t = t
+
+  let kind = "swap"
+  let load = load
+  let store = store
+
+  (* No compiler-proved fast path for the swap cache: a "native" access
+     still goes through the page table. *)
+  let load_native = load
+  let store_native = store
+  let prefetch_range = prefetch_range
+  let evict_hint = evict_hint
+  let flush_range = flush_range
+  let discard_range = discard_range
+  let drop_all = drop_all
+  let publish = publish
+  let reset_stats = reset_stats
+  let metadata_bytes = metadata_bytes
+  let counters t = (t.stats.hits, t.stats.faults)
+end
+
+let handle t = Cache_section.Handle ((module Ops), t)

@@ -62,6 +62,13 @@ val prefetch_page : t -> clock:Mira_sim.Clock.t -> page:int -> unit
 (** Asynchronous page fetch (used by Mira's swap-section prefetch hints
     and by readahead policies). *)
 
+val prefetch_cluster : t -> clock:Mira_sim.Clock.t -> int list -> unit
+(** Prefetch a list of pages; with doorbell batching enabled the whole
+    cluster is posted as one coalesced message. *)
+
+val prefetch_range : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
+(** [prefetch_cluster] over the pages covering [addr, addr+len). *)
+
 val evict_hint : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
 (** Mark covered pages evict-first and write them back asynchronously. *)
 
@@ -74,3 +81,10 @@ val discard_range : t -> addr:int -> len:int -> unit
 val drop_all : t -> clock:Mira_sim.Clock.t -> unit
 val resident : t -> addr:int -> bool
 val metadata_bytes : t -> int
+
+module Ops : Cache_section.OPS with type t = t
+(** The shared cache contract; [load_native]/[store_native] fall back
+    to the page-table path. *)
+
+val handle : t -> Cache_section.handle
+(** Pack the swap section behind the uniform dispatch handle. *)

@@ -19,6 +19,7 @@ type options = {
   params : Params.t;
   local_budget : int;
   far_capacity : int;
+  dataplane : Mira_sim.Net.dp_config;
   max_iterations : int;
   size_samples : float list;
   nthreads : int;
@@ -38,6 +39,7 @@ let options_default ~local_budget ~far_capacity =
     params = Params.default;
     local_budget;
     far_capacity;
+    dataplane = Mira_sim.Net.dp_default;
     max_iterations = 3;
     size_samples = [ 0.15; 0.35; 0.7 ];
     nthreads = 1;
@@ -74,16 +76,12 @@ let work_function (p : Ir.program) =
 
 let make_runtime opts =
   Runtime.create
-    {
-      Runtime.params = opts.params;
-      local_budget = opts.local_budget;
-      far_capacity = opts.far_capacity;
-      local_capacity = max opts.far_capacity (1 lsl 20);
-      page = opts.params.Params.page_size;
-      swap_side = Mira_sim.Net.One_sided;
-      alloc_chunk = 1 lsl 20;
-      swap_readahead = 8;
-    }
+    Runtime.Config.(
+      make ~local_budget:opts.local_budget ~far_capacity:opts.far_capacity
+      |> with_params opts.params
+      |> with_page opts.params.Params.page_size
+      |> with_local_capacity (max opts.far_capacity (1 lsl 20))
+      |> with_dataplane opts.dataplane)
 
 (* Apply section assignments to a fresh runtime.  Read-only sections are
    split per-thread when running multithreaded (§4.6); shared writable

@@ -14,6 +14,9 @@ type options = {
   params : Mira_sim.Params.t;
   local_budget : int;
   far_capacity : int;
+  dataplane : Mira_sim.Net.dp_config;
+      (** network data-plane settings for every runtime the controller
+          creates (window, doorbell batching, fault injection) *)
   max_iterations : int;
   size_samples : float list;  (** budget fractions sampled for non-
                                   sequential sections *)

@@ -12,19 +12,33 @@ type config = {
   swap_readahead : int;
       (* Linux-style cluster readahead width of the swap section (the
          initial configuration behaves like an optimized kernel swap) *)
+  dataplane : Sim.Net.dp_config;
 }
 
-let config_default ~local_budget ~far_capacity =
-  {
-    params = Sim.Params.default;
-    local_budget;
-    far_capacity;
-    local_capacity = max far_capacity (64 * 1024);
-    page = Sim.Params.default.Sim.Params.page_size;
-    swap_side = Sim.Net.One_sided;
-    alloc_chunk = 1 lsl 20;
-    swap_readahead = 8;
-  }
+module Config = struct
+  type nonrec t = config
+
+  let make ~local_budget ~far_capacity =
+    {
+      params = Sim.Params.default;
+      local_budget;
+      far_capacity;
+      local_capacity = max far_capacity (64 * 1024);
+      page = Sim.Params.default.Sim.Params.page_size;
+      swap_side = Sim.Net.One_sided;
+      alloc_chunk = 1 lsl 20;
+      swap_readahead = 8;
+      dataplane = Sim.Net.dp_default;
+    }
+
+  let with_params params c = { c with params }
+  let with_page page c = { c with page }
+  let with_swap_side swap_side c = { c with swap_side }
+  let with_readahead swap_readahead c = { c with swap_readahead }
+  let with_local_capacity local_capacity c = { c with local_capacity }
+  let with_alloc_chunk alloc_chunk c = { c with alloc_chunk }
+  let with_dataplane dataplane c = { c with dataplane }
+end
 
 type t = {
   cfg : config;
@@ -53,7 +67,7 @@ let space_base = 4096
 let local_base = 64
 
 let create cfg =
-  let net = Sim.Net.create cfg.params in
+  let net = Sim.Net.create ~dp:cfg.dataplane cfg.params in
   let far = Sim.Far_store.create ~capacity:cfg.far_capacity in
   let manager =
     Cache.Manager.create net far ~budget:cfg.local_budget ~page:cfg.page
@@ -119,6 +133,14 @@ let route t ~tid ~site =
     Cache.Manager.find_section t.manager ~id:sec_ids.(idx)
   | None -> Cache.Manager.route t.manager ~site
 
+(* Uniform dispatch: every access path below goes through a packed
+   [Cache_section.handle], so the swap section is no longer a special
+   case — an unrouted site simply resolves to the swap handle. *)
+let route_h t ~tid ~site =
+  match route t ~tid ~site with
+  | Some section -> Cache.Section.handle section
+  | None -> Cache.Manager.swap_handle t.manager
+
 let ranges_ref t site =
   match Hashtbl.find_opt t.site_ranges site with
   | Some r -> r
@@ -140,13 +162,16 @@ let alloc t ~tid ~site ~bytes ~heap =
     let bytes = Mira_util.Misc.round_up bytes t.cfg.page in
     let addr, refilled = Local_alloc.alloc t.local_alloc bytes in
     if refilled then begin
-      (* One RPC to the far node's allocator. *)
-      let x =
-        Sim.Net.fetch t.net ~side:Sim.Net.Two_sided ~purpose:Sim.Net.Rpc
-          ~now:(Sim.Clock.now c) ~bytes:16 ()
+      (* One RPC to the far node's allocator: an urgent (unbatched)
+         two-sided read, awaited synchronously. *)
+      let now = Sim.Clock.now c in
+      let sqe =
+        Sim.Net.submit t.net ~now ~urgent:true
+          (Sim.Net.Request.read ~side:Sim.Net.Two_sided ~purpose:Sim.Net.Rpc 16)
       in
-      Sim.Clock.advance c x.Sim.Net.issue_cpu_ns;
-      ignore (Sim.Clock.wait_until c x.Sim.Net.done_at)
+      Sim.Clock.advance c sqe.Sim.Net.issue_cpu_ns;
+      let comp = Sim.Net.await t.net ~now ~id:sqe.Sim.Net.id in
+      ignore (Sim.Clock.wait_until c comp.Sim.Net.done_at)
     end;
     let r = ranges_ref t site in
     r := (addr, bytes) :: !r;
@@ -180,11 +205,9 @@ let free t ~tid ~(ptr : Memsys.ptr) =
     | Some len ->
       r := List.filter (fun (a, _) -> a <> ptr.Memsys.addr) !r;
       (* Drop any cached lines (no write-back needed: object is dead). *)
-      (match route t ~tid ~site:ptr.Memsys.site with
-      | Some section -> Cache.Section.discard_range section ~addr:ptr.Memsys.addr ~len
-      | None ->
-        Cache.Swap_section.discard_range (Cache.Manager.swap t.manager)
-          ~addr:ptr.Memsys.addr ~len);
+      Cache.Cache_section.discard_range
+        (route_h t ~tid ~site:ptr.Memsys.site)
+        ~addr:ptr.Memsys.addr ~len;
       Local_alloc.free t.local_alloc ~addr:ptr.Memsys.addr ~len)
 
 (* --- data access -------------------------------------------------------- *)
@@ -235,26 +258,17 @@ let load t ~tid ~(ptr : Memsys.ptr) ~len ~native =
     else begin
       Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
       let before = Sim.Clock.now c in
-      match route t ~tid ~site:ptr.Memsys.site with
-      | Some section ->
-        let s = Cache.Section.stats section in
-        let hb, mb = (s.Cache.Section.hits, s.Cache.Section.misses) in
-        let v =
-          if native then Cache.Section.load_native section ~clock:c ~addr:ptr.Memsys.addr ~len
-          else Cache.Section.load section ~clock:c ~addr:ptr.Memsys.addr ~len
-        in
-        attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c) ~hits_before:hb
-          ~misses_before:mb ~hits:s.Cache.Section.hits ~misses:s.Cache.Section.misses;
-        v
-      | None ->
-        let swap = Cache.Manager.swap t.manager in
-        let s = Cache.Swap_section.stats swap in
-        let hb, mb = (s.Cache.Swap_section.hits, s.Cache.Swap_section.faults) in
-        let v = Cache.Swap_section.load swap ~clock:c ~addr:ptr.Memsys.addr ~len in
-        attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c) ~hits_before:hb
-          ~misses_before:mb ~hits:s.Cache.Swap_section.hits
-          ~misses:s.Cache.Swap_section.faults;
-        v
+      let h = route_h t ~tid ~site:ptr.Memsys.site in
+      let hb, mb = Cache.Cache_section.counters h in
+      let v =
+        if native then
+          Cache.Cache_section.load_native h ~clock:c ~addr:ptr.Memsys.addr ~len
+        else Cache.Cache_section.load h ~clock:c ~addr:ptr.Memsys.addr ~len
+      in
+      let hits, misses = Cache.Cache_section.counters h in
+      attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c)
+        ~hits_before:hb ~misses_before:mb ~hits ~misses;
+      v
     end
 
 let store t ~tid ~(ptr : Memsys.ptr) ~len ~native ~value =
@@ -266,23 +280,14 @@ let store t ~tid ~(ptr : Memsys.ptr) ~len ~native ~value =
     else begin
       Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
       let before = Sim.Clock.now c in
-      match route t ~tid ~site:ptr.Memsys.site with
-      | Some section ->
-        let s = Cache.Section.stats section in
-        let hb, mb = (s.Cache.Section.hits, s.Cache.Section.misses) in
-        if native then
-          Cache.Section.store_native section ~clock:c ~addr:ptr.Memsys.addr ~len value
-        else Cache.Section.store section ~clock:c ~addr:ptr.Memsys.addr ~len value;
-        attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c) ~hits_before:hb
-          ~misses_before:mb ~hits:s.Cache.Section.hits ~misses:s.Cache.Section.misses
-      | None ->
-        let swap = Cache.Manager.swap t.manager in
-        let s = Cache.Swap_section.stats swap in
-        let hb, mb = (s.Cache.Swap_section.hits, s.Cache.Swap_section.faults) in
-        Cache.Swap_section.store swap ~clock:c ~addr:ptr.Memsys.addr ~len value;
-        attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c) ~hits_before:hb
-          ~misses_before:mb ~hits:s.Cache.Swap_section.hits
-          ~misses:s.Cache.Swap_section.faults
+      let h = route_h t ~tid ~site:ptr.Memsys.site in
+      let hb, mb = Cache.Cache_section.counters h in
+      if native then
+        Cache.Cache_section.store_native h ~clock:c ~addr:ptr.Memsys.addr ~len value
+      else Cache.Cache_section.store h ~clock:c ~addr:ptr.Memsys.addr ~len value;
+      let hits, misses = Cache.Cache_section.counters h in
+      attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c)
+        ~hits_before:hb ~misses_before:mb ~hits ~misses
     end
 
 let prefetch t ~tid ~(ptr : Memsys.ptr) ~len =
@@ -291,16 +296,9 @@ let prefetch t ~tid ~(ptr : Memsys.ptr) ~len =
   | Memsys.Far ->
     if not (offloaded t tid) then begin
       let c = clock t tid in
-      match route t ~tid ~site:ptr.Memsys.site with
-      | Some section -> Cache.Section.prefetch section ~clock:c ~addr:ptr.Memsys.addr ~len
-      | None ->
-        let swap = Cache.Manager.swap t.manager in
-        let page = (Cache.Swap_section.config swap).Cache.Swap_section.page in
-        let first = ptr.Memsys.addr / page in
-        let last = (ptr.Memsys.addr + len - 1) / page in
-        for pno = first to last do
-          Cache.Swap_section.prefetch_page swap ~clock:c ~page:pno
-        done
+      Cache.Cache_section.prefetch_range
+        (route_h t ~tid ~site:ptr.Memsys.site)
+        ~clock:c ~addr:ptr.Memsys.addr ~len
     end
 
 let flush_evict t ~tid ~(ptr : Memsys.ptr) ~len =
@@ -309,48 +307,34 @@ let flush_evict t ~tid ~(ptr : Memsys.ptr) ~len =
   | Memsys.Far ->
     if not (offloaded t tid) then begin
       let c = clock t tid in
-      match route t ~tid ~site:ptr.Memsys.site with
-      | Some section ->
-        Cache.Section.flush_evict section ~clock:c ~addr:ptr.Memsys.addr ~len
-      | None ->
-        Cache.Swap_section.evict_hint (Cache.Manager.swap t.manager) ~clock:c
-          ~addr:ptr.Memsys.addr ~len
+      Cache.Cache_section.evict_hint
+        (route_h t ~tid ~site:ptr.Memsys.site)
+        ~clock:c ~addr:ptr.Memsys.addr ~len
     end
 
 let iter_site_ranges t ~tid ~sites fn =
   List.iter
     (fun site ->
       List.iter
-        (fun (addr, len) -> fn ~site ~addr ~len ~section:(route t ~tid ~site))
+        (fun (addr, len) -> fn ~site ~addr ~len ~handle:(route_h t ~tid ~site))
         !(ranges_ref t site))
     sites
 
 let evict_site t ~tid ~site =
   let c = clock t tid in
+  let h = route_h t ~tid ~site in
   List.iter
-    (fun (addr, len) ->
-      match route t ~tid ~site with
-      | Some s -> Cache.Section.flush_evict s ~clock:c ~addr ~len
-      | None ->
-        Cache.Swap_section.evict_hint (Cache.Manager.swap t.manager) ~clock:c ~addr
-          ~len)
+    (fun (addr, len) -> Cache.Cache_section.evict_hint h ~clock:c ~addr ~len)
     !(ranges_ref t site)
 
 let flush_sites t ~tid ~sites =
   let c = clock t tid in
-  iter_site_ranges t ~tid ~sites (fun ~site:_ ~addr ~len ~section ->
-      match section with
-      | Some s -> Cache.Section.flush_range s ~clock:c ~addr ~len
-      | None ->
-        Cache.Swap_section.flush_range (Cache.Manager.swap t.manager) ~clock:c ~addr
-          ~len)
+  iter_site_ranges t ~tid ~sites (fun ~site:_ ~addr ~len ~handle ->
+      Cache.Cache_section.flush_range handle ~clock:c ~addr ~len)
 
 let discard_sites t ~tid ~sites =
-  iter_site_ranges t ~tid ~sites (fun ~site:_ ~addr ~len ~section ->
-      match section with
-      | Some s -> Cache.Section.discard_range s ~addr ~len
-      | None ->
-        Cache.Swap_section.discard_range (Cache.Manager.swap t.manager) ~addr ~len)
+  iter_site_ranges t ~tid ~sites (fun ~site:_ ~addr ~len ~handle ->
+      Cache.Cache_section.discard_range handle ~addr ~len)
 
 (* --- misc --------------------------------------------------------------- *)
 

@@ -22,9 +22,32 @@ type config = {
   swap_readahead : int;  (** cluster readahead width of the swap section
                              (Mira's initial config matches an optimized
                              kernel swap); 0/1 disables *)
+  dataplane : Mira_sim.Net.dp_config;
+      (** network data-plane configuration: in-flight window, doorbell
+          batching, fault injection ([Mira_sim.Net.dp_default] =
+          legacy synchronous behaviour) *)
 }
 
-val config_default : local_budget:int -> far_capacity:int -> config
+(** Builder for [config]: [Config.make ~local_budget ~far_capacity]
+    gives the defaults (one-sided swap, 8-page readahead, legacy data
+    plane); pipe through [with_*] to customize:
+
+    {[ Config.make ~local_budget ~far_capacity
+       |> Config.with_page 4096
+       |> Config.with_readahead 0
+       |> Config.with_dataplane { Mira_sim.Net.dp_default with window = 8 } ]} *)
+module Config : sig
+  type t = config
+
+  val make : local_budget:int -> far_capacity:int -> t
+  val with_params : Mira_sim.Params.t -> t -> t
+  val with_page : int -> t -> t
+  val with_swap_side : Mira_sim.Net.side -> t -> t
+  val with_readahead : int -> t -> t
+  val with_local_capacity : int -> t -> t
+  val with_alloc_chunk : int -> t -> t
+  val with_dataplane : Mira_sim.Net.dp_config -> t -> t
+end
 
 type t
 

@@ -10,6 +10,91 @@ let purpose_name = function
   | Writeback -> "writeback"
   | Rpc -> "rpc"
 
+module Request = struct
+  type dir = Read | Write
+
+  type t = {
+    dir : dir;
+    side : side;
+    purpose : purpose;
+    bytes : int;
+    deadline_ns : float option;
+  }
+
+  let make ?deadline_ns ~dir ~side ~purpose bytes =
+    assert (bytes > 0);
+    { dir; side; purpose; bytes; deadline_ns }
+
+  let read ?deadline_ns ~side ~purpose bytes =
+    make ?deadline_ns ~dir:Read ~side ~purpose bytes
+
+  let write ?deadline_ns ~side ~purpose bytes =
+    make ?deadline_ns ~dir:Write ~side ~purpose bytes
+end
+
+module Fault = struct
+  type t = {
+    seed : int;
+    drop_prob : float;
+    delay_prob : float;
+    delay_ns : float;
+    timeout_ns : float;
+    backoff_ns : float;
+    max_retries : int;
+  }
+
+  let default =
+    {
+      seed = 1;
+      drop_prob = 0.0;
+      delay_prob = 0.0;
+      delay_ns = 0.0;
+      timeout_ns = 50_000.0;
+      backoff_ns = 2_000.0;
+      max_retries = 3;
+    }
+
+  (* Deterministic per-(seed, request, attempt, salt) uniform sample:
+     splitmix64-style finalizer, purely functional so a fixed seed
+     reproduces the exact same fault schedule on every run. *)
+  let mix z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+    let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+    logxor z (shift_right_logical z 33)
+
+  let u01 t ~id ~attempt ~salt =
+    let open Int64 in
+    let z = mix (add (of_int t.seed) 0x9E3779B97F4A7C15L) in
+    let z = mix (logxor z (of_int id)) in
+    let z = mix (logxor z (of_int ((attempt * 0x10001) + salt))) in
+    to_float (shift_right_logical z 11) /. 9007199254740992.0
+end
+
+type dp_config = {
+  window : int;
+  coalesce : bool;
+  coalesce_limit : int;
+  fault : Fault.t option;
+}
+
+let dp_default = { window = 0; coalesce = false; coalesce_limit = 16; fault = None }
+
+type status = Done | Timed_out
+
+type completion = {
+  id : int;
+  req : Request.t;
+  submitted_at : float;
+  posted_at : float;
+  done_at : float;
+  attempts : int;
+  status : status;
+  coalesced : bool;
+}
+
+type sqe = { id : int; issue_cpu_ns : float }
+
 type xfer = { issue_cpu_ns : float; done_at : float }
 
 type stats = {
@@ -20,11 +105,35 @@ type stats = {
   mutable bytes_prefetch : int;
   mutable bytes_writeback : int;
   mutable bytes_rpc : int;
+  mutable doorbells : int;
+  mutable coalesced : int;
+  mutable retries : int;
+  mutable timeouts : int;
   lat_fetch : Metrics.hist;
   lat_rtt : Metrics.hist;
+  lat_attempt : Metrics.hist;
+  occupancy : Metrics.hist;
 }
 
-type t = { params : Params.t; mutable link_free_at : float; stats : stats }
+(* One un-rung doorbell batch: same-kind submissions buffered in
+   submission order (members kept newest-first). *)
+type batch = {
+  key : Request.dir * side * purpose;
+  mutable members : (int * Request.t * float * bool) list;
+      (* id, request, submitted_at, detached *)
+}
+
+type t = {
+  params : Params.t;
+  mutable dp : dp_config;
+  mutable link_free_at : float;
+  mutable next_id : int;
+  mutable inflight : (float * Request.dir) list;
+      (* done_at of every posted message not yet known-complete *)
+  mutable cq : completion list;  (* unreaped completions, any order *)
+  mutable pending : batch option;
+  stats : stats;
+}
 
 let empty_stats () =
   {
@@ -35,13 +144,32 @@ let empty_stats () =
     bytes_prefetch = 0;
     bytes_writeback = 0;
     bytes_rpc = 0;
+    doorbells = 0;
+    coalesced = 0;
+    retries = 0;
+    timeouts = 0;
     lat_fetch = Metrics.hist_create ();
     lat_rtt = Metrics.hist_create ();
+    lat_attempt = Metrics.hist_create ();
+    occupancy = Metrics.hist_create ();
   }
 
-let create params = { params; link_free_at = 0.0; stats = empty_stats () }
+let create ?(dp = dp_default) params =
+  {
+    params;
+    dp;
+    link_free_at = 0.0;
+    next_id = 0;
+    inflight = [];
+    cq = [];
+    pending = None;
+    stats = empty_stats ();
+  }
+
 let params t = t.params
 let stats t = t.stats
+let dataplane t = t.dp
+let set_dataplane t dp = t.dp <- dp
 
 let reset_stats t =
   let s = t.stats in
@@ -52,10 +180,21 @@ let reset_stats t =
   s.bytes_prefetch <- 0;
   s.bytes_writeback <- 0;
   s.bytes_rpc <- 0;
+  s.doorbells <- 0;
+  s.coalesced <- 0;
+  s.retries <- 0;
+  s.timeouts <- 0;
   Metrics.hist_reset s.lat_fetch;
-  Metrics.hist_reset s.lat_rtt
+  Metrics.hist_reset s.lat_rtt;
+  Metrics.hist_reset s.lat_attempt;
+  Metrics.hist_reset s.occupancy
 
-let reset_link t = t.link_free_at <- 0.0
+let reset_link t =
+  t.link_free_at <- 0.0;
+  t.next_id <- 0;
+  t.inflight <- [];
+  t.cq <- [];
+  t.pending <- None
 
 let publish t reg =
   let s = t.stats in
@@ -66,8 +205,14 @@ let publish t reg =
   Metrics.set_counter reg "net.bytes_prefetch" s.bytes_prefetch;
   Metrics.set_counter reg "net.bytes_writeback" s.bytes_writeback;
   Metrics.set_counter reg "net.bytes_rpc" s.bytes_rpc;
+  Metrics.set_counter reg "net.doorbells" s.doorbells;
+  Metrics.set_counter reg "net.coalesced" s.coalesced;
+  Metrics.set_counter reg "net.retries" s.retries;
+  Metrics.set_counter reg "net.timeouts" s.timeouts;
   Metrics.set_hist reg "net.fetch_latency" s.lat_fetch;
-  Metrics.set_hist reg "net.rtt" s.lat_rtt
+  Metrics.set_hist reg "net.rtt" s.lat_rtt;
+  Metrics.set_hist reg "net.attempt_latency" s.lat_attempt;
+  Metrics.set_hist reg "net.inflight" s.occupancy
 
 let record t ~purpose ~inbound bytes =
   let s = t.stats in
@@ -80,14 +225,37 @@ let record t ~purpose ~inbound bytes =
   | Writeback -> s.bytes_writeback <- s.bytes_writeback + bytes
   | Rpc -> s.bytes_rpc <- s.bytes_rpc + bytes
 
-(* Shared transfer model: the payload occupies the link for
-   [bytes / bandwidth] starting when the link is free; completion adds the
-   side-dependent latency and, for two-sided, the far-node copy. *)
-let transfer t ~side ~purpose ~now ~bytes ~inbound ~async =
+(* --- in-flight window ---------------------------------------------------- *)
+
+let retire t ~now =
+  t.inflight <- List.filter (fun (d, _) -> d > now) t.inflight
+
+let in_flight t ~now =
+  List.length (List.filter (fun (d, _) -> d > now) t.inflight)
+
+(* Earliest time a new message may start when the window is full: the
+   moment the in-flight population drops below [window]. *)
+let gate_time t ~now =
+  let w = t.dp.window in
+  if w <= 0 then now
+  else begin
+    let live =
+      List.filter (fun d -> d > now) (List.map fst t.inflight)
+      |> List.sort compare
+    in
+    let n = List.length live in
+    if n < w then now else List.nth live (n - w)
+  end
+
+(* --- posting ------------------------------------------------------------- *)
+
+(* One wire attempt of a whole message: occupies the link for the
+   payload's serialization time (even if the message is then lost). *)
+let wire_attempt t ~start ~bytes ~side ~purpose ~inbound =
   let p = t.params in
   let wire = float_of_int bytes /. p.Params.bandwidth_bytes_per_ns in
-  let start = Float.max now t.link_free_at in
-  t.link_free_at <- start +. wire;
+  let s = Float.max start t.link_free_at in
+  t.link_free_at <- s +. wire;
   let latency, extra =
     match side with
     | One_sided -> (p.Params.one_sided_rtt_ns, 0.0)
@@ -96,31 +264,201 @@ let transfer t ~side ~purpose ~now ~bytes ~inbound ~async =
         p.Params.remote_copy_ns_per_byte *. float_of_int bytes )
   in
   record t ~purpose ~inbound bytes;
-  let issue_cpu_ns =
-    if async then p.Params.async_post_ns else p.Params.msg_cpu_ns
+  (s, s +. wire +. latency +. extra)
+
+(* Run the (possibly retried) attempt sequence for one posted message.
+   Returns (first wire start, final done_at/detect time, attempts,
+   status). *)
+let run_attempts t ~id ~posted_at ~bytes ~side ~purpose ~inbound ~deadline =
+  let s = t.stats in
+  match t.dp.fault with
+  | None ->
+    let start, done_at =
+      wire_attempt t ~start:posted_at ~bytes ~side ~purpose ~inbound
+    in
+    Metrics.hist_observe s.lat_attempt (done_at -. posted_at);
+    (start, done_at, 1, Done)
+  | Some f ->
+    let timeout = match deadline with Some d -> d | None -> f.Fault.timeout_ns in
+    let rec go ~issue_at ~attempt ~first_start =
+      let start, done_at =
+        wire_attempt t ~start:issue_at ~bytes ~side ~purpose ~inbound
+      in
+      let first_start =
+        match first_start with Some v -> Some v | None -> Some start
+      in
+      let dropped = Fault.u01 f ~id ~attempt ~salt:1 < f.Fault.drop_prob in
+      if not dropped then begin
+        let delay =
+          if
+            f.Fault.delay_prob > 0.0
+            && Fault.u01 f ~id ~attempt ~salt:2 < f.Fault.delay_prob
+          then f.Fault.delay_ns
+          else 0.0
+        in
+        let done_at = done_at +. delay in
+        Metrics.hist_observe s.lat_attempt (done_at -. issue_at);
+        (Option.get first_start, done_at, attempt, Done)
+      end
+      else begin
+        Metrics.hist_observe s.lat_attempt timeout;
+        let detect = issue_at +. timeout in
+        if attempt > f.Fault.max_retries then begin
+          s.timeouts <- s.timeouts + 1;
+          (Option.get first_start, detect, attempt, Timed_out)
+        end
+        else begin
+          s.retries <- s.retries + 1;
+          let backoff =
+            f.Fault.backoff_ns *. (2.0 ** float_of_int (attempt - 1))
+          in
+          go ~issue_at:(detect +. backoff) ~attempt:(attempt + 1) ~first_start
+        end
+      end
+    in
+    go ~issue_at:posted_at ~attempt:1 ~first_start:None
+
+(* Post one message (a single request, or a coalesced batch given in
+   submission order) at time [now]. *)
+let post t ~now members =
+  let members = List.rev members in
+  let (id0, (r0 : Request.t), _, _) = List.hd members in
+  let n = List.length members in
+  let bytes = List.fold_left (fun a (_, (r : Request.t), _, _) -> a + r.Request.bytes) 0 members in
+  let inbound = r0.Request.dir = Request.Read in
+  retire t ~now;
+  let gate = gate_time t ~now in
+  let issue_at = Float.max now gate in
+  let start, done_at, attempts, status =
+    run_attempts t ~id:id0 ~posted_at:issue_at ~bytes ~side:r0.Request.side
+      ~purpose:r0.Request.purpose ~inbound ~deadline:r0.Request.deadline_ns
   in
-  let done_at = start +. wire +. latency +. extra in
-  (* Host-side telemetry only: the latency histograms and optional trace
-     span never advance any simulated clock. *)
-  Metrics.hist_observe t.stats.lat_rtt (done_at -. start);
-  if inbound then Metrics.hist_observe t.stats.lat_fetch (done_at -. now);
-  if Trace.enabled () then
-    Trace.complete ~name:(purpose_name purpose) ~cat:"net" ~lane:"net"
-      ~ts_ns:now ~dur_ns:(done_at -. now)
-      ~args:
-        [
-          ("bytes", Mira_telemetry.Json.Int bytes);
-          ( "side",
-            Mira_telemetry.Json.Str
-              (match side with One_sided -> "one-sided" | Two_sided -> "two-sided") );
-          ("inbound", Mira_telemetry.Json.Bool inbound);
-          ("queue_ns", Mira_telemetry.Json.Float (start -. now));
-        ]
-      ();
-  { issue_cpu_ns; done_at }
+  t.inflight <- (done_at, r0.Request.dir) :: t.inflight;
+  let s = t.stats in
+  s.doorbells <- s.doorbells + 1;
+  if n > 1 then s.coalesced <- s.coalesced + (n - 1);
+  Metrics.hist_observe s.occupancy (float_of_int (List.length t.inflight));
+  if status = Done then Metrics.hist_observe s.lat_rtt (done_at -. start);
+  if inbound && status = Done then Metrics.hist_observe s.lat_fetch (done_at -. now);
+  (* Host-side telemetry only: histograms and the optional trace span
+     never advance any simulated clock. *)
+  if Trace.enabled () then begin
+    let base_args =
+      [
+        ("bytes", Mira_telemetry.Json.Int bytes);
+        ( "side",
+          Mira_telemetry.Json.Str
+            (match r0.Request.side with
+            | One_sided -> "one-sided"
+            | Two_sided -> "two-sided") );
+        ("inbound", Mira_telemetry.Json.Bool inbound);
+        ("queue_ns", Mira_telemetry.Json.Float (start -. now));
+      ]
+    in
+    let extra_args =
+      (if n > 1 then [ ("coalesced", Mira_telemetry.Json.Int n) ] else [])
+      @ (if attempts > 1 then [ ("attempts", Mira_telemetry.Json.Int attempts) ]
+         else [])
+      @
+      if status = Timed_out then [ ("timed_out", Mira_telemetry.Json.Bool true) ]
+      else []
+    in
+    Trace.complete ~name:(purpose_name r0.Request.purpose) ~cat:"net" ~lane:"net"
+      ~ts_ns:now ~dur_ns:(done_at -. now) ~args:(base_args @ extra_args) ()
+  end;
+  List.iter
+    (fun (id, req, submitted_at, detached) ->
+      if not detached then
+        t.cq <-
+          {
+            id;
+            req;
+            submitted_at;
+            posted_at = now;
+            done_at;
+            attempts;
+            status;
+            coalesced = n > 1;
+          }
+          :: t.cq)
+    members
+
+let ring t ~now =
+  match t.pending with
+  | None -> ()
+  | Some b ->
+    t.pending <- None;
+    post t ~now b.members
+
+let submit t ~now ?(urgent = false) ?(detached = false) (req : Request.t) =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let p = t.params in
+  if urgent then begin
+    ring t ~now;
+    post t ~now [ (id, req, now, detached) ];
+    { id; issue_cpu_ns = p.Params.msg_cpu_ns }
+  end
+  else if not t.dp.coalesce then begin
+    ring t ~now;
+    post t ~now [ (id, req, now, detached) ];
+    { id; issue_cpu_ns = p.Params.async_post_ns }
+  end
+  else begin
+    let key = (req.Request.dir, req.Request.side, req.Request.purpose) in
+    match t.pending with
+    | Some b when b.key = key && List.length b.members < t.dp.coalesce_limit ->
+      b.members <- (id, req, now, detached) :: b.members;
+      { id; issue_cpu_ns = 0.0 }
+    | Some _ ->
+      ring t ~now;
+      t.pending <- Some { key; members = [ (id, req, now, detached) ] };
+      { id; issue_cpu_ns = p.Params.async_post_ns }
+    | None ->
+      t.pending <- Some { key; members = [ (id, req, now, detached) ] };
+      { id; issue_cpu_ns = p.Params.async_post_ns }
+  end
+
+(* --- completion queue ---------------------------------------------------- *)
+
+let poll t ~now =
+  ring t ~now;
+  let ready, rest =
+    List.partition (fun (c : completion) -> c.done_at <= now) t.cq
+  in
+  t.cq <- rest;
+  List.sort
+    (fun (a : completion) (b : completion) ->
+      match compare a.done_at b.done_at with 0 -> compare a.id b.id | c -> c)
+    ready
+
+let await t ~now ~id =
+  ring t ~now;
+  match List.partition (fun (c : completion) -> c.id = id) t.cq with
+  | [ c ], rest ->
+    t.cq <- rest;
+    c
+  | _ -> invalid_arg "Net.await: unknown or detached request id"
+
+let fence ?dir t ~now =
+  ring t ~now;
+  List.fold_left
+    (fun acc (done_at, d) ->
+      match dir with
+      | Some want when d <> want -> acc
+      | _ -> Float.max acc done_at)
+    now t.inflight
+
+(* --- synchronous shorthands ---------------------------------------------- *)
 
 let fetch t ?(async = false) ~side ~purpose ~now ~bytes () =
-  transfer t ~side ~purpose ~now ~bytes ~inbound:true ~async
+  let sq = submit t ~now ~urgent:(not async) (Request.read ~side ~purpose bytes) in
+  let c = await t ~now ~id:sq.id in
+  { issue_cpu_ns = sq.issue_cpu_ns; done_at = c.done_at }
 
 let push t ?(async = true) ~side ~purpose ~now ~bytes () =
-  transfer t ~side ~purpose ~now ~bytes ~inbound:false ~async
+  let sq =
+    submit t ~now ~urgent:(not async) (Request.write ~side ~purpose bytes)
+  in
+  let c = await t ~now ~id:sq.id in
+  { issue_cpu_ns = sq.issue_cpu_ns; done_at = c.done_at }

@@ -1,13 +1,36 @@
 (** Analytical RDMA-like network between the compute node and the
-    far-memory node.
+    far-memory node, redesigned as an {e asynchronous data plane}.
 
-    The model charges a fixed round-trip latency per message, serializes
-    payloads on a shared link of finite bandwidth (so concurrent
-    prefetches overlap latency but queue on the wire), and charges local
-    CPU time for posting each message.  Two-sided messages additionally
-    pay a higher base latency plus a per-byte copy on the far node, but
-    may carry exactly the bytes requested (no line/page rounding), which
-    is what Mira's selective transmission exploits. *)
+    Callers build typed requests ([Request.t]), post them to a
+    submission queue ([submit]), and reap typed completions from a
+    completion queue ([poll] / [await]).  The data plane adds three
+    orthogonal mechanisms on top of the original analytical link model:
+
+    - a {b bounded in-flight window}: at most [window] transfers may be
+      outstanding at any simulated instant; excess requests wait for a
+      completion slot before they touch the wire (window [0] =
+      unbounded, the legacy behaviour);
+    - {b doorbell batching}: with [coalesce] on, adjacent
+      same-direction/side/purpose submissions merge into one posted
+      message (a single doorbell ring, a single round trip carrying the
+      combined payload) — subsequent members of a batch cost zero local
+      CPU to post;
+    - {b fault injection}: a seeded, deterministic drop/delay model
+      with per-request timeouts, bounded retries and exponential
+      backoff, so transfers degrade gracefully (and observably) instead
+      of hanging the simulation.
+
+    The timing model underneath is unchanged: a fixed round-trip
+    latency per message, payload serialization on a shared link of
+    finite bandwidth (concurrent transfers overlap latency but queue on
+    the wire), and local CPU time per posted doorbell.  Two-sided
+    messages pay a higher base latency plus a per-byte far-node copy
+    but may carry exactly the bytes requested.
+
+    With the default configuration ([dp_default]: unbounded window, no
+    coalescing, no faults) the data plane is bit-identical to the old
+    blocking [fetch]/[push] interface, which survives as a thin
+    synchronous shorthand implemented on [submit]/[await]. *)
 
 type side = One_sided | Two_sided
 
@@ -17,35 +40,183 @@ type purpose = Demand | Prefetch | Writeback | Rpc
 
 val purpose_name : purpose -> string
 
-type xfer = {
-  issue_cpu_ns : float;  (** local CPU time consumed posting the message *)
-  done_at : float;  (** absolute simulated time of completion *)
+(** {1 Requests} *)
+
+module Request : sig
+  type dir = Read | Write  (** [Read] = far->local, [Write] = local->far *)
+
+  type t = {
+    dir : dir;
+    side : side;
+    purpose : purpose;
+    bytes : int;
+    deadline_ns : float option;
+        (** per-request loss-detection timer; [None] uses the fault
+            model's [timeout_ns].  Ignored when no faults are
+            configured. *)
+  }
+
+  val read : ?deadline_ns:float -> side:side -> purpose:purpose -> int -> t
+  (** [read ~side ~purpose bytes] — an inbound transfer request. *)
+
+  val write : ?deadline_ns:float -> side:side -> purpose:purpose -> int -> t
+  (** [write ~side ~purpose bytes] — an outbound transfer request. *)
+end
+
+(** {1 Fault injection} *)
+
+module Fault : sig
+  type t = {
+    seed : int;  (** RNG seed; same seed => same drops/delays *)
+    drop_prob : float;  (** probability an attempt is lost on the wire *)
+    delay_prob : float;  (** probability a surviving attempt is delayed *)
+    delay_ns : float;  (** extra latency charged when delayed *)
+    timeout_ns : float;  (** default loss-detection timer per attempt *)
+    backoff_ns : float;
+        (** base retry backoff; attempt [k] (1-based) waits
+            [backoff_ns * 2^(k-1)] after its timeout fires *)
+    max_retries : int;  (** retries after the first attempt *)
+  }
+
+  val default : t
+  (** No drops or delays, but sane timeout/backoff/retry settings to
+      tweak from ([timeout_ns = 50_000], [backoff_ns = 2_000],
+      [max_retries = 3]). *)
+end
+
+type dp_config = {
+  window : int;  (** max in-flight posted messages; [0] = unbounded *)
+  coalesce : bool;  (** doorbell batching of adjacent submissions *)
+  coalesce_limit : int;  (** max requests merged into one message *)
+  fault : Fault.t option;  (** [None] = perfectly reliable link *)
 }
 
+val dp_default : dp_config
+(** Unbounded window, no coalescing, no faults: bit-identical to the
+    pre-dataplane synchronous model. *)
+
+(** {1 Completions} *)
+
+type status =
+  | Done  (** data transferred (possibly after retries) *)
+  | Timed_out
+      (** dropped on every attempt; the requester gave up cleanly after
+          [max_retries] retries.  [done_at] is the final detection
+          time. *)
+
+type completion = {
+  id : int;
+  req : Request.t;
+  submitted_at : float;  (** when [submit] accepted the request *)
+  posted_at : float;  (** when its doorbell rang (>= submitted_at) *)
+  done_at : float;  (** completion (or final failure-detection) time *)
+  attempts : int;  (** 1 + retries actually performed *)
+  status : status;
+  coalesced : bool;  (** rode a shared doorbell with other requests *)
+}
+
+type sqe = {
+  id : int;  (** completion-queue key for [await] *)
+  issue_cpu_ns : float;
+      (** local CPU consumed posting (0 when merged into an already-open
+          batch; the caller advances its clock by this) *)
+}
+
+(** {1 Statistics} *)
+
 type stats = {
-  mutable msg_count : int;
+  mutable msg_count : int;  (** posted wire messages (incl. retries) *)
   mutable bytes_in : int;  (** far -> local *)
   mutable bytes_out : int;  (** local -> far *)
   mutable bytes_demand : int;
   mutable bytes_prefetch : int;
   mutable bytes_writeback : int;
   mutable bytes_rpc : int;
+  mutable doorbells : int;  (** doorbell rings (coalesced batches = 1) *)
+  mutable coalesced : int;  (** requests that rode a shared doorbell *)
+  mutable retries : int;  (** retransmissions after a detected loss *)
+  mutable timeouts : int;  (** requests failed after bounded retries *)
   lat_fetch : Mira_telemetry.Metrics.hist;
-      (** caller-observed latency (incl. link queueing) of inbound
-          transfers *)
+      (** caller-observed latency (incl. link queueing and retries) of
+          inbound transfers *)
   lat_rtt : Mira_telemetry.Metrics.hist;
       (** pure wire+latency round trip, excl. queueing, all transfers *)
+  lat_attempt : Mira_telemetry.Metrics.hist;
+      (** per-attempt latency (timeouts contribute the timer value) *)
+  occupancy : Mira_telemetry.Metrics.hist;
+      (** in-flight window occupancy sampled at each doorbell *)
 }
 
 type t
 
-val create : Params.t -> t
+val create : ?dp:dp_config -> Params.t -> t
 val params : t -> Params.t
 val stats : t -> stats
 val reset_stats : t -> unit
 
+val dataplane : t -> dp_config
+val set_dataplane : t -> dp_config -> unit
+(** Reconfigure window/batching/faults.  Takes effect for subsequent
+    submissions; callers normally set this once before a run. *)
+
 val publish : t -> Mira_telemetry.Metrics.t -> unit
-(** Export counters and latency histograms under [net.*]. *)
+(** Export counters and latency histograms under [net.*] (including
+    [net.inflight], [net.coalesced], [net.retries], [net.timeouts]). *)
+
+(** {1 The asynchronous data plane} *)
+
+val submit : t -> now:float -> ?urgent:bool -> ?detached:bool -> Request.t -> sqe
+(** Post a request to the submission queue.
+
+    [urgent] (default false) bypasses batching, posts immediately, and
+    pays the full synchronous doorbell cost ([msg_cpu_ns]) — the fast
+    synchronous path for blocking demand misses.  Non-urgent requests
+    pay the batched doorbell cost ([async_post_ns]) and, when
+    coalescing is enabled, may merge with adjacent same-kind requests
+    (merged members cost zero CPU to post).
+
+    [detached] (default false) marks a fire-and-forget request: it is
+    fully accounted (statistics, link occupancy, [fence]) but produces
+    no completion-queue entry, so callers that never reap (asynchronous
+    writebacks) cannot leak completions.
+
+    A pending batch is posted — its doorbell rings — when a different
+    kind of request is submitted, when it reaches [coalesce_limit],
+    or on [ring]/[poll]/[await]/[fence]. *)
+
+val ring : t -> now:float -> unit
+(** Ring the doorbell: post any pending batch at time [now].  No-op if
+    nothing is pending. *)
+
+val poll : t -> now:float -> completion list
+(** Drain completions with [done_at <= now], oldest first (ties by
+    submission order).  Rings the doorbell first. *)
+
+val await : t -> now:float -> id:int -> completion
+(** Reap the completion for [id] regardless of its [done_at] — the
+    blocking path: the caller then advances its clock to [done_at].
+    Rings the doorbell first.  Raises [Invalid_argument] for unknown or
+    detached ids. *)
+
+val fence : ?dir:Request.dir -> t -> now:float -> float
+(** Time at which every transfer submitted so far (restricted to
+    direction [dir] if given) has completed; at least [now].  Rings the
+    doorbell first.  [fence ~dir:Write] is the writeback flush barrier
+    used before RPCs and section teardown. *)
+
+val in_flight : t -> now:float -> int
+(** Posted messages not yet complete at [now] (testing/telemetry). *)
+
+(** {1 Synchronous shorthands}
+
+    The original blocking interface, now a veneer over
+    [submit]/[await].  With [dp_default] these are bit-identical to the
+    pre-dataplane model. *)
+
+type xfer = {
+  issue_cpu_ns : float;  (** local CPU time consumed posting the message *)
+  done_at : float;  (** absolute simulated time of completion *)
+}
 
 val fetch :
   t -> ?async:bool -> side:side -> purpose:purpose -> now:float -> bytes:int ->
@@ -61,7 +232,8 @@ val push :
 (** Write [bytes] to far memory (used for writeback and RPC argument
     shipping); fire-and-forget by default ([async] default true), so
     callers only pay [issue_cpu_ns] unless they need completion
-    (e.g. flush-before-RPC). *)
+    (e.g. flush-before-RPC — see [fence]). *)
 
 val reset_link : t -> unit
-(** Forget link occupancy (between independent simulated runs). *)
+(** Forget link occupancy and all queue state (between independent
+    simulated runs). *)

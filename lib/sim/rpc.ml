@@ -1,19 +1,32 @@
-type call_cost = { send_done_at : float; overhead_ns : float }
+type call_cost = {
+  send_done_at : float;
+  overhead_ns : float;
+  fence_wait_ns : float;
+}
 
+(* Argument shipping is ordered after every outstanding writeback: the
+   far node must observe current data before it runs the offloaded
+   body.  The old API left that to caller discipline ([push] defaults
+   to fire-and-forget); the data-plane [fence] makes it explicit. *)
 let issue net ~now ~args_bytes =
   let p = Net.params net in
-  let x =
-    Net.push net ~async:false ~side:Net.Two_sided ~purpose:Net.Rpc ~now
-      ~bytes:args_bytes ()
+  let barrier = Net.fence ~dir:Net.Request.Write net ~now in
+  let sq =
+    Net.submit net ~now:barrier ~urgent:true
+      (Net.Request.write ~side:Net.Two_sided ~purpose:Net.Rpc args_bytes)
   in
+  let c = Net.await net ~now:barrier ~id:sq.Net.id in
+  let fence_wait_ns = barrier -. now in
   {
-    send_done_at = x.Net.done_at +. p.Params.rpc_overhead_ns;
-    overhead_ns = x.Net.issue_cpu_ns +. p.Params.rpc_overhead_ns;
+    send_done_at = c.Net.done_at +. p.Params.rpc_overhead_ns;
+    overhead_ns = sq.Net.issue_cpu_ns +. p.Params.rpc_overhead_ns +. fence_wait_ns;
+    fence_wait_ns;
   }
 
 let complete net ~body_done_at ~ret_bytes =
-  let x =
-    Net.fetch net ~side:Net.Two_sided ~purpose:Net.Rpc ~now:body_done_at
-      ~bytes:ret_bytes ()
+  let sq =
+    Net.submit net ~now:body_done_at ~urgent:true
+      (Net.Request.read ~side:Net.Two_sided ~purpose:Net.Rpc ret_bytes)
   in
-  x.Net.done_at
+  let c = Net.await net ~now:body_done_at ~id:sq.Net.id in
+  c.Net.done_at

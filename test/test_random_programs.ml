@@ -177,7 +177,7 @@ let qcheck_systems_agree =
       let budget = 16 * 4096 in
       let swap =
         Mira_runtime.Runtime.(
-          memsys (create (config_default ~local_budget:budget ~far_capacity)))
+          memsys (create (Config.make ~local_budget:budget ~far_capacity)))
       in
       let fs =
         Mira_baselines.Fastswap.create ~local_budget:budget ~far_capacity ()

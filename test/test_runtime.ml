@@ -111,8 +111,8 @@ let test_profile_selection () =
 
 let make_runtime ?(budget = 1 lsl 16) () =
   Runtime.create
-    { (Runtime.config_default ~local_budget:budget ~far_capacity:(1 lsl 20)) with
-      Runtime.swap_readahead = 0 }
+    Runtime.Config.(
+      make ~local_budget:budget ~far_capacity:(1 lsl 20) |> with_readahead 0)
 
 let test_runtime_alloc_load_store () =
   let rt = make_runtime () in
