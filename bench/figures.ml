@@ -825,9 +825,128 @@ let figdp () =
        Printf.printf "[bench json: %s]\n" path
      with Sys_error msg -> Printf.eprintf "[bench json skipped: %s]\n" msg)
 
+(* --- Chaos: node crashes, failover, degraded mode ------------------------ *)
+
+(* The same strided scan under a seeded crash schedule.  Three configs
+   per seed: no faults (baseline), a two-node cluster with replication
+   (crashes are failovers — bit-identical output, recovery time
+   charged), and a single node with replication off (a crash loses
+   data; the run completes degraded with lost bytes accounted).  Fully
+   deterministic for a fixed seed: run twice, diff the JSON. *)
+let figchaos () =
+  let title = "chaos" in
+  Printf.printf
+    "\n### Chaos: crashes, failover, degraded mode (strided scan on swap)\n";
+  let prog = Mira_workloads.Micro_sum.build dp_micro_cfg in
+  let far = Mira_workloads.Micro_sum.far_bytes dp_micro_cfg in
+  let far_capacity = Mira_util.Misc.round_up (4 * far) 4096 in
+  let budget = far / 4 in
+  let measured =
+    Mira_passes.Instrument.run_only prog ~names:[ C.work_function prog ]
+  in
+  let run_chaos spec =
+    let rt =
+      Runtime.create
+        Runtime.Config.(
+          make ~local_budget:budget ~far_capacity |> with_cluster spec)
+    in
+    let ms = Runtime.memsys rt in
+    let machine = Machine.create ~seed:42 ms measured in
+    let v, work_ns = C.measure_work ms machine in
+    (v, work_ns, rt)
+  in
+  (* Baseline run (no faults) calibrates the crash horizon: crashes are
+     scheduled inside the run, not after it.  Deterministic because the
+     baseline itself is. *)
+  let _, base_ns, _ = run_chaos Mira_sim.Cluster.spec_default in
+  let t =
+    Table.create
+      ~header:
+        [ "config"; "seed"; "work (ms)"; "tput (Mops/s)"; "recovery p50 (us)";
+          "crashes"; "failovers"; "repl (KB)"; "lost (B)"; "node_down";
+          "checksum" ]
+  in
+  let rows = ref [] in
+  let record label seed spec =
+    let v, work_ns, rt = run_chaos spec in
+    let cl = Mira_sim.Cluster.stats (Runtime.cluster rt) in
+    let net = Mira_sim.Net.stats (Runtime.net rt) in
+    let rec_p50 =
+      Mira_telemetry.Metrics.hist_percentile cl.Mira_sim.Cluster.recovery 50.0
+    in
+    let tput =
+      float_of_int dp_micro_cfg.Mira_workloads.Micro_sum.elems /. (work_ns /. 1e3)
+    in
+    let lost = Mira_runtime.Runtime.lost_bytes_total rt in
+    let checksum = Format.asprintf "%a" Mira_interp.Value.pp v in
+    Table.add_row t
+      [ label; string_of_int seed;
+        Printf.sprintf "%.3f" (work_ns /. 1e6);
+        Printf.sprintf "%.2f" tput;
+        Printf.sprintf "%.1f" (rec_p50 /. 1e3);
+        string_of_int cl.Mira_sim.Cluster.crashes;
+        string_of_int cl.Mira_sim.Cluster.failovers;
+        string_of_int (cl.Mira_sim.Cluster.replication_bytes / 1024);
+        string_of_int lost;
+        string_of_int net.Mira_sim.Net.node_down;
+        checksum ];
+    rows :=
+      Mira_telemetry.Json.Obj
+        [ ("config", Mira_telemetry.Json.Str label);
+          ("seed", Mira_telemetry.Json.Int seed);
+          ("work_ms", Mira_telemetry.Json.Float (work_ns /. 1e6));
+          ("throughput_mops", Mira_telemetry.Json.Float tput);
+          ("recovery_p50_us", Mira_telemetry.Json.Float (rec_p50 /. 1e3));
+          ("crashes", Mira_telemetry.Json.Int cl.Mira_sim.Cluster.crashes);
+          ("failovers", Mira_telemetry.Json.Int cl.Mira_sim.Cluster.failovers);
+          ( "replication_bytes",
+            Mira_telemetry.Json.Int cl.Mira_sim.Cluster.replication_bytes );
+          ("lost_bytes", Mira_telemetry.Json.Int lost);
+          ("node_down", Mira_telemetry.Json.Int net.Mira_sim.Net.node_down);
+          ("checksum", Mira_telemetry.Json.Str checksum) ]
+      :: !rows
+  in
+  (* Outages at 15% of the baseline run are long enough to straddle
+     demand faults, so the degraded rows show real detection latency. *)
+  let horizon_ns = base_ns *. 0.6 and down_ns = base_ns *. 0.15 in
+  List.iter
+    (fun seed ->
+      record "no-fault" seed Mira_sim.Cluster.spec_default;
+      record "crash, replication=2" seed
+        { Mira_sim.Cluster.nodes = 2; replication = 2;
+          schedule =
+            Mira_sim.Cluster.schedule_of_seed ~seed ~nodes:2 ~crashes:2
+              ~horizon_ns ~down_ns };
+      record "crash, replication=off" seed
+        { Mira_sim.Cluster.nodes = 1; replication = 1;
+          schedule =
+            Mira_sim.Cluster.schedule_of_seed ~seed ~nodes:1 ~crashes:1
+              ~horizon_ns ~down_ns })
+    [ 11; 23 ];
+  Table.print t;
+  match bench_json_dir () with
+  | None -> ()
+  | Some dir ->
+    let doc =
+      Mira_telemetry.Json.Obj
+        [ ("title", Mira_telemetry.Json.Str title);
+          ("far_bytes", Mira_telemetry.Json.Int far);
+          ("local_budget_bytes", Mira_telemetry.Json.Int budget);
+          ("rows", Mira_telemetry.Json.List (List.rev !rows)) ]
+    in
+    let path = Filename.concat dir "BENCH_chaos.json" in
+    (try
+       let oc = open_out path in
+       output_string oc (Mira_telemetry.Json.to_string_pretty doc);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "[bench json: %s]\n" path
+     with Sys_error msg -> Printf.eprintf "[bench json skipped: %s]\n" msg)
+
 let all_figures =
   [
     ("dataplane", figdp);
+    ("chaos", figchaos);
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7_8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11_12); ("fig13", fig13); ("fig15", fig15);
     ("fig16", fig16); ("fig17", fig17); ("fig18", fig18); ("fig19", fig19);

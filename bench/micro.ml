@@ -10,7 +10,7 @@ open Toolkit
 
 let make_section structure =
   let net = Mira_sim.Net.create Mira_sim.Params.default in
-  let far = Mira_sim.Far_store.create ~capacity:(1 lsl 22) in
+  let far = Mira_sim.Cluster.of_store (Mira_sim.Far_store.create ~capacity:(1 lsl 22)) in
   let clock = Mira_sim.Clock.create () in
   let s =
     Section.create net far
@@ -32,7 +32,7 @@ let bench_section_hit name structure =
 
 let bench_swap_hit =
   let net = Mira_sim.Net.create Mira_sim.Params.default in
-  let far = Mira_sim.Far_store.create ~capacity:(1 lsl 22) in
+  let far = Mira_sim.Cluster.of_store (Mira_sim.Far_store.create ~capacity:(1 lsl 22)) in
   let clock = Mira_sim.Clock.create () in
   let sw =
     Swap.create net far

@@ -46,8 +46,28 @@ let workload_of = function
           native_mem_ns = 0.3 } }
   | other -> failwith ("unknown workload: " ^ other)
 
+(* CLI validation failures exit 2 with a usage line (never an uncaught
+   exception); Cmdliner handles unknown flags/malformed literals, this
+   covers well-typed but out-of-range values. *)
+let usage_error msg =
+  Printf.eprintf "mira_compare: %s\n" msg;
+  prerr_endline
+    "Usage: mira_compare [-w WORKLOAD] [-r RATIO] [-i N] [-t N] [OPTION]…\n\
+     Try 'mira_compare --help' for more information.";
+  exit 2
+
 let compare_systems wname ratio iterations threads net_window net_coalesce
     verbose json_out trace_out =
+  if not (Float.is_finite ratio) || ratio <= 0.0 then
+    usage_error (Printf.sprintf "invalid ratio %g (need a finite value > 0)" ratio);
+  if iterations < 1 then
+    usage_error (Printf.sprintf "invalid iterations %d (need >= 1)" iterations);
+  if threads < 1 then
+    usage_error (Printf.sprintf "invalid threads %d (need >= 1)" threads);
+  if net_window < 0 then
+    usage_error
+      (Printf.sprintf "invalid net-window %d (need >= 0; 0 = unbounded)"
+         net_window);
   let w = workload_of wname in
   let far_capacity = 4 * w.far_bytes in
   let budget =
@@ -160,7 +180,10 @@ let compare_systems wname ratio iterations threads net_window net_coalesce
 open Cmdliner
 
 let workload_arg =
-  Arg.(value & opt string "graph"
+  (* An enum conv: an unknown workload is a parse error (usage + exit 2),
+     not an uncaught exception deep in the run. *)
+  let names = [ "graph"; "dataframe"; "mcf"; "gpt2" ] in
+  Arg.(value & opt (enum (List.map (fun n -> (n, n)) names)) "graph"
        & info [ "w"; "workload" ] ~doc:"graph | dataframe | mcf | gpt2")
 
 let ratio_arg =
@@ -207,4 +230,11 @@ let cmd =
           $ threads_arg $ net_window_arg $ net_coalesce_arg $ verbose_arg
           $ json_arg $ trace_arg)
 
-let () = exit (Cmd.eval cmd)
+(* Exit 0 on success/help, 2 on any command-line error (Cmdliner has
+   already printed the error and usage line to stderr), 125 on an
+   internal error. *)
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

@@ -37,6 +37,12 @@ module type OPS = sig
   val discard_range : t -> addr:int -> len:int -> unit
   (** Drop covered data {e without} writing it back. *)
 
+  val flush_all : t -> clock:Mira_sim.Clock.t -> unit
+  (** Asynchronously re-issue writebacks for {e all} still-dirty data,
+      without evicting anything.  The failover recovery path: after the
+      primary far node crashes, every dirty line must reach the new
+      primary again. *)
+
   val drop_all : t -> clock:Mira_sim.Clock.t -> unit
   (** End of lifetime: write back dirty data and empty the cache. *)
 
@@ -76,6 +82,7 @@ let flush_range (Handle ((module M), s)) ~clock ~addr ~len =
 let discard_range (Handle ((module M), s)) ~addr ~len =
   M.discard_range s ~addr ~len
 
+let flush_all (Handle ((module M), s)) ~clock = M.flush_all s ~clock
 let drop_all (Handle ((module M), s)) ~clock = M.drop_all s ~clock
 let publish (Handle ((module M), s)) reg = M.publish s reg
 let reset_stats (Handle ((module M), s)) = M.reset_stats s

@@ -1,6 +1,6 @@
 type t = {
   net : Mira_sim.Net.t;
-  far : Mira_sim.Far_store.t;
+  cluster : Mira_sim.Cluster.t;
   budget : int;
   page : int;
   swap : Swap_section.t;
@@ -8,14 +8,20 @@ type t = {
   sections : (int, Section.t) Hashtbl.t;
   site_to_section : (int, int) Hashtbl.t;
   mutable section_bytes : int;
+  mutable recovering : bool;
+      (* Reconfiguration guard: [add_section]/[end_section] must not
+         interleave with failover recovery (a crash mid-[end_section]
+         would race the rebudget against recovery writebacks). *)
 }
 
-let create net far ~budget ~page ~side =
+let create net cluster ~budget ~page ~side =
   assert (budget >= page);
-  let swap = Swap_section.create net far { Swap_section.page; capacity = budget; side } in
+  let swap =
+    Swap_section.create net cluster { Swap_section.page; capacity = budget; side }
+  in
   {
     net;
-    far;
+    cluster;
     budget;
     page;
     swap;
@@ -23,17 +29,120 @@ let create net far ~budget ~page ~side =
     sections = Hashtbl.create 16;
     site_to_section = Hashtbl.create 16;
     section_bytes = 0;
+    recovering = false;
   }
 
 let budget t = t.budget
 let swap t = t.swap
 let swap_handle t = t.swap_h
 let net t = t.net
-let far t = t.far
+let cluster t = t.cluster
+let far t = Mira_sim.Cluster.primary t.cluster
 
 let swap_capacity t = max t.page (t.budget - t.section_bytes)
 
+let sections t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.sections []
+  |> List.sort (fun a b ->
+         compare (Section.config a).Section.sec_id (Section.config b).Section.sec_id)
+
+let handles t = List.map Section.handle (sections t) @ [ t.swap_h ]
+
+(* Process any cluster crash/recovery events due by now.  Called at
+   every reconfiguration point (and by the runtime's access path), so
+   incidents are handled before the cache or budget state changes —
+   reconfiguration is effectively paused during recovery. *)
+let check_cluster t ~clock =
+  let now = Mira_sim.Clock.now clock in
+  if Mira_sim.Cluster.next_event_at t.cluster <= now && not t.recovering then begin
+    t.recovering <- true;
+    let incidents = Mira_sim.Cluster.poll t.cluster ~now in
+    List.iter
+      (fun incident ->
+        match incident with
+        | Mira_sim.Cluster.Failover { failed; new_primary; epoch; _ } ->
+          (* Requests in flight to the dead node fail now (epoch fence);
+             still-dirty lines are re-issued to the new primary and the
+             writeback fence is waited out — recovery time is simulated
+             time, charged to the run. *)
+          let start = Mira_sim.Clock.now clock in
+          ignore (Mira_sim.Net.fail_inflight t.net ~now:start);
+          List.iter (fun h -> Cache_section.flush_all h ~clock) (handles t);
+          let done_at =
+            Mira_sim.Net.fence ~dir:Mira_sim.Net.Request.Write t.net
+              ~now:(Mira_sim.Clock.now clock)
+          in
+          ignore (Mira_sim.Clock.wait_until clock done_at);
+          let recovery_ns = Mira_sim.Clock.now clock -. start in
+          Mira_sim.Cluster.observe_recovery t.cluster recovery_ns;
+          if Mira_telemetry.Trace.enabled () then
+            Mira_telemetry.Trace.complete ~name:"failover" ~cat:"cluster"
+              ~lane:"cluster" ~ts_ns:start ~dur_ns:recovery_ns
+              ~args:
+                [
+                  ("failed_node", Mira_telemetry.Json.Int failed);
+                  ("new_primary", Mira_telemetry.Json.Int new_primary);
+                  ("epoch", Mira_telemetry.Json.Int epoch);
+                ]
+              ()
+        | Mira_sim.Cluster.Primary_lost { node; lost_bytes; epoch; _ } ->
+          (* No failover target: in-flight requests fail, and until the
+             node returns every post completes [Node_down] after the
+             detection timer.  The run continues degraded; the runtime
+             drains [take_lost_extents] for per-object accounting. *)
+          ignore (Mira_sim.Net.fail_inflight t.net ~now:(Mira_sim.Clock.now clock));
+          let until = Mira_sim.Cluster.down_until t.cluster in
+          if until > now then Mira_sim.Net.set_down t.net ~until;
+          if Mira_telemetry.Trace.enabled () then
+            Mira_telemetry.Trace.instant ~name:"degraded" ~cat:"cluster"
+              ~lane:"cluster"
+              ~ts_ns:(Mira_sim.Clock.now clock)
+              ~args:
+                [
+                  ("node", Mira_telemetry.Json.Int node);
+                  ("lost_bytes", Mira_telemetry.Json.Int lost_bytes);
+                  ("epoch", Mira_telemetry.Json.Int epoch);
+                ]
+              ()
+        | Mira_sim.Cluster.Backup_lost { node; _ } ->
+          if Mira_telemetry.Trace.enabled () then
+            Mira_telemetry.Trace.instant ~name:"backup-lost" ~cat:"cluster"
+              ~lane:"cluster"
+              ~ts_ns:(Mira_sim.Clock.now clock)
+              ~args:[ ("node", Mira_telemetry.Json.Int node) ]
+              ()
+        | Mira_sim.Cluster.Recovered { node; resync_bytes; now_backup; _ } ->
+          (* Resync traffic rides the data plane asynchronously: the
+             returning backup is repopulated from the primary without
+             stalling the application. *)
+          if now_backup && resync_bytes > 0 then begin
+            let req =
+              Mira_sim.Net.Request.write ~side:Mira_sim.Net.One_sided
+                ~purpose:Mira_sim.Net.Writeback resync_bytes
+            in
+            let sqe =
+              Mira_sim.Net.submit t.net ~now:(Mira_sim.Clock.now clock)
+                ~detached:true req
+            in
+            Mira_sim.Clock.advance clock sqe.Mira_sim.Net.issue_cpu_ns
+          end;
+          if Mira_telemetry.Trace.enabled () then
+            Mira_telemetry.Trace.instant ~name:"node-recovered" ~cat:"cluster"
+              ~lane:"cluster"
+              ~ts_ns:(Mira_sim.Clock.now clock)
+              ~args:
+                [
+                  ("node", Mira_telemetry.Json.Int node);
+                  ("resync_bytes", Mira_telemetry.Json.Int resync_bytes);
+                  ("now_backup", Mira_telemetry.Json.Bool now_backup);
+                ]
+              ())
+      incidents;
+    t.recovering <- false
+  end
+
 let add_section t ~clock (cfg : Section.config) =
+  check_cluster t ~clock;
   if Hashtbl.mem t.sections cfg.Section.sec_id then
     Error (Printf.sprintf "section %d already exists" cfg.Section.sec_id)
   else if t.section_bytes + cfg.Section.size > t.budget - t.page then
@@ -41,7 +150,7 @@ let add_section t ~clock (cfg : Section.config) =
       (Printf.sprintf "section %d (%d B) exceeds local budget (%d B used of %d)"
          cfg.Section.sec_id cfg.Section.size t.section_bytes t.budget)
   else begin
-    let section = Section.create t.net t.far cfg in
+    let section = Section.create t.net t.cluster cfg in
     Hashtbl.replace t.sections cfg.Section.sec_id section;
     t.section_bytes <- t.section_bytes + cfg.Section.size;
     Swap_section.resize t.swap ~capacity:(swap_capacity t) ~clock;
@@ -49,6 +158,9 @@ let add_section t ~clock (cfg : Section.config) =
   end
 
 let end_section t ~clock ~id =
+  (* Handle any pending failover first: a crash during [end_section]
+     must not interleave recovery writebacks with the rebudget below. *)
+  check_cluster t ~clock;
   match Hashtbl.find_opt t.sections id with
   | None -> ()
   | Some section ->
@@ -74,11 +186,6 @@ let end_section t ~clock ~id =
 
 let find_section t ~id = Hashtbl.find_opt t.sections id
 
-let sections t =
-  Hashtbl.fold (fun _ s acc -> s :: acc) t.sections []
-  |> List.sort (fun a b ->
-         compare (Section.config a).Section.sec_id (Section.config b).Section.sec_id)
-
 let assign_site t ~site ~sec_id =
   if not (Hashtbl.mem t.sections sec_id) then
     invalid_arg (Printf.sprintf "Manager.assign_site: no section %d" sec_id);
@@ -96,8 +203,6 @@ let route_handle t ~site =
   | Some section -> Section.handle section
   | None -> t.swap_h
 
-let handles t = List.map Section.handle (sections t) @ [ t.swap_h ]
-
 let metadata_bytes t =
   List.fold_left
     (fun acc h -> acc + Cache_section.metadata_bytes h)
@@ -110,6 +215,7 @@ let reset_stats t = List.iter Cache_section.reset_stats (handles t)
 
 let publish t reg =
   List.iter (fun h -> Cache_section.publish h reg) (handles t);
+  Mira_sim.Cluster.publish t.cluster reg;
   Mira_telemetry.Metrics.set_gauge reg "cache.metadata_bytes"
     (float_of_int (metadata_bytes t));
   Mira_telemetry.Metrics.set_counter reg "cache.section_bytes" t.section_bytes

@@ -9,7 +9,7 @@
 
 type t
 
-val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> budget:int -> page:int -> side:Mira_sim.Net.side -> t
+val create : Mira_sim.Net.t -> Mira_sim.Cluster.t -> budget:int -> page:int -> side:Mira_sim.Net.side -> t
 (** The whole budget initially backs the swap section (the paper's
     initial, swap-everything configuration). *)
 
@@ -20,7 +20,23 @@ val swap_handle : t -> Cache_section.handle
 (** The swap section packed behind the uniform cache contract. *)
 
 val net : t -> Mira_sim.Net.t
+
+val cluster : t -> Mira_sim.Cluster.t
+
 val far : t -> Mira_sim.Far_store.t
+(** The cluster's current primary store (changes on failover). *)
+
+val check_cluster : t -> clock:Mira_sim.Clock.t -> unit
+(** Process cluster crash/recovery events due by now.  On failover:
+    fail in-flight requests ([Net.fail_inflight], the epoch fence),
+    re-issue writebacks for every still-dirty line/page ([flush_all]),
+    and wait out a write fence — the elapsed simulated time is the
+    recovery time recorded in [node.recovery_ns].  On a primary loss
+    with no replica: fail in-flight requests and declare the outage to
+    the network ([Net.set_down]); the run continues degraded.  Called
+    automatically at every reconfiguration point ([add_section],
+    [end_section]) so recovery never interleaves with a rebudget, and
+    by the runtime's access path. *)
 
 val add_section :
   t -> clock:Mira_sim.Clock.t -> Section.config -> (Section.t, string) result

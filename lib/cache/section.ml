@@ -70,7 +70,7 @@ type line_state = {
 type t = {
   cfg : config;
   net : Mira_sim.Net.t;
-  far : Mira_sim.Far_store.t;
+  far : Mira_sim.Cluster.t;
   lines : line_state array;
   table : (int, int) Hashtbl.t;  (* full-assoc: tag -> slot *)
   mutable free_slots : int list;  (* full-assoc only *)
@@ -203,7 +203,10 @@ let find_slot t tag =
 
 (* Post one line writeback on the data plane.  [sync] posts urgently
    and blocks on the completion; otherwise it is fire-and-forget
-   (detached: accounted and fenced, but never reaped). *)
+   (detached: accounted and fenced, but never reaped).  When the
+   cluster is replicating, the backup's copy rides a second detached
+   write — asynchronous even for sync flushes, and mergeable with the
+   primary writeback under doorbell batching. *)
 let post_writeback t ~clock ~sync =
   let req =
     Mira_sim.Net.Request.write ~side:t.cfg.side ~purpose:Mira_sim.Net.Writeback
@@ -219,6 +222,11 @@ let post_writeback t ~clock ~sync =
   else begin
     let sq = Mira_sim.Net.submit t.net ~now ~detached:true req in
     Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns
+  end;
+  if Mira_sim.Cluster.replicated t.far then begin
+    let now = Mira_sim.Clock.now clock in
+    let sq = Mira_sim.Net.submit t.net ~now ~detached:true req in
+    Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns
   end
 
 (* read_discard is a cost hint for clean lines; dirty data must always
@@ -226,7 +234,7 @@ let post_writeback t ~clock ~sync =
 let writeback_victim t ~clock line =
   if line.dirty then begin
     let base = line.tag * t.cfg.line in
-    Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
+    Mira_sim.Cluster.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
     post_writeback t ~clock ~sync:false;
     t.stats.writebacks <- t.stats.writebacks + 1
   end;
@@ -325,7 +333,7 @@ let install t ~clock ~tag ~ready_at =
   let slot = allocate_slot t ~clock tag in
   let line = t.lines.(slot) in
   let base = tag * t.cfg.line in
-  Mira_sim.Far_store.read t.far ~addr:base ~len:t.cfg.line ~dst:line.data ~dst_off:0;
+  Mira_sim.Cluster.read t.far ~addr:base ~len:t.cfg.line ~dst:line.data ~dst_off:0;
   line.tag <- tag;
   line.dirty <- false;
   line.ready_at <- ready_at;
@@ -485,7 +493,7 @@ let prefetch_req t =
 (* Tag is worth prefetching: inside the far address space (loop
    preambles may over-prefetch near object ends) and not resident. *)
 let want_prefetch t tag =
-  ((tag + 1) * t.cfg.line) <= Mira_sim.Far_store.capacity t.far
+  ((tag + 1) * t.cfg.line) <= Mira_sim.Cluster.capacity t.far
   && find_slot t tag = None
 
 let prefetch t ~clock ~addr ~len =
@@ -529,7 +537,7 @@ let flush_slot t ~clock slot ~sync =
   let line = t.lines.(slot) in
   if line.dirty then begin
     let base = line.tag * t.cfg.line in
-    Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
+    Mira_sim.Cluster.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
     post_writeback t ~clock ~sync;
     line.dirty <- false;
     t.stats.writebacks <- t.stats.writebacks + 1
@@ -559,6 +567,15 @@ let flush_range t ~clock ~addr ~len =
       match find_slot t tag with
       | None -> ()
       | Some slot -> flush_slot t ~clock slot ~sync:true)
+
+(* Failover recovery: every still-dirty line is re-issued to the (new)
+   primary asynchronously, without evicting anything.  Clean lines need
+   nothing — their last writeback was replicated before the crash. *)
+let flush_all t ~clock =
+  Array.iteri
+    (fun slot line ->
+      if line.tag >= 0 && line.dirty then flush_slot t ~clock slot ~sync:false)
+    t.lines
 
 let drop_all t ~clock =
   Array.iteri
@@ -605,6 +622,7 @@ module Ops : Cache_section.OPS with type t = t = struct
   let evict_hint = flush_evict
   let flush_range = flush_range
   let discard_range = discard_range
+  let flush_all = flush_all
   let drop_all = drop_all
   let publish = publish
   let reset_stats = reset_stats

@@ -53,7 +53,7 @@ type stats = {
 
 type t
 
-val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> config -> t
+val create : Mira_sim.Net.t -> Mira_sim.Cluster.t -> config -> t
 val config : t -> config
 val stats : t -> stats
 val reset_stats : t -> unit
@@ -90,6 +90,11 @@ val flush_evict : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
 
 val mark_dont_evict : t -> addr:int -> len:int -> pinned:bool -> unit
 (** Pin/unpin lines (shared-section multithreading support, §4.6). *)
+
+val flush_all : t -> clock:Mira_sim.Clock.t -> unit
+(** Failover recovery: asynchronously re-issue writebacks for all
+    still-dirty lines without evicting anything, so the new primary
+    receives every byte the crashed node lost. *)
 
 val drop_all : t -> clock:Mira_sim.Clock.t -> unit
 (** End of section lifetime: write back dirty lines (asynchronously)

@@ -39,7 +39,7 @@ type page_state = {
 type t = {
   mutable cfg : config;
   net : Mira_sim.Net.t;
-  far : Mira_sim.Far_store.t;
+  far : Mira_sim.Cluster.t;
   mutable frames : page_state array;
   table : (int, int) Hashtbl.t;  (* page number -> frame *)
   mutable free_frames : int list;
@@ -116,7 +116,7 @@ let metadata_bytes t = 32 * Array.length t.frames
 let writeback t ~clock frame ~sync =
   if frame.dirty then begin
     let base = frame.pno * t.cfg.page in
-    Mira_sim.Far_store.write t.far ~addr:base ~len:t.cfg.page ~src:frame.data ~src_off:0;
+    Mira_sim.Cluster.write t.far ~addr:base ~len:t.cfg.page ~src:frame.data ~src_off:0;
     let req =
       Mira_sim.Net.Request.write ~side:t.cfg.side
         ~purpose:Mira_sim.Net.Writeback t.cfg.page
@@ -129,6 +129,14 @@ let writeback t ~clock frame ~sync =
       ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at)
     end
     else begin
+      let x = Mira_sim.Net.submit t.net ~now ~detached:true req in
+      Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns
+    end;
+    (* Replication: the backup copy always rides an asynchronous,
+       batchable message — durability is eventual, consistency is the
+       cluster's eager mirror above. *)
+    if Mira_sim.Cluster.replicated t.far then begin
+      let now = Mira_sim.Clock.now clock in
       let x = Mira_sim.Net.submit t.net ~now ~detached:true req in
       Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns
     end;
@@ -186,7 +194,7 @@ let allocate_frame t ~clock =
 let install t ~clock ~pno ~ready_at =
   let idx = allocate_frame t ~clock in
   let frame = t.frames.(idx) in
-  Mira_sim.Far_store.read t.far ~addr:(pno * t.cfg.page) ~len:t.cfg.page ~dst:frame.data
+  Mira_sim.Cluster.read t.far ~addr:(pno * t.cfg.page) ~len:t.cfg.page ~dst:frame.data
     ~dst_off:0;
   frame.pno <- pno;
   frame.dirty <- false;
@@ -362,6 +370,13 @@ let discard_range t ~addr ~len =
         t.free_frames <- idx :: t.free_frames;
         t.used <- t.used - 1)
 
+(* Failover recovery: re-issue writebacks for all still-dirty pages
+   without evicting them (see Section.flush_all). *)
+let flush_all t ~clock =
+  Array.iter
+    (fun frame -> if frame.pno >= 0 && frame.dirty then writeback t ~clock frame ~sync:false)
+    t.frames
+
 let drop_all t ~clock =
   Array.iteri (fun idx frame -> if frame.pno >= 0 then release_frame t ~clock idx)
     t.frames;
@@ -407,6 +422,7 @@ module Ops : Cache_section.OPS with type t = t = struct
   let evict_hint = evict_hint
   let flush_range = flush_range
   let discard_range = discard_range
+  let flush_all = flush_all
   let drop_all = drop_all
   let publish = publish
   let reset_stats = reset_stats

@@ -35,7 +35,7 @@ type stats = {
 
 type t
 
-val create : Mira_sim.Net.t -> Mira_sim.Far_store.t -> config -> t
+val create : Mira_sim.Net.t -> Mira_sim.Cluster.t -> config -> t
 val stats : t -> stats
 val reset_stats : t -> unit
 val config : t -> config
@@ -77,6 +77,10 @@ val flush_range : t -> clock:Mira_sim.Clock.t -> addr:int -> len:int -> unit
 
 val discard_range : t -> addr:int -> len:int -> unit
 (** Drop covered pages without write-back (post-offload invalidation). *)
+
+val flush_all : t -> clock:Mira_sim.Clock.t -> unit
+(** Failover recovery: asynchronously re-issue writebacks for all
+    still-dirty pages without evicting them. *)
 
 val drop_all : t -> clock:Mira_sim.Clock.t -> unit
 val resident : t -> addr:int -> bool

@@ -20,6 +20,7 @@ type options = {
   local_budget : int;
   far_capacity : int;
   dataplane : Mira_sim.Net.dp_config;
+  cluster : Mira_sim.Cluster.spec;
   max_iterations : int;
   size_samples : float list;
   nthreads : int;
@@ -40,6 +41,7 @@ let options_default ~local_budget ~far_capacity =
     local_budget;
     far_capacity;
     dataplane = Mira_sim.Net.dp_default;
+    cluster = Mira_sim.Cluster.spec_default;
     max_iterations = 3;
     size_samples = [ 0.15; 0.35; 0.7 ];
     nthreads = 1;
@@ -81,7 +83,8 @@ let make_runtime opts =
       |> with_params opts.params
       |> with_page opts.params.Params.page_size
       |> with_local_capacity (max opts.far_capacity (1 lsl 20))
-      |> with_dataplane opts.dataplane)
+      |> with_dataplane opts.dataplane
+      |> with_cluster opts.cluster)
 
 (* Apply section assignments to a fresh runtime.  Read-only sections are
    split per-thread when running multithreaded (§4.6); shared writable

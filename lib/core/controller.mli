@@ -17,6 +17,9 @@ type options = {
   dataplane : Mira_sim.Net.dp_config;
       (** network data-plane settings for every runtime the controller
           creates (window, doorbell batching, fault injection) *)
+  cluster : Mira_sim.Cluster.spec;
+      (** far-memory cluster topology and crash schedule for every
+          runtime the controller creates *)
   max_iterations : int;
   size_samples : float list;  (** budget fractions sampled for non-
                                   sequential sections *)

@@ -165,4 +165,26 @@ let runtime_stats rt =
        (net.Mira_sim.Net.bytes_prefetch / 1024)
        (net.Mira_sim.Net.bytes_writeback / 1024)
        (net.Mira_sim.Net.bytes_rpc / 1024));
+  let cl = Mira_sim.Cluster.stats (Runtime.cluster rt) in
+  if
+    cl.Mira_sim.Cluster.crashes > 0
+    || cl.Mira_sim.Cluster.replication_bytes > 0
+  then begin
+    Buffer.add_string buf
+      (Printf.sprintf
+         "cluster  crashes=%d failovers=%d replicated=%dKB resync=%dKB \
+          lost=%dB node_down=%d\n"
+         cl.Mira_sim.Cluster.crashes cl.Mira_sim.Cluster.failovers
+         (cl.Mira_sim.Cluster.replication_bytes / 1024)
+         (cl.Mira_sim.Cluster.resync_bytes / 1024)
+         cl.Mira_sim.Cluster.lost_bytes net.Mira_sim.Net.node_down);
+    if Mira_sim.Cluster.degraded (Runtime.cluster rt) then begin
+      Buffer.add_string buf "degraded mode: far data lost; per-object bytes:\n";
+      List.iter
+        (fun (site, bytes) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  site %-4d lost=%dB\n" site bytes))
+        (Runtime.lost_bytes_by_site rt)
+    end
+  end;
   Buffer.contents buf

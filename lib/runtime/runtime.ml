@@ -13,6 +13,7 @@ type config = {
       (* Linux-style cluster readahead width of the swap section (the
          initial configuration behaves like an optimized kernel swap) *)
   dataplane : Sim.Net.dp_config;
+  cluster : Sim.Cluster.spec;
 }
 
 module Config = struct
@@ -29,6 +30,7 @@ module Config = struct
       alloc_chunk = 1 lsl 20;
       swap_readahead = 8;
       dataplane = Sim.Net.dp_default;
+      cluster = Sim.Cluster.spec_default;
     }
 
   let with_params params c = { c with params }
@@ -38,12 +40,13 @@ module Config = struct
   let with_local_capacity local_capacity c = { c with local_capacity }
   let with_alloc_chunk alloc_chunk c = { c with alloc_chunk }
   let with_dataplane dataplane c = { c with dataplane }
+  let with_cluster cluster c = { c with cluster }
 end
 
 type t = {
   cfg : config;
   net : Sim.Net.t;
-  far : Sim.Far_store.t;
+  cluster : Sim.Cluster.t;
   manager : Cache.Manager.t;
   local_store : Sim.Far_store.t;
   local_space : Sim.Remote_alloc.t;
@@ -53,6 +56,7 @@ type t = {
   offload_depth : (int, int ref) Hashtbl.t;
   site_ranges : (int, (int * int) list ref) Hashtbl.t;
   private_sections : (int, int array) Hashtbl.t;  (* site -> per-tid sec ids *)
+  lost_bytes : (int, int) Hashtbl.t;  (* site -> far bytes lost to crashes *)
   profile : Profile.t;
   mutable nthreads : int;
 }
@@ -68,9 +72,9 @@ let local_base = 64
 
 let create cfg =
   let net = Sim.Net.create ~dp:cfg.dataplane cfg.params in
-  let far = Sim.Far_store.create ~capacity:cfg.far_capacity in
+  let cluster = Sim.Cluster.create ~capacity:cfg.far_capacity cfg.cluster in
   let manager =
-    Cache.Manager.create net far ~budget:cfg.local_budget ~page:cfg.page
+    Cache.Manager.create net cluster ~budget:cfg.local_budget ~page:cfg.page
       ~side:cfg.swap_side
   in
   let remote_space =
@@ -82,7 +86,7 @@ let create cfg =
   {
     cfg;
     net;
-    far;
+    cluster;
     manager;
     local_store = Sim.Far_store.create ~capacity:cfg.local_capacity;
     local_space = Sim.Remote_alloc.create ~base:local_base ~limit:cfg.local_capacity;
@@ -92,13 +96,15 @@ let create cfg =
     offload_depth = Hashtbl.create 8;
     site_ranges = Hashtbl.create 32;
     private_sections = Hashtbl.create 8;
+    lost_bytes = Hashtbl.create 8;
     profile = Profile.create ();
     nthreads = 1;
   }
 
 let manager t = t.manager
 let net t = t.net
-let far_store t = t.far
+let cluster t = t.cluster
+let far_store t = Sim.Cluster.primary t.cluster
 let profile t = t.profile
 let params t = t.cfg.params
 
@@ -229,7 +235,7 @@ let offload_load t ~clock:c ~addr ~len =
   let p = t.cfg.params in
   Sim.Clock.advance c (p.Sim.Params.native_mem_ns *. p.Sim.Params.remote_compute_slowdown);
   let buf = Bytes.make 8 '\000' in
-  Sim.Far_store.read t.far ~addr ~len ~dst:buf ~dst_off:0;
+  Sim.Cluster.read t.cluster ~addr ~len ~dst:buf ~dst_off:0;
   Bytes.get_int64_le buf 0
 
 let offload_store t ~clock:c ~addr ~len v =
@@ -237,7 +243,40 @@ let offload_store t ~clock:c ~addr ~len v =
   Sim.Clock.advance c (p.Sim.Params.native_mem_ns *. p.Sim.Params.remote_compute_slowdown);
   let buf = Bytes.make 8 '\000' in
   Bytes.set_int64_le buf 0 v;
-  Sim.Far_store.write t.far ~addr ~len ~src:buf ~src_off:0
+  Sim.Cluster.write t.cluster ~addr ~len ~src:buf ~src_off:0
+
+(* Per-object data-loss accounting: wiped far extents (a primary crash
+   with no surviving replica) are intersected with the live allocation
+   ranges of every site, so the report can say {e which} objects lost
+   {e how many} bytes instead of the run raising. *)
+let account_lost t =
+  match Sim.Cluster.take_lost_extents t.cluster with
+  | [] -> ()
+  | extents ->
+    Hashtbl.iter
+      (fun site ranges ->
+        List.iter
+          (fun (addr, len) ->
+            List.iter
+              (fun (ea, el) ->
+                let lo = max addr ea and hi = min (addr + len) (ea + el) in
+                if hi > lo then
+                  let cur =
+                    Option.value ~default:0 (Hashtbl.find_opt t.lost_bytes site)
+                  in
+                  Hashtbl.replace t.lost_bytes site (cur + (hi - lo)))
+              extents)
+          !ranges)
+      t.site_ranges
+
+(* The cluster sync hook on the access fast path: O(1) when no
+   crash/recovery is due ([next_event_at] guard inside
+   [Manager.check_cluster]). *)
+let sync_cluster t ~clock:c =
+  if Sim.Cluster.next_event_at t.cluster <= Sim.Clock.now c then begin
+    Cache.Manager.check_cluster t.manager ~clock:c;
+    account_lost t
+  end
 
 let attribute t ~tid ~site ~before ~after ~hits_before ~misses_before ~hits ~misses =
   let native = t.cfg.params.Sim.Params.native_mem_ns in
@@ -256,6 +295,7 @@ let load t ~tid ~(ptr : Memsys.ptr) ~len ~native =
   | Memsys.Far ->
     if offloaded t tid then offload_load t ~clock:c ~addr:ptr.Memsys.addr ~len
     else begin
+      sync_cluster t ~clock:c;
       Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
       let before = Sim.Clock.now c in
       let h = route_h t ~tid ~site:ptr.Memsys.site in
@@ -278,6 +318,7 @@ let store t ~tid ~(ptr : Memsys.ptr) ~len ~native ~value =
   | Memsys.Far ->
     if offloaded t tid then offload_store t ~clock:c ~addr:ptr.Memsys.addr ~len value
     else begin
+      sync_cluster t ~clock:c;
       Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
       let before = Sim.Clock.now c in
       let h = route_h t ~tid ~site:ptr.Memsys.site in
@@ -359,13 +400,31 @@ let elapsed t =
 (* Pull-model telemetry: flatten the whole runtime's statistics —
    network, swap, every live section, allocator and profiler gauges —
    into a metrics registry for machine-readable reports. *)
+let lost_bytes_total t =
+  account_lost t;
+  Hashtbl.fold (fun _ n acc -> acc + n) t.lost_bytes 0
+
+let lost_bytes_by_site t =
+  account_lost t;
+  Hashtbl.fold (fun site n acc -> (site, n) :: acc) t.lost_bytes []
+  |> List.sort compare
+
 let publish t reg =
   Sim.Net.publish t.net reg;
   Cache.Manager.publish t.manager reg;
   Mira_telemetry.Metrics.set_counter reg "runtime.live_far_bytes"
     (Sim.Remote_alloc.live_bytes t.remote_space);
   Mira_telemetry.Metrics.set_counter reg "runtime.nthreads" t.nthreads;
-  Mira_telemetry.Metrics.set_gauge reg "runtime.elapsed_ns" (elapsed t)
+  Mira_telemetry.Metrics.set_gauge reg "runtime.elapsed_ns" (elapsed t);
+  Mira_telemetry.Metrics.set_counter reg "runtime.lost_bytes" (lost_bytes_total t);
+  Mira_telemetry.Metrics.set_counter reg "runtime.degraded"
+    (if Sim.Cluster.degraded t.cluster then 1 else 0);
+  List.iter
+    (fun (site, n) ->
+      Mira_telemetry.Metrics.set_counter reg
+        (Printf.sprintf "runtime.lost_bytes.site%d" site)
+        n)
+    (lost_bytes_by_site t)
 
 let memsys t =
   {

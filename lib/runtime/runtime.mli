@@ -26,6 +26,10 @@ type config = {
       (** network data-plane configuration: in-flight window, doorbell
           batching, fault injection ([Mira_sim.Net.dp_default] =
           legacy synchronous behaviour) *)
+  cluster : Mira_sim.Cluster.spec;
+      (** far-memory cluster: node count, replication factor, crash
+          schedule ([Mira_sim.Cluster.spec_default] = one node, no
+          replication, no crashes — the pre-cluster system) *)
 }
 
 (** Builder for [config]: [Config.make ~local_budget ~far_capacity]
@@ -47,6 +51,7 @@ module Config : sig
   val with_local_capacity : int -> t -> t
   val with_alloc_chunk : int -> t -> t
   val with_dataplane : Mira_sim.Net.dp_config -> t -> t
+  val with_cluster : Mira_sim.Cluster.spec -> t -> t
 end
 
 type t
@@ -55,7 +60,12 @@ val create : config -> t
 
 val manager : t -> Mira_cache.Manager.t
 val net : t -> Mira_sim.Net.t
+
+val cluster : t -> Mira_sim.Cluster.t
+
 val far_store : t -> Mira_sim.Far_store.t
+(** The cluster's current primary store (changes on failover). *)
+
 val profile : t -> Profile.t
 val params : t -> Mira_sim.Params.t
 
@@ -73,8 +83,16 @@ val site_ranges : t -> site:int -> (int * int) list
 
 val live_far_bytes : t -> int
 
+val lost_bytes_total : t -> int
+(** Far bytes wiped by node crashes with no surviving replica, restricted
+    to this run's live object ranges (degraded-mode accounting). *)
+
+val lost_bytes_by_site : t -> (int * int) list
+(** Per-allocation-site lost-byte accounting, sorted by site id. *)
+
 val publish : t -> Mira_telemetry.Metrics.t -> unit
 (** Export the runtime's statistics — network counters and latency
-    histograms, per-section and swap cache stats, allocator gauges —
-    into a metrics registry ([net.*], [section.*], [swap.*],
-    [cache.*], [runtime.*]). *)
+    histograms, per-section and swap cache stats, allocator gauges,
+    cluster failure counters — into a metrics registry ([net.*],
+    [section.*], [swap.*], [cache.*], [node.*], [replication.*],
+    [runtime.*], incl. [runtime.lost_bytes] and [runtime.degraded]). *)

@@ -1,0 +1,331 @@
+module Metrics = Mira_telemetry.Metrics
+
+type event = { ev_node : int; ev_at : float; ev_down_for : float }
+
+type spec = { nodes : int; replication : int; schedule : event list }
+
+let spec_default = { nodes = 1; replication = 1; schedule = [] }
+
+let validate_spec s =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  if s.nodes < 1 then bad "Cluster: nodes must be >= 1 (got %d)" s.nodes;
+  if s.replication < 1 then
+    bad "Cluster: replication must be >= 1 (got %d)" s.replication;
+  if s.replication > s.nodes then
+    bad "Cluster: replication %d exceeds node count %d" s.replication s.nodes;
+  List.iter
+    (fun e ->
+      if e.ev_node < 0 || e.ev_node >= s.nodes then
+        bad "Cluster: crash event names node %d of %d" e.ev_node s.nodes;
+      if Float.is_nan e.ev_at || e.ev_at < 0.0 then
+        bad "Cluster: crash time must be >= 0 (got %g)" e.ev_at;
+      if Float.is_nan e.ev_down_for || e.ev_down_for <= 0.0 then
+        bad "Cluster: outage length must be > 0 (got %g)" e.ev_down_for)
+    s.schedule
+
+(* Same splitmix64 finalizer as [Net.Fault]: purely functional, so a
+   seed fully determines the schedule. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let u01 ~seed ~k ~salt =
+  let open Int64 in
+  let z = mix (add (of_int seed) 0x9E3779B97F4A7C15L) in
+  let z = mix (logxor z (of_int ((k * 0x10001) + salt))) in
+  to_float (shift_right_logical z 11) /. 9007199254740992.0
+
+let schedule_of_seed ~seed ~nodes ~crashes ~horizon_ns ~down_ns =
+  assert (nodes >= 1 && crashes >= 0 && horizon_ns > 0.0 && down_ns > 0.0);
+  let raw =
+    List.init crashes (fun k ->
+        {
+          ev_node = int_of_float (u01 ~seed ~k ~salt:1 *. float_of_int nodes) mod nodes;
+          ev_at = u01 ~seed ~k ~salt:2 *. horizon_ns;
+          ev_down_for = down_ns *. (0.5 +. u01 ~seed ~k ~salt:3);
+        })
+    |> List.sort (fun a b -> compare a.ev_at b.ev_at)
+  in
+  (* Serialize outages: a crash never lands while another node is still
+     down (or just back), so one in-sync replica always survives. *)
+  let gap = 0.1 *. down_ns in
+  let _, serialized =
+    List.fold_left
+      (fun (free_at, acc) e ->
+        let at = Float.max e.ev_at free_at in
+        (at +. e.ev_down_for +. gap, { e with ev_at = at } :: acc))
+      (0.0, []) raw
+  in
+  List.rev serialized
+
+type incident =
+  | Failover of { at : float; failed : int; new_primary : int; epoch : int }
+  | Primary_lost of { at : float; node : int; lost_bytes : int; epoch : int }
+  | Backup_lost of { at : float; node : int }
+  | Recovered of { at : float; node : int; resync_bytes : int; now_backup : bool }
+
+type stats = {
+  mutable crashes : int;
+  mutable failovers : int;
+  mutable replication_bytes : int;
+  mutable resync_bytes : int;
+  mutable lost_bytes : int;
+  recovery : Metrics.hist;
+}
+
+let empty_stats () =
+  {
+    crashes = 0;
+    failovers = 0;
+    replication_bytes = 0;
+    resync_bytes = 0;
+    lost_bytes = 0;
+    recovery = Metrics.hist_create ();
+  }
+
+type node = {
+  store : Far_store.t;
+  mutable up : bool;
+  mutable up_at : float;  (* recovery time while down *)
+  mutable in_sync : bool;  (* holds a full replica of the primary *)
+}
+
+type t = {
+  spec : spec;
+  nodes : node array;
+  mutable primary : int;
+  mutable backup : int;  (* -1 = none *)
+  mutable epoch : int;
+  mutable crash_q : event list;  (* pending crashes, sorted by time *)
+  mutable recover_q : (float * int) list;  (* pending recoveries, sorted *)
+  mutable next_at : float;
+  mutable lost : (int * int) list;  (* wiped extents not yet drained *)
+  mutable degraded : bool;
+  stats : stats;
+}
+
+let refresh_next t =
+  let a = match t.crash_q with e :: _ -> e.ev_at | [] -> infinity in
+  let b = match t.recover_q with (at, _) :: _ -> at | [] -> infinity in
+  t.next_at <- Float.min a b
+
+let make_of_nodes spec nodes =
+  let t =
+    {
+      spec;
+      nodes;
+      primary = 0;
+      backup = (if spec.replication >= 2 && spec.nodes >= 2 then 1 else -1);
+      epoch = 0;
+      crash_q =
+        List.sort (fun a b -> compare a.ev_at b.ev_at) spec.schedule;
+      recover_q = [];
+      next_at = infinity;
+      lost = [];
+      degraded = false;
+      stats = empty_stats ();
+    }
+  in
+  refresh_next t;
+  t
+
+let create ~capacity spec =
+  validate_spec spec;
+  make_of_nodes spec
+    (Array.init spec.nodes (fun _ ->
+         {
+           store = Far_store.create ~capacity;
+           up = true;
+           up_at = 0.0;
+           in_sync = true;
+         }))
+
+let of_store store =
+  make_of_nodes spec_default
+    [| { store; up = true; up_at = 0.0; in_sync = true } |]
+
+let spec t = t.spec
+let capacity t = Far_store.capacity t.nodes.(t.primary).store
+let primary t = t.nodes.(t.primary).store
+let primary_index t = t.primary
+let epoch t = t.epoch
+let degraded t = t.degraded
+let stats t = t.stats
+
+let replicated t =
+  t.spec.replication >= 2 && t.backup >= 0
+  && t.nodes.(t.backup).up && t.nodes.(t.backup).in_sync
+
+let down_until t =
+  let p = t.nodes.(t.primary) in
+  if p.up then 0.0 else p.up_at
+
+let next_event_at t = t.next_at
+let take_lost_extents t =
+  let l = List.rev t.lost in
+  t.lost <- [];
+  l
+
+let observe_recovery t ns = Metrics.hist_observe t.stats.recovery ns
+
+(* Bulk copy of the primary's touched extent into a returning node. *)
+let copy_store ~src ~dst =
+  let n = Far_store.size src in
+  if n > 0 then begin
+    let buf = Bytes.create (min n 65536) in
+    let rec go off =
+      if off < n then begin
+        let len = min (Bytes.length buf) (n - off) in
+        Far_store.read src ~addr:off ~len ~dst:buf ~dst_off:0;
+        Far_store.write dst ~addr:off ~len ~src:buf ~src_off:0;
+        go (off + len)
+      end
+    in
+    go 0
+  end;
+  n
+
+let crash t (e : event) =
+  let n = t.nodes.(e.ev_node) in
+  t.stats.crashes <- t.stats.crashes + 1;
+  if not n.up then begin
+    (* Already down: the outage just stretches. *)
+    n.up_at <- Float.max n.up_at (e.ev_at +. e.ev_down_for);
+    t.recover_q <-
+      List.sort compare
+        ((n.up_at, e.ev_node)
+        :: List.filter (fun (_, i) -> i <> e.ev_node) t.recover_q);
+    None
+  end
+  else begin
+    let wiped = Far_store.size n.store in
+    Far_store.clear n.store;
+    n.up <- false;
+    n.up_at <- e.ev_at +. e.ev_down_for;
+    n.in_sync <- false;
+    t.recover_q <- List.sort compare ((n.up_at, e.ev_node) :: t.recover_q);
+    if e.ev_node = t.primary then begin
+      t.epoch <- t.epoch + 1;
+      if replicated t then begin
+        (* Failover: promote the in-sync backup; no data lost. *)
+        let promoted = t.backup in
+        t.primary <- promoted;
+        t.backup <- -1;
+        t.stats.failovers <- t.stats.failovers + 1;
+        Some (Failover { at = e.ev_at; failed = e.ev_node;
+                         new_primary = promoted; epoch = t.epoch })
+      end
+      else begin
+        (* No surviving copy: the wiped extent is gone.  The node keeps
+           the primary role; writes during the outage are treated as
+           buffered and delivered, reads of the wiped extent see zeros. *)
+        t.degraded <- true;
+        t.stats.lost_bytes <- t.stats.lost_bytes + wiped;
+        if wiped > 0 then t.lost <- (0, wiped) :: t.lost;
+        Some (Primary_lost { at = e.ev_at; node = e.ev_node;
+                             lost_bytes = wiped; epoch = t.epoch })
+      end
+    end
+    else if e.ev_node = t.backup then begin
+      t.backup <- -1;
+      Some (Backup_lost { at = e.ev_at; node = e.ev_node })
+    end
+    else None
+  end
+
+let recover t ~at node_idx =
+  let n = t.nodes.(node_idx) in
+  n.up <- true;
+  if t.spec.replication >= 2 && t.backup < 0 && node_idx <> t.primary then begin
+    (* Resync from the primary and rejoin as backup. *)
+    let copied = copy_store ~src:t.nodes.(t.primary).store ~dst:n.store in
+    n.in_sync <- true;
+    t.backup <- node_idx;
+    t.stats.resync_bytes <- t.stats.resync_bytes + copied;
+    t.stats.replication_bytes <- t.stats.replication_bytes + copied;
+    Recovered { at; node = node_idx; resync_bytes = copied; now_backup = true }
+  end
+  else begin
+    (* A solo primary (or a spare) coming back empty: nothing to copy
+       from, it just resumes serving. *)
+    if node_idx = t.primary then n.in_sync <- true;
+    Recovered { at; node = node_idx; resync_bytes = 0; now_backup = false }
+  end
+
+let poll t ~now =
+  let incidents = ref [] in
+  let rec drain () =
+    if t.next_at <= now then begin
+      let next_crash = match t.crash_q with e :: _ -> e.ev_at | [] -> infinity in
+      let next_recover =
+        match t.recover_q with (at, _) :: _ -> at | [] -> infinity
+      in
+      (* Recoveries first on ties, so back-to-back outages behave. *)
+      if next_recover <= next_crash then begin
+        match t.recover_q with
+        | (at, idx) :: rest ->
+          t.recover_q <- rest;
+          incidents := recover t ~at idx :: !incidents
+        | [] -> ()
+      end
+      else begin
+        match t.crash_q with
+        | e :: rest ->
+          t.crash_q <- rest;
+          (match crash t e with
+          | Some inc -> incidents := inc :: !incidents
+          | None -> ())
+        | [] -> ()
+      end;
+      refresh_next t;
+      drain ()
+    end
+  in
+  drain ();
+  List.rev !incidents
+
+let publish t reg =
+  let s = t.stats in
+  Metrics.set_counter reg "node.crashes" s.crashes;
+  Metrics.set_counter reg "node.failovers" s.failovers;
+  Metrics.set_counter reg "node.lost_bytes" s.lost_bytes;
+  Metrics.set_counter reg "node.epoch" t.epoch;
+  Metrics.set_hist reg "node.recovery_ns" s.recovery;
+  Metrics.set_counter reg "replication.bytes" s.replication_bytes;
+  Metrics.set_counter reg "replication.resync_bytes" s.resync_bytes
+
+(* --- data plane ---------------------------------------------------------- *)
+
+let read t ~addr ~len ~dst ~dst_off =
+  Far_store.read t.nodes.(t.primary).store ~addr ~len ~dst ~dst_off
+
+let write t ~addr ~len ~src ~src_off =
+  Far_store.write t.nodes.(t.primary).store ~addr ~len ~src ~src_off;
+  if replicated t then begin
+    Far_store.write t.nodes.(t.backup).store ~addr ~len ~src ~src_off;
+    t.stats.replication_bytes <- t.stats.replication_bytes + len
+  end
+
+let read_i64 t ~addr = Far_store.read_i64 t.nodes.(t.primary).store ~addr
+
+let write_i64 t ~addr v =
+  Far_store.write_i64 t.nodes.(t.primary).store ~addr v;
+  if replicated t then begin
+    Far_store.write_i64 t.nodes.(t.backup).store ~addr v;
+    t.stats.replication_bytes <- t.stats.replication_bytes + 8
+  end
+
+let blit_within t ~src ~dst ~len =
+  Far_store.blit_within t.nodes.(t.primary).store ~src ~dst ~len;
+  if replicated t then begin
+    Far_store.blit_within t.nodes.(t.backup).store ~src ~dst ~len;
+    t.stats.replication_bytes <- t.stats.replication_bytes + len
+  end
+
+let size t = Far_store.size t.nodes.(t.primary).store
+
+let clear t =
+  Array.iter (fun n -> Far_store.clear n.store) t.nodes;
+  t.lost <- []

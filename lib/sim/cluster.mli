@@ -1,0 +1,158 @@
+(** A small far-memory cluster: N [Far_store.t] nodes behind a
+    primary/backup placement, a deterministic crash/recovery schedule,
+    and epoch numbers that fence out requests from before a failover.
+
+    The cluster is the failure domain the rest of the stack programs
+    against.  Reads are served by the current primary; writes land on
+    the primary and, when replication is on and a backup is live and in
+    sync, on the backup too (the cache layer additionally models the
+    replica's network traffic).  A crash wipes the node's store — every
+    byte whose only copy lived there is gone — and schedules a recovery
+    [down_for] nanoseconds later.  What happens next depends on
+    placement:
+
+    - crashed backup: the primary keeps serving; the cluster is
+      under-replicated until the node returns and is resynced;
+    - crashed primary with a live, in-sync backup: failover — the
+      backup is promoted, the epoch is bumped (stale in-flight requests
+      must be fenced by the caller, see [Net.fail_inflight]);
+    - crashed primary with no live replica: data loss — the run
+      continues in degraded mode; the wiped extent is reported via
+      [take_lost_extents] so the runtime can account lost bytes per
+      object instead of raising.
+
+    Like [Net], the cluster is deterministic: the schedule is explicit
+    data ([schedule_of_seed] derives one from a seed), so a fixed seed
+    reproduces the exact same crashes, failovers, and losses.  With
+    [spec_default] (one node, no replication, empty schedule) every
+    operation is a transparent pass-through to a single [Far_store.t] —
+    bit-identical to the pre-cluster system. *)
+
+type event = {
+  ev_node : int;  (** which node crashes *)
+  ev_at : float;  (** simulated time of the crash *)
+  ev_down_for : float;  (** outage length; the node recovers (empty) after *)
+}
+
+type spec = {
+  nodes : int;  (** cluster size, >= 1 *)
+  replication : int;  (** copies to maintain: 1 = replication off, 2 = primary+backup *)
+  schedule : event list;  (** crash schedule, any order *)
+}
+
+val spec_default : spec
+(** One node, replication off, no crashes: the pre-cluster system. *)
+
+val validate_spec : spec -> unit
+(** Raises [Invalid_argument] on a malformed spec: [nodes < 1],
+    [replication < 1], [replication > nodes], an event naming a node
+    outside [0, nodes), a negative/NaN crash time, or a non-positive
+    outage length. *)
+
+val schedule_of_seed :
+  seed:int -> nodes:int -> crashes:int -> horizon_ns:float -> down_ns:float ->
+  event list
+(** A deterministic schedule of [crashes] single-node outages derived
+    from [seed]: crash times spread over [horizon_ns], outages around
+    [down_ns] (0.5x-1.5x).  Outages never overlap — each crash starts
+    after the previous node has recovered — so with replication 2 a
+    live in-sync replica exists at every crash and no data is ever
+    lost (the property the bit-identity test leans on). *)
+
+type incident =
+  | Failover of { at : float; failed : int; new_primary : int; epoch : int }
+      (** the primary crashed; its in-sync backup was promoted *)
+  | Primary_lost of { at : float; node : int; lost_bytes : int; epoch : int }
+      (** the primary crashed with no live replica: [lost_bytes] of
+          far data (its touched extent) are gone; degraded mode *)
+  | Backup_lost of { at : float; node : int }
+      (** the backup crashed; under-replicated until it resyncs *)
+  | Recovered of { at : float; node : int; resync_bytes : int; now_backup : bool }
+      (** a node came back; if [now_backup], it was resynced from the
+          primary ([resync_bytes] copied) and replication is whole again *)
+
+type stats = {
+  mutable crashes : int;
+  mutable failovers : int;
+  mutable replication_bytes : int;  (** bytes mirrored to the backup, incl. resync *)
+  mutable resync_bytes : int;  (** bytes copied to returning nodes *)
+  mutable lost_bytes : int;  (** bytes wiped with no surviving copy *)
+  recovery : Mira_telemetry.Metrics.hist;
+      (** per-failover recovery time observed by the cache manager *)
+}
+
+type t
+
+val create : capacity:int -> spec -> t
+(** Fresh empty stores.  Raises [Invalid_argument] on a malformed spec
+    (see [validate_spec]). *)
+
+val of_store : Far_store.t -> t
+(** Wrap an existing single store as a one-node, replication-off
+    cluster: every data operation is a pass-through, [poll] never
+    returns incidents.  For tests and benches that own a [Far_store.t]. *)
+
+val spec : t -> spec
+val capacity : t -> int
+
+val primary : t -> Far_store.t
+(** The store currently serving reads (changes on failover). *)
+
+val primary_index : t -> int
+val epoch : t -> int
+(** Bumped on every primary crash; requests in flight under an older
+    epoch are stale and must be fenced. *)
+
+val replicated : t -> bool
+(** Replication is on and a live, in-sync backup exists right now —
+    writes are being mirrored (and the cache layer should model the
+    replica's network traffic). *)
+
+val degraded : t -> bool
+(** Sticky: far data has been lost at some point in this run. *)
+
+val down_until : t -> float
+(** If the serving primary is currently down with no failover target
+    (degraded outage), the time it comes back; [0.0] otherwise. *)
+
+val next_event_at : t -> float
+(** Time of the next scheduled crash or recovery; [infinity] when the
+    schedule is exhausted.  The O(1) guard callers use to keep [poll]
+    off the access fast path. *)
+
+val poll : t -> now:float -> incident list
+(** Process every crash/recovery due at or before [now], in time
+    order, and return the resulting incidents (oldest first).  The
+    caller (the cache manager) is responsible for fencing the network
+    and re-issuing writebacks; the cluster only moves its own state. *)
+
+val take_lost_extents : t -> (int * int) list
+(** Far [(addr, len)] extents wiped with no surviving copy since the
+    last call (drained).  The runtime intersects these with live object
+    ranges for per-object lost-byte accounting. *)
+
+val stats : t -> stats
+
+val observe_recovery : t -> float -> unit
+(** Record one failover's recovery time (ns) into the histogram. *)
+
+val publish : t -> Mira_telemetry.Metrics.t -> unit
+(** Export under [node.*] / [replication.*]: [node.crashes],
+    [node.failovers], [node.lost_bytes], [node.epoch],
+    [node.recovery_ns] (histogram), [replication.bytes],
+    [replication.resync_bytes]. *)
+
+(** {1 Data plane}
+
+    Same contract as [Far_store]; reads hit the current primary, writes
+    are mirrored to the live in-sync backup when replication is on. *)
+
+val read : t -> addr:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+val write : t -> addr:int -> len:int -> src:Bytes.t -> src_off:int -> unit
+val read_i64 : t -> addr:int -> int64
+val write_i64 : t -> addr:int -> int64 -> unit
+val blit_within : t -> src:int -> dst:int -> len:int -> unit
+val size : t -> int
+val clear : t -> unit
+(** Clear every store and drain pending lost extents (between runs);
+    placement, epoch, and the remaining schedule are untouched. *)

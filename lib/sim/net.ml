@@ -54,6 +54,26 @@ module Fault = struct
       max_retries = 3;
     }
 
+  (* Reject configurations that would make the retry machinery silently
+     misbehave (NaN probabilities never compare true, a zero timeout
+     spins, a negative backoff travels back in time). *)
+  let validate f =
+    let bad fmt = Printf.ksprintf invalid_arg fmt in
+    let check_prob name p =
+      if Float.is_nan p || p < 0.0 || p > 1.0 then
+        bad "Net.Fault: %s must be a probability in [0, 1] (got %g)" name p
+    in
+    check_prob "drop_prob" f.drop_prob;
+    check_prob "delay_prob" f.delay_prob;
+    if Float.is_nan f.delay_ns || f.delay_ns < 0.0 then
+      bad "Net.Fault: delay_ns must be >= 0 (got %g)" f.delay_ns;
+    if Float.is_nan f.timeout_ns || f.timeout_ns <= 0.0 then
+      bad "Net.Fault: timeout_ns must be > 0 (got %g)" f.timeout_ns;
+    if Float.is_nan f.backoff_ns || f.backoff_ns <= 0.0 then
+      bad "Net.Fault: backoff_ns must be > 0 (got %g)" f.backoff_ns;
+    if f.max_retries < 0 then
+      bad "Net.Fault: max_retries must be >= 0 (got %d)" f.max_retries
+
   (* Deterministic per-(seed, request, attempt, salt) uniform sample:
      splitmix64-style finalizer, purely functional so a fixed seed
      reproduces the exact same fault schedule on every run. *)
@@ -80,7 +100,7 @@ type dp_config = {
 
 let dp_default = { window = 0; coalesce = false; coalesce_limit = 16; fault = None }
 
-type status = Done | Timed_out
+type status = Done | Timed_out | Node_down
 
 type completion = {
   id : int;
@@ -109,6 +129,7 @@ type stats = {
   mutable coalesced : int;
   mutable retries : int;
   mutable timeouts : int;
+  mutable node_down : int;
   lat_fetch : Metrics.hist;
   lat_rtt : Metrics.hist;
   lat_attempt : Metrics.hist;
@@ -132,6 +153,9 @@ type t = {
       (* done_at of every posted message not yet known-complete *)
   mutable cq : completion list;  (* unreaped completions, any order *)
   mutable pending : batch option;
+  mutable down_until : float;
+      (* far node unreachable until this instant: messages posted before
+         it fail with [Node_down] after the loss-detection timer *)
   stats : stats;
 }
 
@@ -148,6 +172,7 @@ let empty_stats () =
     coalesced = 0;
     retries = 0;
     timeouts = 0;
+    node_down = 0;
     lat_fetch = Metrics.hist_create ();
     lat_rtt = Metrics.hist_create ();
     lat_attempt = Metrics.hist_create ();
@@ -155,6 +180,7 @@ let empty_stats () =
   }
 
 let create ?(dp = dp_default) params =
+  (match dp.fault with Some f -> Fault.validate f | None -> ());
   {
     params;
     dp;
@@ -163,13 +189,17 @@ let create ?(dp = dp_default) params =
     inflight = [];
     cq = [];
     pending = None;
+    down_until = 0.0;
     stats = empty_stats ();
   }
 
 let params t = t.params
 let stats t = t.stats
 let dataplane t = t.dp
-let set_dataplane t dp = t.dp <- dp
+
+let set_dataplane t dp =
+  (match dp.fault with Some f -> Fault.validate f | None -> ());
+  t.dp <- dp
 
 let reset_stats t =
   let s = t.stats in
@@ -184,6 +214,7 @@ let reset_stats t =
   s.coalesced <- 0;
   s.retries <- 0;
   s.timeouts <- 0;
+  s.node_down <- 0;
   Metrics.hist_reset s.lat_fetch;
   Metrics.hist_reset s.lat_rtt;
   Metrics.hist_reset s.lat_attempt;
@@ -194,7 +225,8 @@ let reset_link t =
   t.next_id <- 0;
   t.inflight <- [];
   t.cq <- [];
-  t.pending <- None
+  t.pending <- None;
+  t.down_until <- 0.0
 
 let publish t reg =
   let s = t.stats in
@@ -209,6 +241,7 @@ let publish t reg =
   Metrics.set_counter reg "net.coalesced" s.coalesced;
   Metrics.set_counter reg "net.retries" s.retries;
   Metrics.set_counter reg "net.timeouts" s.timeouts;
+  Metrics.set_counter reg "net.node_down" s.node_down;
   Metrics.set_hist reg "net.fetch_latency" s.lat_fetch;
   Metrics.set_hist reg "net.rtt" s.lat_rtt;
   Metrics.set_hist reg "net.attempt_latency" s.lat_attempt;
@@ -318,6 +351,14 @@ let run_attempts t ~id ~posted_at ~bytes ~side ~purpose ~inbound ~deadline =
     in
     go ~issue_at:posted_at ~attempt:1 ~first_start:None
 
+(* The loss-detection latency for a message sent into a dead node: the
+   requester's timer when faults are configured, one round trip
+   otherwise. *)
+let detect_ns t =
+  match t.dp.fault with
+  | Some f -> f.Fault.timeout_ns
+  | None -> t.params.Params.one_sided_rtt_ns
+
 (* Post one message (a single request, or a coalesced batch given in
    submission order) at time [now]. *)
 let post t ~now members =
@@ -329,6 +370,32 @@ let post t ~now members =
   retire t ~now;
   let gate = gate_time t ~now in
   let issue_at = Float.max now gate in
+  if issue_at < t.down_until then begin
+    (* Far node down with no failover target: the message never touches
+       the wire; the requester detects the failure after its loss
+       timer.  Not a [Timed_out] — nothing was dropped, the node is
+       gone — and no bytes are accounted. *)
+    let done_at = issue_at +. detect_ns t in
+    t.inflight <- (done_at, r0.Request.dir) :: t.inflight;
+    let s = t.stats in
+    s.doorbells <- s.doorbells + 1;
+    s.node_down <- s.node_down + n;
+    if Trace.enabled () then
+      Trace.complete ~name:(purpose_name r0.Request.purpose) ~cat:"net"
+        ~lane:"net" ~ts_ns:now ~dur_ns:(done_at -. now)
+        ~args:[ ("node_down", Mira_telemetry.Json.Bool true);
+                ("bytes", Mira_telemetry.Json.Int bytes) ]
+        ();
+    List.iter
+      (fun (id, req, submitted_at, detached) ->
+        if not detached then
+          t.cq <-
+            { id; req; submitted_at; posted_at = now; done_at; attempts = 1;
+              status = Node_down; coalesced = n > 1 }
+            :: t.cq)
+      members
+  end
+  else begin
   let start, done_at, attempts, status =
     run_attempts t ~id:id0 ~posted_at:issue_at ~bytes ~side:r0.Request.side
       ~purpose:r0.Request.purpose ~inbound ~deadline:r0.Request.deadline_ns
@@ -382,6 +449,7 @@ let post t ~now members =
           }
           :: t.cq)
     members
+  end
 
 let ring t ~now =
   match t.pending with
@@ -448,6 +516,38 @@ let fence ?dir t ~now =
       | Some want when d <> want -> acc
       | _ -> Float.max acc done_at)
     now t.inflight
+
+(* --- node failures -------------------------------------------------------- *)
+
+(* The far node crashed at [now]: every transfer still in flight is
+   gone.  Unreaped completions that had not landed yet become
+   [Node_down] immediately (failure detection is the crash notification
+   itself — the cluster's epoch bump — not a per-request timer), the
+   in-flight window drains, and the wire is idle again.  Returns the
+   number of reapable requests failed. *)
+let fail_inflight t ~now =
+  ring t ~now;
+  let failed = ref 0 in
+  t.cq <-
+    List.map
+      (fun (c : completion) ->
+        if c.done_at > now && c.status = Done then begin
+          incr failed;
+          { c with status = Node_down; done_at = now }
+        end
+        else c)
+      t.cq;
+  t.inflight <-
+    List.map (fun (d, dir) -> ((if d > now then now else d), dir)) t.inflight;
+  if t.link_free_at > now then t.link_free_at <- now;
+  t.stats.node_down <- t.stats.node_down + !failed;
+  !failed
+
+(* Declare the far node unreachable until [until]: messages posted
+   before that instant complete as [Node_down] after the loss-detection
+   timer instead of transferring.  Used for degraded outages where no
+   failover target exists. *)
+let set_down t ~until = t.down_until <- Float.max t.down_until until
 
 (* --- synchronous shorthands ---------------------------------------------- *)
 

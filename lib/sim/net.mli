@@ -82,6 +82,12 @@ module Fault : sig
   (** No drops or delays, but sane timeout/backoff/retry settings to
       tweak from ([timeout_ns = 50_000], [backoff_ns = 2_000],
       [max_retries = 3]). *)
+
+  val validate : t -> unit
+  (** Raises [Invalid_argument] with a descriptive message when the
+      configuration is unusable: NaN or out-of-range probabilities,
+      negative [delay_ns], non-positive [timeout_ns]/[backoff_ns], or
+      [max_retries < 0].  Called by [create] and [set_dataplane]. *)
 end
 
 type dp_config = {
@@ -103,6 +109,12 @@ type status =
       (** dropped on every attempt; the requester gave up cleanly after
           [max_retries] retries.  [done_at] is the final detection
           time. *)
+  | Node_down
+      (** the far node crashed: the request was in flight when the node
+          died ([fail_inflight]) or was posted during a declared outage
+          ([set_down]).  Never conflated with [Timed_out] — a timeout
+          is a lossy link with a live node; [Node_down] is a dead
+          node.  [done_at] is the failure-detection time. *)
 
 type completion = {
   id : int;
@@ -136,6 +148,8 @@ type stats = {
   mutable coalesced : int;  (** requests that rode a shared doorbell *)
   mutable retries : int;  (** retransmissions after a detected loss *)
   mutable timeouts : int;  (** requests failed after bounded retries *)
+  mutable node_down : int;  (** requests failed by a far-node crash
+                                (never counted as timeouts) *)
   lat_fetch : Mira_telemetry.Metrics.hist;
       (** caller-observed latency (incl. link queueing and retries) of
           inbound transfers *)
@@ -206,6 +220,24 @@ val fence : ?dir:Request.dir -> t -> now:float -> float
 
 val in_flight : t -> now:float -> int
 (** Posted messages not yet complete at [now] (testing/telemetry). *)
+
+(** {1 Node failures} *)
+
+val fail_inflight : t -> now:float -> int
+(** The far node crashed at [now]: every transfer still in flight
+    fails immediately.  Unreaped completions that had not landed become
+    [Node_down] with [done_at = now] (crash detection is the failover
+    notification, not a per-request timer), the in-flight window
+    drains, and the link goes idle.  Rings the doorbell first.  Returns
+    the number of reapable requests failed; [net.node_down] counts
+    them, never [net.timeouts]. *)
+
+val set_down : t -> until:float -> unit
+(** Declare the far node unreachable until [until] (a degraded outage
+    with no failover target): messages posted before that instant
+    complete as [Node_down] after the loss-detection timer (the fault
+    model's [timeout_ns], or one RTT without faults) without touching
+    the wire. *)
 
 (** {1 Synchronous shorthands}
 

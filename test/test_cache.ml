@@ -6,6 +6,7 @@ module Params = Mira_sim.Params
 module Clock = Mira_sim.Clock
 module Net = Mira_sim.Net
 module Far_store = Mira_sim.Far_store
+module Cluster = Mira_sim.Cluster
 module Section = Mira_cache.Section
 module Swap = Mira_cache.Swap_section
 module Manager = Mira_cache.Manager
@@ -13,7 +14,7 @@ module Sizing = Mira_cache.Sizing
 
 let make_env () =
   let net = Net.create Params.default in
-  let far = Far_store.create ~capacity:(1 lsl 20) in
+  let far = Cluster.of_store (Far_store.create ~capacity:(1 lsl 20)) in
   (net, far, Clock.create ())
 
 let cfg_of structure ~line ~size =
@@ -37,13 +38,13 @@ let test_section_writeback_on_evict () =
   Section.store s ~clock ~addr:0 ~len:8 7L;
   (* line index 2 -> slot 0: evicts line 0, forcing writeback *)
   Section.store s ~clock ~addr:128 ~len:8 9L;
-  Alcotest.(check int64) "evicted data persisted" 7L (Far_store.read_i64 far ~addr:0);
+  Alcotest.(check int64) "evicted data persisted" 7L (Cluster.read_i64 far ~addr:0);
   Alcotest.(check int64) "reload" 7L (Section.load s ~clock ~addr:0 ~len:8)
 
 let test_section_prefetch_ready_time () =
   let net, far, clock = make_env () in
   let s = Section.create net far (cfg_of Section.Full_assoc ~line:64 ~size:1024) in
-  Far_store.write_i64 far ~addr:256 5L;
+  Cluster.write_i64 far ~addr:256 5L;
   Section.prefetch s ~clock ~addr:256 ~len:8;
   let before = Clock.now clock in
   let v = Section.load s ~clock ~addr:256 ~len:8 in
@@ -77,7 +78,7 @@ let test_section_dont_evict () =
 let test_section_native_fallback () =
   let net, far, clock = make_env () in
   let s = Section.create net far (cfg_of Section.Direct ~line:64 ~size:256) in
-  Far_store.write_i64 far ~addr:0 77L;
+  Cluster.write_i64 far ~addr:0 77L;
   (* native load on an absent line must still return correct data *)
   Alcotest.(check int64) "fallback correct" 77L
     (Section.load_native s ~clock ~addr:0 ~len:8)
@@ -97,12 +98,12 @@ let test_section_no_meta_cheap_hits () =
 let test_section_discard_range () =
   let net, far, clock = make_env () in
   let s = Section.create net far (cfg_of Section.Full_assoc ~line:64 ~size:256) in
-  Far_store.write_i64 far ~addr:0 10L;
+  Cluster.write_i64 far ~addr:0 10L;
   ignore (Section.load s ~clock ~addr:0 ~len:8);
   Section.store s ~clock ~addr:0 ~len:8 99L;
   (* Simulate a far-side mutation, then discard the stale line. *)
   Section.discard_range s ~addr:0 ~len:8;
-  Far_store.write_i64 far ~addr:0 55L;
+  Cluster.write_i64 far ~addr:0 55L;
   Alcotest.(check int64) "fresh data after discard" 55L
     (Section.load s ~clock ~addr:0 ~len:8)
 
@@ -225,7 +226,7 @@ let coherence_for structure line size =
       (* Final drain: everything must land in the far store. *)
       Section.drop_all s ~clock;
       Hashtbl.iter
-        (fun addr v -> if Far_store.read_i64 far ~addr <> v then ok := false)
+        (fun addr v -> if Cluster.read_i64 far ~addr <> v then ok := false)
         reference;
       !ok)
 
@@ -256,7 +257,7 @@ let coherence_swap =
         ops;
       Swap.drop_all sw ~clock;
       Hashtbl.iter
-        (fun addr v -> if Far_store.read_i64 far ~addr <> v then ok := false)
+        (fun addr v -> if Cluster.read_i64 far ~addr <> v then ok := false)
         reference;
       !ok)
 

@@ -1,0 +1,267 @@
+(* Tests for the far-memory failure domain: the [Cluster] node array,
+   seeded crash schedules, epoch-fenced failover, replicated writeback,
+   and degraded-mode operation.  The central property: with replication
+   2 and any seeded single-node crash schedule, a workload's output is
+   bit-identical to the no-fault run — crashes cost time, never data. *)
+module Clock = Mira_sim.Clock
+module Net = Mira_sim.Net
+module Far_store = Mira_sim.Far_store
+module Cluster = Mira_sim.Cluster
+module Manager = Mira_cache.Manager
+module Section = Mira_cache.Section
+module Runtime = Mira_runtime.Runtime
+module Machine = Mira_interp.Machine
+module C = Mira.Controller
+
+(* --- spec validation and schedules -------------------------------------- *)
+
+let test_validate_spec () =
+  let ok spec = Cluster.validate_spec spec in
+  ok Cluster.spec_default;
+  ok { Cluster.nodes = 3; replication = 2; schedule = [] };
+  let rejects name spec =
+    match Cluster.validate_spec spec with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "no nodes" { Cluster.nodes = 0; replication = 1; schedule = [] };
+  rejects "zero replication" { Cluster.nodes = 2; replication = 0; schedule = [] };
+  rejects "replication > nodes"
+    { Cluster.nodes = 1; replication = 2; schedule = [] };
+  rejects "bad node index"
+    { Cluster.nodes = 2; replication = 1;
+      schedule = [ { Cluster.ev_node = 2; ev_at = 1.0; ev_down_for = 1.0 } ] };
+  rejects "negative time"
+    { Cluster.nodes = 1; replication = 1;
+      schedule = [ { Cluster.ev_node = 0; ev_at = -1.0; ev_down_for = 1.0 } ] };
+  rejects "nan time"
+    { Cluster.nodes = 1; replication = 1;
+      schedule = [ { Cluster.ev_node = 0; ev_at = Float.nan; ev_down_for = 1.0 } ] };
+  rejects "non-positive outage"
+    { Cluster.nodes = 1; replication = 1;
+      schedule = [ { Cluster.ev_node = 0; ev_at = 1.0; ev_down_for = 0.0 } ] }
+
+let test_schedule_of_seed () =
+  let mk seed =
+    Cluster.schedule_of_seed ~seed ~nodes:3 ~crashes:8 ~horizon_ns:1e6
+      ~down_ns:1e4
+  in
+  (* Deterministic: same seed, same schedule. *)
+  Alcotest.(check bool) "deterministic" true (mk 7 = mk 7);
+  Alcotest.(check bool) "seed-sensitive" true (mk 7 <> mk 8);
+  let sched = mk 7 in
+  Alcotest.(check int) "count" 8 (List.length sched);
+  (* Serialized: each crash begins only after the previous node has
+     recovered, so one in-sync replica always survives. *)
+  let rec check_serial = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "no overlapping outages" true
+        (b.Cluster.ev_at >= a.Cluster.ev_at +. a.Cluster.ev_down_for);
+      check_serial rest
+    | _ -> ()
+  in
+  check_serial sched;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "node in range" true
+        (e.Cluster.ev_node >= 0 && e.Cluster.ev_node < 3);
+      Alcotest.(check bool) "positive outage" true (e.Cluster.ev_down_for > 0.0))
+    sched
+
+(* --- crash/failover state machine ---------------------------------------- *)
+
+let test_failover_epoch () =
+  let t =
+    Cluster.create ~capacity:65536
+      { Cluster.nodes = 2; replication = 2;
+        schedule = [ { Cluster.ev_node = 0; ev_at = 100.0; ev_down_for = 50.0 } ] }
+  in
+  Cluster.write_i64 t ~addr:0 42L;
+  Alcotest.(check int) "epoch 0" 0 (Cluster.epoch t);
+  Alcotest.(check bool) "replicated" true (Cluster.replicated t);
+  Alcotest.(check int) "primary is node 0" 0 (Cluster.primary_index t);
+  (* Before the crash is due, poll is a no-op. *)
+  Alcotest.(check int) "no early incidents" 0 (List.length (Cluster.poll t ~now:99.0));
+  let incidents = Cluster.poll t ~now:120.0 in
+  (match incidents with
+  | [ Cluster.Failover { failed; new_primary; epoch; _ } ] ->
+    Alcotest.(check int) "failed node" 0 failed;
+    Alcotest.(check int) "promoted backup" 1 new_primary;
+    Alcotest.(check int) "epoch bumped" 1 epoch
+  | _ -> Alcotest.fail "expected exactly one Failover");
+  Alcotest.(check int) "epoch accessor" 1 (Cluster.epoch t);
+  (* The promoted backup has the data: failover lost nothing. *)
+  Alcotest.(check int64) "data survived" 42L (Cluster.read_i64 t ~addr:0);
+  Alcotest.(check bool) "under-replicated now" false (Cluster.replicated t);
+  (* The crashed node returns at t=150 and resyncs as the new backup. *)
+  (match Cluster.poll t ~now:200.0 with
+  | [ Cluster.Recovered { node; now_backup; resync_bytes; _ } ] ->
+    Alcotest.(check int) "node 0 back" 0 node;
+    Alcotest.(check bool) "rejoined as backup" true now_backup;
+    Alcotest.(check bool) "resynced bytes" true (resync_bytes > 0)
+  | _ -> Alcotest.fail "expected exactly one Recovered");
+  Alcotest.(check bool) "replication whole again" true (Cluster.replicated t);
+  Alcotest.(check bool) "never degraded" false (Cluster.degraded t)
+
+let test_degraded_loss () =
+  let t =
+    Cluster.create ~capacity:65536
+      { Cluster.nodes = 1; replication = 1;
+        schedule = [ { Cluster.ev_node = 0; ev_at = 100.0; ev_down_for = 50.0 } ] }
+  in
+  Cluster.write_i64 t ~addr:128 7L;
+  (match Cluster.poll t ~now:110.0 with
+  | [ Cluster.Primary_lost { lost_bytes; _ } ] ->
+    Alcotest.(check bool) "bytes lost" true (lost_bytes > 0)
+  | _ -> Alcotest.fail "expected Primary_lost");
+  Alcotest.(check bool) "degraded" true (Cluster.degraded t);
+  Alcotest.(check bool) "outage window" true (Cluster.down_until t = 150.0);
+  (* Reads of the wiped extent see zeros — the run continues. *)
+  Alcotest.(check int64) "wiped reads zero" 0L (Cluster.read_i64 t ~addr:128);
+  let extents = Cluster.take_lost_extents t in
+  Alcotest.(check bool) "lost extent reported" true (extents <> []);
+  Alcotest.(check int) "drained" 0 (List.length (Cluster.take_lost_extents t))
+
+let test_of_store_passthrough () =
+  let far = Far_store.create ~capacity:4096 in
+  let t = Cluster.of_store far in
+  Cluster.write_i64 t ~addr:8 5L;
+  Alcotest.(check int64) "shared store" 5L (Far_store.read_i64 far ~addr:8);
+  Alcotest.(check bool) "no events ever" true (Cluster.next_event_at t = infinity);
+  Alcotest.(check int) "no incidents" 0 (List.length (Cluster.poll t ~now:1e12))
+
+(* --- crash during Manager.end_section ------------------------------------ *)
+
+let test_crash_during_end_section () =
+  (* A failover due exactly when [end_section] runs must be processed
+     before the rebudget: the manager recovers (dirty lines re-issued,
+     recovery time charged) and then tears the section down normally. *)
+  let net = Net.create Mira_sim.Params.default in
+  let cluster =
+    Cluster.create ~capacity:(1 lsl 20)
+      { Cluster.nodes = 2; replication = 2;
+        schedule = [ { Cluster.ev_node = 0; ev_at = 10.0; ev_down_for = 1e4 } ] }
+  in
+  let mgr =
+    Manager.create net cluster ~budget:65536 ~page:4096 ~side:Net.One_sided
+  in
+  let clock = Clock.create () in
+  let cfg = Section.config_default ~sec_id:1 ~name:"s" ~line:64 ~size:4096 in
+  (match Manager.add_section mgr ~clock cfg with
+  | Ok s ->
+    (* Dirty a few lines, then advance past the scheduled crash so the
+       failover fires inside end_section. *)
+    Section.store s ~clock ~addr:0 ~len:8 1L;
+    Section.store s ~clock ~addr:64 ~len:8 2L;
+    Clock.advance clock 1e6;
+    Manager.end_section mgr ~clock ~id:1
+  | Error m -> Alcotest.fail m);
+  let st = Cluster.stats cluster in
+  Alcotest.(check int) "failover happened" 1 st.Cluster.failovers;
+  Alcotest.(check bool) "recovery time charged" true
+    (Mira_telemetry.Metrics.hist_count st.Cluster.recovery = 1);
+  Alcotest.(check int) "section gone" 0 (List.length (Manager.sections mgr));
+  (* Post-failover state is coherent: the promoted node serves the
+     written data. *)
+  Alcotest.(check int64) "data survived teardown" 1L (Cluster.read_i64 cluster ~addr:0);
+  Alcotest.(check int64) "second line too" 2L (Cluster.read_i64 cluster ~addr:64);
+  Alcotest.(check bool) "never degraded" false (Cluster.degraded cluster)
+
+(* --- end-to-end: bit-identical under replication 2 ------------------------ *)
+
+let micro_cfg =
+  { Mira_workloads.Micro_sum.config_default with
+    Mira_workloads.Micro_sum.elems = 20_000; stride = 8 }
+
+let run_workload spec =
+  let far = Mira_workloads.Micro_sum.far_bytes micro_cfg in
+  let far_capacity = Mira_util.Misc.round_up (4 * far) 4096 in
+  let prog = Mira_workloads.Micro_sum.build micro_cfg in
+  let rt =
+    Runtime.create
+      Runtime.Config.(
+        make ~local_budget:(far / 4) ~far_capacity |> with_cluster spec)
+  in
+  let ms = Runtime.memsys rt in
+  let measured =
+    Mira_passes.Instrument.run_only prog ~names:[ C.work_function prog ]
+  in
+  let machine = Machine.create ~seed:42 ms measured in
+  let v, work_ns = C.measure_work ms machine in
+  (v, work_ns, rt)
+
+let qcheck_bit_identical_replicated =
+  let baseline = lazy (let v, _, _ = run_workload Cluster.spec_default in v) in
+  QCheck.Test.make ~name:"replication 2: output bit-identical under crashes"
+    ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let schedule =
+        Cluster.schedule_of_seed ~seed ~nodes:2 ~crashes:2 ~horizon_ns:2e5
+          ~down_ns:2e4
+      in
+      let v, work_ns, rt =
+        run_workload { Cluster.nodes = 2; replication = 2; schedule }
+      in
+      let st = Cluster.stats (Runtime.cluster rt) in
+      Mira_interp.Value.equal v (Lazy.force baseline)
+      && st.Cluster.lost_bytes = 0
+      && Runtime.lost_bytes_total rt = 0
+      && work_ns > 0.0)
+
+let test_degraded_run_completes () =
+  (* Replication off, primary crashes mid-run: the workload still
+     completes (no exception), lost bytes are accounted per object, and
+     the report says degraded. *)
+  let schedule =
+    Cluster.schedule_of_seed ~seed:3 ~nodes:1 ~crashes:1 ~horizon_ns:1e5
+      ~down_ns:3e4
+  in
+  let v, _, rt =
+    run_workload { Cluster.nodes = 1; replication = 1; schedule }
+  in
+  ignore v;
+  Alcotest.(check bool) "degraded" true (Cluster.degraded (Runtime.cluster rt));
+  Alcotest.(check bool) "lost bytes accounted" true
+    (Runtime.lost_bytes_total rt > 0);
+  Alcotest.(check bool) "per-site attribution" true
+    (Runtime.lost_bytes_by_site rt <> []);
+  (* The metrics registry carries the same accounting. *)
+  let reg = Mira_telemetry.Metrics.create () in
+  Runtime.publish rt reg;
+  (match Mira_telemetry.Metrics.find reg "runtime.degraded" with
+  | Some (Mira_telemetry.Metrics.Counter 1) -> ()
+  | _ -> Alcotest.fail "runtime.degraded not published");
+  match Mira_telemetry.Metrics.find reg "node.crashes" with
+  | Some (Mira_telemetry.Metrics.Counter n) ->
+    Alcotest.(check bool) "crashes counted" true (n >= 1)
+  | _ -> Alcotest.fail "node.crashes not published"
+
+let test_replication_traffic_modeled () =
+  (* With replication on, writebacks produce extra outbound messages
+     (the backup copies ride detached writes) and the cluster counts the
+     mirrored bytes. *)
+  let run spec =
+    let _, _, rt = run_workload spec in
+    let net = Net.stats (Runtime.net rt) in
+    (net.Net.bytes_writeback, Cluster.stats (Runtime.cluster rt))
+  in
+  let wb1, _ = run Cluster.spec_default in
+  let wb2, st2 = run { Cluster.nodes = 2; replication = 2; schedule = [] } in
+  Alcotest.(check bool) "replica traffic on the wire" true (wb2 >= wb1);
+  Alcotest.(check bool) "no crashes, no resync" true
+    (st2.Cluster.resync_bytes = 0)
+
+let suite =
+  [
+    Alcotest.test_case "spec validation" `Quick test_validate_spec;
+    Alcotest.test_case "seeded schedule" `Quick test_schedule_of_seed;
+    Alcotest.test_case "failover + epoch" `Quick test_failover_epoch;
+    Alcotest.test_case "degraded loss" `Quick test_degraded_loss;
+    Alcotest.test_case "of_store passthrough" `Quick test_of_store_passthrough;
+    Alcotest.test_case "crash during end_section" `Quick
+      test_crash_during_end_section;
+    QCheck_alcotest.to_alcotest qcheck_bit_identical_replicated;
+    Alcotest.test_case "degraded run completes" `Slow test_degraded_run_completes;
+    Alcotest.test_case "replication traffic" `Slow test_replication_traffic_modeled;
+  ]

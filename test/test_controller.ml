@@ -172,6 +172,57 @@ let test_report () =
   let stats = Mira.Report.runtime_stats rt in
   Alcotest.(check bool) "stats render" true (String.length stats > 40)
 
+let test_rollback_under_faults () =
+  (* A lossy link with tight timeouts punishes the sectioned
+     configuration (many small line fetches) more than the swap-only
+     baseline (fewer, page-sized transfers): the regression must yield
+     a [Decision.Rollback] and the returned configuration must be the
+     previous best, not the regressed one. *)
+  let cfg = { G.config_default with G.num_edges = 8_000; num_nodes = 800 } in
+  let prog = G.build cfg in
+  let far = G.far_bytes cfg in
+  let fault =
+    { Mira_sim.Net.Fault.default with
+      Mira_sim.Net.Fault.drop_prob = 0.35; seed = 11; timeout_ns = 3_000.0;
+      backoff_ns = 6_000.0; max_retries = 3 }
+  in
+  let opts =
+    { (C.options_default ~local_budget:(far / 4) ~far_capacity:(4 * far)) with
+      C.max_iterations = 2;
+      dataplane =
+        { Mira_sim.Net.dp_default with Mira_sim.Net.fault = Some fault } }
+  in
+  let compiled = C.optimize opts prog in
+  let measures =
+    List.filter_map
+      (function
+        | Mira_telemetry.Decision.Measure { work_ns; _ } -> Some work_ns
+        | _ -> None)
+      compiled.C.c_log
+  in
+  let rollbacks =
+    List.filter_map
+      (function
+        | Mira_telemetry.Decision.Rollback { reason; _ } -> Some reason
+        | _ -> None)
+      compiled.C.c_log
+  in
+  Alcotest.(check bool) "a regression was rolled back" true
+    (List.exists (fun r -> r = "regression") rollbacks);
+  (* Restored, not kept: the final work time is the best measure, and
+     every other measured configuration was no better. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "final config is the best measured" true
+        (compiled.C.c_work_ns <= m +. 1e-6))
+    measures;
+  (* The rolled-back configuration still computes the right answer. *)
+  let native = Mira_baselines.Native.create ~capacity:(4 * far) () in
+  let expected = Machine.run (Machine.create native prog) in
+  let v, _ = C.run compiled in
+  Alcotest.(check bool) "result preserved under faults" true
+    (Value.equal expected v)
+
 let test_work_function () =
   let prog = G.build { G.config_default with G.num_edges = 100; num_nodes = 16 } in
   Alcotest.(check string) "work" "work" (C.work_function prog)
@@ -188,6 +239,7 @@ let suite =
     Alcotest.test_case "controller rollback" `Slow test_controller_rollback_guarantee;
     Alcotest.test_case "controller preserves result" `Slow test_controller_result_preserved;
     Alcotest.test_case "controller ablation" `Slow test_controller_ablation_flags;
+    Alcotest.test_case "rollback under faults" `Slow test_rollback_under_faults;
     Alcotest.test_case "work function" `Quick test_work_function;
     Alcotest.test_case "report" `Slow test_report;
   ]

@@ -259,7 +259,7 @@ let test_swap_readahead_coalesces () =
      fetch latency (queueing drops when 7 posts become 1). *)
   let run dp =
     let net = Net.create ~dp p in
-    let far = Far_store.create ~capacity:(1 lsl 20) in
+    let far = Mira_sim.Cluster.of_store (Far_store.create ~capacity:(1 lsl 20)) in
     let swap =
       Swap.create net far
         { Swap.page = 4096; capacity = 8 * 4096; side = Net.One_sided }
@@ -281,6 +281,112 @@ let test_swap_readahead_coalesces () =
     (s.Net.doorbells < s_plain.Net.doorbells);
   Alcotest.(check bool) "fetch p50 no worse" true (p50_batched <= p50_plain)
 
+(* --- fault-model validation ---------------------------------------------- *)
+
+let test_fault_validate () =
+  Net.Fault.validate Net.Fault.default;
+  let rejects name f =
+    match Net.Fault.validate f with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  let d = Net.Fault.default in
+  rejects "negative drop_prob" { d with Net.Fault.drop_prob = -0.1 };
+  rejects "drop_prob > 1" { d with Net.Fault.drop_prob = 1.5 };
+  rejects "NaN drop_prob" { d with Net.Fault.drop_prob = Float.nan };
+  rejects "negative delay_prob" { d with Net.Fault.delay_prob = -1.0 };
+  rejects "NaN delay_prob" { d with Net.Fault.delay_prob = Float.nan };
+  rejects "negative delay" { d with Net.Fault.delay_ns = -5.0 };
+  rejects "zero timeout" { d with Net.Fault.timeout_ns = 0.0 };
+  rejects "negative timeout" { d with Net.Fault.timeout_ns = -1.0 };
+  rejects "zero backoff" { d with Net.Fault.backoff_ns = 0.0 };
+  rejects "negative retries" { d with Net.Fault.max_retries = -1 };
+  (* Wired into configuration entry points: both reject too. *)
+  let bad =
+    { Net.dp_default with Net.fault = Some { d with Net.Fault.drop_prob = 2.0 } }
+  in
+  (match Net.create ~dp:bad p with
+  | _ -> Alcotest.fail "create: expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  let net = Net.create p in
+  match Net.set_dataplane net bad with
+  | () -> Alcotest.fail "set_dataplane: expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- node failures -------------------------------------------------------- *)
+
+let test_fail_inflight_node_down () =
+  (* A crash fails every in-flight transfer immediately, with status
+     [Node_down] at the crash time — never [Timed_out], which is
+     reserved for lossy-link retry exhaustion. *)
+  let net = Net.create p in
+  let sq1 =
+    Net.submit net ~now:0.0 (Net.Request.read ~side:Net.One_sided
+                               ~purpose:Net.Demand 4096)
+  in
+  let sq2 =
+    Net.submit net ~now:0.0 (Net.Request.read ~side:Net.One_sided
+                               ~purpose:Net.Demand 4096)
+  in
+  let crash_at = 50.0 in
+  let failed = Net.fail_inflight net ~now:crash_at in
+  Alcotest.(check int) "both failed" 2 failed;
+  List.iter
+    (fun id ->
+      let c = Net.await net ~now:crash_at ~id in
+      (match c.Net.status with
+      | Net.Node_down -> ()
+      | Net.Done -> Alcotest.fail "still Done after crash"
+      | Net.Timed_out -> Alcotest.fail "crash conflated with timeout");
+      Alcotest.(check (float 0.0)) "failed at crash detection" crash_at
+        c.Net.done_at)
+    [ sq1.Net.id; sq2.Net.id ];
+  let s = Net.stats net in
+  Alcotest.(check int) "node_down counted" 2 s.Net.node_down;
+  Alcotest.(check int) "never counted as timeouts" 0 s.Net.timeouts;
+  (* The link is idle again: a post after the crash completes normally. *)
+  let x = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:100.0
+            ~bytes:64 () in
+  Alcotest.(check bool) "link drained" true (x.Net.done_at < 100.0 +. 1e5)
+
+let test_fail_inflight_spares_landed () =
+  (* A transfer that already completed before the crash stays [Done]. *)
+  let net = Net.create p in
+  let sq =
+    Net.submit net ~now:0.0 (Net.Request.read ~side:Net.One_sided
+                               ~purpose:Net.Demand 64)
+  in
+  ignore (Net.fail_inflight net ~now:1e9);
+  let c = Net.await net ~now:1e9 ~id:sq.Net.id in
+  (match c.Net.status with
+  | Net.Done -> ()
+  | _ -> Alcotest.fail "landed transfer must stay Done");
+  Alcotest.(check int) "nothing to fail" 0 (Net.stats net).Net.node_down
+
+let test_set_down_window () =
+  (* Posts during a declared outage complete [Node_down] after the
+     loss-detection timer, without touching the wire. *)
+  let net = Net.create p in
+  Net.set_down net ~until:10_000.0;
+  let before = (Net.stats net).Net.msg_count in
+  let sq =
+    Net.submit net ~now:100.0 (Net.Request.read ~side:Net.One_sided
+                                 ~purpose:Net.Demand 4096)
+  in
+  let c = Net.await net ~now:100.0 ~id:sq.Net.id in
+  (match c.Net.status with
+  | Net.Node_down -> ()
+  | _ -> Alcotest.fail "expected Node_down during outage");
+  Alcotest.(check bool) "failed after detection timer" true
+    (c.Net.done_at > 100.0);
+  Alcotest.(check int) "no wire traffic" before (Net.stats net).Net.msg_count;
+  Alcotest.(check int) "no timeout counted" 0 (Net.stats net).Net.timeouts;
+  (* After the node returns, posts flow normally again. *)
+  let x = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:20_000.0
+            ~bytes:64 () in
+  Alcotest.(check bool) "post-outage transfer completes" true
+    (x.Net.done_at > 20_000.0)
+
 let suite =
   [
     Alcotest.test_case "identity no faults" `Quick test_identity_no_faults;
@@ -298,4 +404,10 @@ let suite =
     Alcotest.test_case "await unknown raises" `Quick test_await_unknown_raises;
     Alcotest.test_case "swap readahead coalesces" `Quick
       test_swap_readahead_coalesces;
+    Alcotest.test_case "fault validate" `Quick test_fault_validate;
+    Alcotest.test_case "fail_inflight -> Node_down" `Quick
+      test_fail_inflight_node_down;
+    Alcotest.test_case "fail_inflight spares landed" `Quick
+      test_fail_inflight_spares_landed;
+    Alcotest.test_case "set_down window" `Quick test_set_down_window;
   ]

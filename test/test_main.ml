@@ -6,6 +6,7 @@ let () =
       ("dataplane", Test_dataplane.suite);
       ("mir", Test_mir.suite);
       ("cache", Test_cache.suite);
+      ("cluster", Test_cluster.suite);
       ("runtime", Test_runtime.suite);
       ("interp", Test_interp.suite);
       ("analysis", Test_analysis.suite);
