@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- --only fig5  # one figure
      dune exec bench/main.exe -- --only fig5,fig18,micro *)
 
-let targets = Figures.all_figures @ [ ("micro", Micro.run) ]
+let targets =
+  Figures.all_figures
+  @ [ ("micro", Micro.run); ("micro-sweep", Micro.sweep) ]
 
 let usage () =
   print_endline "usage: main.exe [--list | --only <id>[,<id>...]]";

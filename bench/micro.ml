@@ -72,6 +72,21 @@ let tests () =
       bench_value_codec;
     ]
 
+(* Deterministic simulated-time sweep: the CI perf-regression gate's
+   input.  Unlike [run] (wall clock), every number here is simulated
+   time, so two runs with the same build produce byte-identical
+   BENCH_micro.json files (set MIRA_BENCH_JSON to collect one). *)
+let sweep () =
+  let module W = Mira_workloads.Micro_sum in
+  let cfg = W.config_default in
+  let prog = W.build cfg in
+  let far = W.far_bytes cfg in
+  let ctx = Harness.make_ctx ~far_bytes:far ~mira_iterations:3 prog in
+  Harness.sweep ctx ~far_bytes:far ~ratios:[ 0.2; 0.5 ]
+    ~systems:
+      [ Harness.Fastswap; Harness.Leap; Harness.Mira_sys (fun o -> o) ]
+    ~title:"micro"
+
 let run () =
   Printf.printf "\n### Microbenchmarks: real (wall-clock) runtime hot paths\n%!";
   let instances = Instance.[ monotonic_clock ] in

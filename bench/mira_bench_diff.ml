@@ -1,0 +1,61 @@
+(* Perf-regression gate CLI: compare two BENCH_*.json documents
+   (written by the bench harness when MIRA_BENCH_JSON is set).
+
+     dune exec bench/mira_bench_diff.exe -- baseline.json candidate.json
+     dune exec bench/mira_bench_diff.exe -- --tolerance 0.10 a.json b.json
+
+   Exit 0 when every compared time is within tolerance, 1 on any
+   regression, 2 on usage errors / unreadable or malformed input. *)
+
+module Diff = Mira_telemetry.Bench_diff
+
+let run tolerance baseline candidate =
+  if not (Float.is_finite tolerance) || tolerance < 0.0 then begin
+    Printf.eprintf
+      "mira_bench_diff: invalid tolerance %g (need a finite value >= 0)\n"
+      tolerance;
+    exit 2
+  end;
+  let load path =
+    match Diff.load path with
+    | Ok doc -> doc
+    | Error msg ->
+      Printf.eprintf "mira_bench_diff: %s\n" msg;
+      exit 2
+  in
+  let base = load baseline in
+  let cand = load candidate in
+  let v = Diff.compare_docs ~tolerance ~baseline:base ~candidate:cand in
+  List.iter (fun l -> Printf.printf "note:       %s\n" l) v.Diff.v_notes;
+  List.iter (fun l -> Printf.printf "improvement: %s\n" l) v.Diff.v_improvements;
+  List.iter (fun l -> Printf.printf "REGRESSION: %s\n" l) v.Diff.v_regressions;
+  Printf.printf "%d time pair(s) compared, %d regression(s)\n" v.Diff.v_compared
+    (List.length v.Diff.v_regressions);
+  if v.Diff.v_regressions <> [] then exit 1
+
+open Cmdliner
+
+let tolerance_arg =
+  Arg.(value & opt float 0.05
+       & info [ "tolerance" ] ~docv:"FRAC"
+           ~doc:"relative slowdown allowed before a time counts as a \
+                 regression (e.g. 0.05 = 5%)")
+
+let baseline_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"BASELINE" ~doc:"committed BENCH_*.json baseline")
+
+let candidate_arg =
+  Arg.(required & pos 1 (some file) None
+       & info [] ~docv:"CANDIDATE" ~doc:"freshly generated BENCH_*.json")
+
+let cmd =
+  let doc = "compare two bench-harness BENCH_*.json documents" in
+  Cmd.v (Cmd.info "mira_bench_diff" ~doc)
+    Term.(const run $ tolerance_arg $ baseline_arg $ candidate_arg)
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

@@ -57,7 +57,7 @@ let usage_error msg =
   exit 2
 
 let compare_systems wname ratio iterations threads net_window net_coalesce
-    verbose json_out trace_out =
+    verbose json_out trace_out flame_out =
   if not (Float.is_finite ratio) || ratio <= 0.0 then
     usage_error (Printf.sprintf "invalid ratio %g (need a finite value > 0)" ratio);
   if iterations < 1 then
@@ -140,6 +140,24 @@ let compare_systems wname ratio iterations threads net_window net_coalesce
     print_newline ();
     print_string (Mira.Report.runtime_stats rt)
   end;
+  (match flame_out with
+   | Some path ->
+     let folded =
+       Mira_telemetry.Attribution.folded
+         (Mira_runtime.Runtime.attribution rt)
+     in
+     let frames =
+       String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 folded
+     in
+     (try
+        let oc = open_out path in
+        output_string oc folded;
+        close_out oc;
+        Printf.printf "flame stacks written to %s (%d stack(s))\n" path frames
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write flame output: %s\n" msg;
+        exit 1)
+   | None -> ());
   match json_out with
   | None -> ()
   | Some path ->
@@ -165,6 +183,7 @@ let compare_systems wname ratio iterations threads net_window net_coalesce
           ("systems", Json.List systems);
           ("mira", Mira.Report.to_json compiled);
           ("mira_runtime_stats", Mira.Report.runtime_stats_json rt);
+          ("stall_attribution", Mira.Report.attribution_json rt);
         ]
     in
     (try
@@ -223,12 +242,20 @@ let trace_arg =
                  optimization + run (network transfers, cache fetches, \
                  controller phases) to $(docv); see docs/OBSERVABILITY.md")
 
+let flame_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flame" ] ~docv:"FILE"
+           ~doc:"write the mira run's stall-attribution ledger as folded \
+                 flame stacks ($(i,fn;site;cause count_ns) per line, \
+                 flamegraph.pl-compatible) to $(docv); see \
+                 docs/OBSERVABILITY.md")
+
 let cmd =
   let doc = "compare memory systems on a Mira workload" in
   Cmd.v (Cmd.info "mira_compare" ~doc)
     Term.(const compare_systems $ workload_arg $ ratio_arg $ iter_arg
           $ threads_arg $ net_window_arg $ net_coalesce_arg $ verbose_arg
-          $ json_arg $ trace_arg)
+          $ json_arg $ trace_arg $ flame_arg)
 
 (* Exit 0 on success/help, 2 on any command-line error (Cmdliner has
    already printed the error and usage line to stderr), 125 on an

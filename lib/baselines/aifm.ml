@@ -260,6 +260,7 @@ let create ?(params = Sim.Params.default) ?gran ~local_budget ~far_capacity () =
     set_nthreads = (fun _ -> ());
     profile = t.profile;
     net = t.net;
+    attribution = Mira_telemetry.Attribution.create ();
     metadata_bytes = (fun () -> t.meta_bytes);
     reset_timing =
       (fun () ->

@@ -80,6 +80,7 @@ let create ?(params = Sim.Params.default) ~capacity () =
     set_nthreads = (fun _ -> ());
     profile = t.profile;
     net = t.net;
+    attribution = Mira_telemetry.Attribution.create ();
     metadata_bytes = (fun () -> 0);
     reset_timing =
       (fun () ->

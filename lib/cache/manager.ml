@@ -8,6 +8,7 @@ type t = {
   sections : (int, Section.t) Hashtbl.t;
   site_to_section : (int, int) Hashtbl.t;
   mutable section_bytes : int;
+  mutable attribution : Mira_telemetry.Attribution.t option;
   mutable recovering : bool;
       (* Reconfiguration guard: [add_section]/[end_section] must not
          interleave with failover recovery (a crash mid-[end_section]
@@ -29,6 +30,7 @@ let create net cluster ~budget ~page ~side =
     sections = Hashtbl.create 16;
     site_to_section = Hashtbl.create 16;
     section_bytes = 0;
+    attribution = None;
     recovering = false;
   }
 
@@ -40,6 +42,16 @@ let cluster t = t.cluster
 let far t = Mira_sim.Cluster.primary t.cluster
 
 let swap_capacity t = max t.page (t.budget - t.section_bytes)
+
+let set_attribution t a =
+  t.attribution <- Some a;
+  Swap_section.set_attribution t.swap a;
+  Hashtbl.iter (fun _ s -> Section.set_attribution s a) t.sections
+
+let charge t cause ns =
+  match t.attribution with
+  | None -> ()
+  | Some a -> Mira_telemetry.Attribution.charge a cause ns
 
 let sections t =
   Hashtbl.fold (fun _ s acc -> s :: acc) t.sections []
@@ -72,7 +84,8 @@ let check_cluster t ~clock =
             Mira_sim.Net.fence ~dir:Mira_sim.Net.Request.Write t.net
               ~now:(Mira_sim.Clock.now clock)
           in
-          ignore (Mira_sim.Clock.wait_until clock done_at);
+          let stall = Mira_sim.Clock.wait_until clock done_at in
+          charge t Mira_telemetry.Attribution.Failover_recovery stall;
           let recovery_ns = Mira_sim.Clock.now clock -. start in
           Mira_sim.Cluster.observe_recovery t.cluster recovery_ns;
           if Mira_telemetry.Trace.enabled () then
@@ -151,6 +164,9 @@ let add_section t ~clock (cfg : Section.config) =
          cfg.Section.sec_id cfg.Section.size t.section_bytes t.budget)
   else begin
     let section = Section.create t.net t.cluster cfg in
+    (match t.attribution with
+    | Some a -> Section.set_attribution section a
+    | None -> ());
     Hashtbl.replace t.sections cfg.Section.sec_id section;
     t.section_bytes <- t.section_bytes + cfg.Section.size;
     Swap_section.resize t.swap ~capacity:(swap_capacity t) ~clock;
@@ -173,7 +189,8 @@ let end_section t ~clock ~id =
     let done_at =
       Mira_sim.Net.fence ~dir:Mira_sim.Net.Request.Write t.net ~now
     in
-    ignore (Mira_sim.Clock.wait_until clock done_at);
+    let stall = Mira_sim.Clock.wait_until clock done_at in
+    charge t Mira_telemetry.Attribution.Reconfig stall;
     t.section_bytes <- t.section_bytes - (Section.config section).Section.size;
     Hashtbl.remove t.sections id;
     let orphans =

@@ -26,6 +26,11 @@ val cluster : t -> Mira_sim.Cluster.t
 val far : t -> Mira_sim.Far_store.t
 (** The cluster's current primary store (changes on failover). *)
 
+val set_attribution : t -> Mira_telemetry.Attribution.t -> unit
+(** Route all cache-layer stalls into the given ledger: the swap
+    section, every live section, every section created later, plus the
+    manager's own failover-recovery and reconfiguration fence waits. *)
+
 val check_cluster : t -> clock:Mira_sim.Clock.t -> unit
 (** Process cluster crash/recovery events due by now.  On failover:
     fail in-flight requests ([Net.fail_inflight], the epoch fence),

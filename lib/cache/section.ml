@@ -78,6 +78,7 @@ type t = {
   mutable evict_hints : int list;  (* slots hinted evictable, full-assoc *)
   mutable used : int;
   stats : stats;
+  mutable attribution : Mira_telemetry.Attribution.t option;
 }
 
 let create net far cfg =
@@ -114,10 +115,27 @@ let create net far cfg =
     evict_hints = [];
     used = 0;
     stats = fresh_stats ();
+    attribution = None;
   }
 
 let config t = t.cfg
 let stats t = t.stats
+let set_attribution t a = t.attribution <- Some a
+
+let charge_stall t cause stall =
+  match t.attribution with
+  | None -> ()
+  | Some a ->
+    Mira_telemetry.Attribution.charge a ~section:t.cfg.sec_name cause stall
+
+let charge_split t (c : Mira_sim.Net.completion) stall =
+  match t.attribution with
+  | None -> ()
+  | Some a ->
+    Mira_telemetry.Attribution.charge_parts a ~section:t.cfg.sec_name
+      (Mira_telemetry.Attribution.split_stall ~stall
+         ~wire_ns:c.Mira_sim.Net.wire_ns ~queue_ns:c.Mira_sim.Net.queue_ns
+         ~retry_ns:c.Mira_sim.Net.retry_ns)
 
 let reset_stats t =
   let d = t.stats in
@@ -217,7 +235,8 @@ let post_writeback t ~clock ~sync =
     let sq = Mira_sim.Net.submit t.net ~now ~urgent:true req in
     Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
     let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
-    ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at)
+    let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
+    charge_stall t Mira_telemetry.Attribution.Writeback stall
   end
   else begin
     let sq = Mira_sim.Net.submit t.net ~now ~detached:true req in
@@ -362,7 +381,9 @@ let wait_ready t ~clock line =
   let stall = Mira_sim.Clock.wait_until clock line.ready_at in
   if stall > 0.0 then begin
     t.stats.late_prefetch <- t.stats.late_prefetch + 1;
-    t.stats.stall_ns <- t.stats.stall_ns +. stall
+    t.stats.stall_ns <- t.stats.stall_ns +. stall;
+    (* A late prefetch is still waiting on the wire. *)
+    charge_stall t Mira_telemetry.Attribution.Demand_wire stall
   end
 
 (* Ensure the line covering [addr] is resident; returns its slot.
@@ -406,7 +427,8 @@ let ensure t ~clock ~addr ~for_write =
         Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
         let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
         let slot = install t ~clock ~tag ~ready_at:c.Mira_sim.Net.done_at in
-        ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at);
+        let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
+        charge_split t c stall;
         t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
         slot
       end

@@ -61,6 +61,11 @@ val reset_stats : t -> unit
 val publish : t -> Mira_telemetry.Metrics.t -> unit
 (** Export this section's statistics under [section.<name>.*]. *)
 
+val set_attribution : t -> Mira_telemetry.Attribution.t -> unit
+(** Route this section's stalls (demand misses, late prefetches,
+    synchronous writeback backpressure) into the given ledger, tagged
+    with the section name.  Off (no charges) until set. *)
+
 val lines_total : t -> int
 val lines_used : t -> int
 

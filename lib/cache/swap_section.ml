@@ -49,6 +49,7 @@ type t = {
   mutable extra_fault_ns : float;
   mutable hint_count : int;  (* pages currently marked evict-first *)
   stats : stats;
+  mutable attribution : Mira_telemetry.Attribution.t option;
 }
 
 let frame_make page = { pno = -1; dirty = false; ready_at = 0.0; refbit = false;
@@ -70,9 +71,25 @@ let create net far cfg =
     extra_fault_ns = 0.0;
     hint_count = 0;
     stats = fresh_stats ();
+    attribution = None;
   }
 
 let stats t = t.stats
+let set_attribution t a = t.attribution <- Some a
+
+let charge_stall t cause stall =
+  match t.attribution with
+  | None -> ()
+  | Some a -> Mira_telemetry.Attribution.charge a ~section:"swap" cause stall
+
+let charge_split t (c : Mira_sim.Net.completion) stall =
+  match t.attribution with
+  | None -> ()
+  | Some a ->
+    Mira_telemetry.Attribution.charge_parts a ~section:"swap"
+      (Mira_telemetry.Attribution.split_stall ~stall
+         ~wire_ns:c.Mira_sim.Net.wire_ns ~queue_ns:c.Mira_sim.Net.queue_ns
+         ~retry_ns:c.Mira_sim.Net.retry_ns)
 
 let reset_stats t =
   let d = t.stats in
@@ -126,7 +143,8 @@ let writeback t ~clock frame ~sync =
       let x = Mira_sim.Net.submit t.net ~now ~urgent:true req in
       Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
       let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
-      ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at)
+      let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
+      charge_stall t Mira_telemetry.Attribution.Writeback stall
     end
     else begin
       let x = Mira_sim.Net.submit t.net ~now ~detached:true req in
@@ -265,7 +283,8 @@ let fault t ~clock ~pno =
   Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
   let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
   let idx = install t ~clock ~pno ~ready_at:c.Mira_sim.Net.done_at in
-  ignore (Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at);
+  let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
+  charge_split t c stall;
   t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
   (* Readahead decided while the demand page is in flight; the cluster
      rides one coalesced doorbell when batching is enabled. *)
@@ -297,7 +316,9 @@ let ensure t ~clock ~pno =
     let stall = Mira_sim.Clock.wait_until clock frame.ready_at in
     if stall > 0.0 then begin
       t.stats.late_readahead <- t.stats.late_readahead + 1;
-      t.stats.stall_ns <- t.stats.stall_ns +. stall
+      t.stats.stall_ns <- t.stats.stall_ns +. stall;
+      (* Late readahead: still waiting on the wire. *)
+      charge_stall t Mira_telemetry.Attribution.Demand_wire stall
     end;
     frame.refbit <- true;
     if frame.evict_first then begin

@@ -43,6 +43,10 @@ val config : t -> config
 val publish : t -> Mira_telemetry.Metrics.t -> unit
 (** Export the swap section's statistics under [swap.*]. *)
 
+val set_attribution : t -> Mira_telemetry.Attribution.t -> unit
+(** Route fault, late-readahead, and synchronous-writeback stalls into
+    the given ledger under section ["swap"].  Off until set. *)
+
 val set_readahead : t -> (int -> int list) -> unit
 (** Install a readahead policy: fault page -> pages to prefetch. *)
 

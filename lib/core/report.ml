@@ -126,6 +126,15 @@ let runtime_metrics rt =
   Runtime.publish rt reg;
   reg
 
+module Attribution = Mira_telemetry.Attribution
+
+let attribution_json rt =
+  let attr = Runtime.attribution rt in
+  (match Attribution.check attr with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Report.attribution_json: " ^ msg));
+  Attribution.to_json attr
+
 let runtime_stats_json rt = Metrics.to_json (runtime_metrics rt)
 
 let runtime_stats rt =
@@ -165,6 +174,24 @@ let runtime_stats rt =
        (net.Mira_sim.Net.bytes_prefetch / 1024)
        (net.Mira_sim.Net.bytes_writeback / 1024)
        (net.Mira_sim.Net.bytes_rpc / 1024));
+  let attr = Runtime.attribution rt in
+  let total = Attribution.total_ns attr in
+  if total > 0.0 then begin
+    (match Attribution.check attr with
+    | Ok () -> ()
+    | Error msg ->
+      Buffer.add_string buf (Printf.sprintf "stall    LEDGER AUDIT FAILED: %s\n" msg));
+    Buffer.add_string buf
+      (Printf.sprintf "stall    total=%.2fms (clock stall %.2fms)\n" (total /. 1e6)
+         (Runtime.clock_stall_ns rt /. 1e6));
+    List.iter
+      (fun (cause, ns) ->
+        if ns > 0.0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-17s %10.2fms  %5.1f%%\n"
+               (Attribution.cause_name cause) (ns /. 1e6) (100.0 *. ns /. total)))
+      (Attribution.by_cause attr)
+  end;
   let cl = Mira_sim.Cluster.stats (Runtime.cluster rt) in
   if
     cl.Mira_sim.Cluster.crashes > 0

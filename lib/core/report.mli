@@ -24,3 +24,11 @@ val runtime_metrics : Mira_runtime.Runtime.t -> Mira_telemetry.Metrics.t
 val runtime_stats_json : Mira_runtime.Runtime.t -> Mira_telemetry.Json.t
 (** [runtime_metrics] rendered as one JSON object keyed by metric name
     (including [net.fetch_latency] percentiles). *)
+
+val attribution_json : Mira_runtime.Runtime.t -> Mira_telemetry.Json.t
+(** The stall-attribution ledger ([Mira_runtime.Runtime.attribution])
+    rendered as JSON: total, per-cause, per-section, per-site and
+    per-function breakdowns.  Audits the ledger first and raises
+    [Invalid_argument] if the double-entry check fails (a publisher
+    charged a cell without the running total — a bug, never expected
+    in a release build). *)

@@ -275,6 +275,8 @@ and do_call t ~tid callee argv =
       else begin
         (* §4.8: flush accessed sites, ship arguments, execute on the far
            node, ship the result back, invalidate stale cached lines. *)
+        let attr = t.ms.Memsys.attribution in
+        Mira_telemetry.Attribution.set_context attr ~fn:callee ~site:(-1);
         t.ms.Memsys.flush_sites ~tid ~sites:f.Ir.f_offload_sites;
         let clock = t.ms.Memsys.clock ~tid in
         let args_bytes = 8 * List.length argv in
@@ -282,7 +284,16 @@ and do_call t ~tid callee argv =
           Sim.Rpc.issue t.ms.Memsys.net ~now:(Sim.Clock.now clock) ~args_bytes
         in
         Sim.Clock.advance clock p.Sim.Params.msg_cpu_ns;
-        ignore (Sim.Clock.wait_until clock call_cost.Sim.Rpc.send_done_at);
+        let stall = Sim.Clock.wait_until clock call_cost.Sim.Rpc.send_done_at in
+        (* The issue wait covers the pre-RPC write fence first, then the
+           argument ship on the wire. *)
+        let fence_part =
+          Float.min stall (Float.max 0.0 call_cost.Sim.Rpc.fence_wait_ns)
+        in
+        Mira_telemetry.Attribution.charge attr Mira_telemetry.Attribution.Fence
+          fence_part;
+        Mira_telemetry.Attribution.charge attr
+          Mira_telemetry.Attribution.Demand_wire (stall -. fence_part);
         t.ms.Memsys.offload_begin ~tid;
         let v = run_body () in
         t.ms.Memsys.offload_end ~tid;
@@ -290,7 +301,10 @@ and do_call t ~tid callee argv =
           Sim.Rpc.complete t.ms.Memsys.net ~body_done_at:(Sim.Clock.now clock)
             ~ret_bytes:8
         in
-        ignore (Sim.Clock.wait_until clock done_at);
+        Mira_telemetry.Attribution.set_context attr ~fn:callee ~site:(-1);
+        Mira_telemetry.Attribution.charge attr
+          Mira_telemetry.Attribution.Demand_wire
+          (Sim.Clock.wait_until clock done_at);
         t.ms.Memsys.discard_sites ~tid ~sites:f.Ir.f_offload_sites;
         v
       end

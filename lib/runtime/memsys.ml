@@ -22,6 +22,7 @@ type t = {
   set_nthreads : int -> unit;
   profile : Profile.t;
   net : Mira_sim.Net.t;
+  attribution : Mira_telemetry.Attribution.t;
   metadata_bytes : unit -> int;
   reset_timing : unit -> unit;
   elapsed : unit -> float;

@@ -45,6 +45,11 @@ type t = {
           runtimes model lock contention and split per-thread sections). *)
   profile : Profile.t;
   net : Mira_sim.Net.t;
+  attribution : Mira_telemetry.Attribution.t;
+      (** The stall-attribution ledger for this memory system; the
+          interpreter charges offload RPC waits into it, the runtime
+          everything else.  Baselines carry their own (mostly idle)
+          ledger. *)
   metadata_bytes : unit -> int;
   reset_timing : unit -> unit;
       (** Zero clocks, network and cache statistics — keep data (used to

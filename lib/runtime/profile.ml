@@ -19,6 +19,7 @@ type t = {
   sites : (int, site_stat) Hashtbl.t;
   touched : (string * int, unit) Hashtbl.t;  (* (function, site) pairs *)
   stacks : (int, frame list ref) Hashtbl.t;  (* per-thread call stacks *)
+  mutable strict : bool;  (* raise on mismatched enter/exit *)
 }
 
 let create () =
@@ -27,7 +28,10 @@ let create () =
     sites = Hashtbl.create 32;
     touched = Hashtbl.create 64;
     stacks = Hashtbl.create 8;
+    strict = false;
   }
+
+let set_strict t on = t.strict <- on
 
 let fn_stat t name =
   match Hashtbl.find_opt t.funcs name with
@@ -58,21 +62,40 @@ let enter t ~tid ~now name =
   st := { fr_name = name; fr_enter = now } :: !st;
   (fn_stat t name).calls <- (fn_stat t name).calls + 1
 
+exception Mismatched_exit of { name : string; tid : int; stack : string list }
+
 let exit_ t ~tid ~now name =
   let st = stack t tid in
-  (* Pop defensively until the matching frame (tolerates an exit without
-     a matching enter, which instrumentation never produces). *)
-  let rec pop = function
-    | [] -> []
-    | frame :: rest ->
-      if String.equal frame.fr_name name then begin
-        let s = fn_stat t name in
-        s.total_ns <- s.total_ns +. (now -. frame.fr_enter);
-        rest
-      end
-      else pop rest
+  let on_stack = List.exists (fun fr -> String.equal fr.fr_name name) !st in
+  let mismatched =
+    match !st with
+    | top :: _ when String.equal top.fr_name name -> false
+    | _ -> true
   in
-  st := pop !st
+  if t.strict && mismatched then
+    raise
+      (Mismatched_exit
+         { name; tid; stack = List.map (fun fr -> fr.fr_name) !st });
+  if not on_stack then
+    (* An exit with no matching enter: drop it rather than unwinding
+       unrelated frames. *)
+    ()
+  else begin
+    (* Pop to the matching frame, closing (and charging) every skipped
+       frame as if it exited now — an unmatched inner enter must not
+       leak open frames that would misattribute all later time. *)
+    let rec pop = function
+      | [] -> []
+      | frame :: rest ->
+        let s = fn_stat t frame.fr_name in
+        s.total_ns <- s.total_ns +. (now -. frame.fr_enter);
+        if String.equal frame.fr_name name then rest else pop rest
+    in
+    st := pop !st
+  end
+
+let current t ~tid =
+  match !(stack t tid) with [] -> None | fr :: _ -> Some fr.fr_name
 
 let iter_stack t tid fn = List.iter (fun fr -> fn fr.fr_name) !(stack t tid)
 

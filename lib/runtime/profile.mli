@@ -26,8 +26,24 @@ type t
 
 val create : unit -> t
 
+exception Mismatched_exit of { name : string; tid : int; stack : string list }
+
+val set_strict : t -> bool -> unit
+(** In strict mode (tests), [exit_] for a function that is not the top
+    of [tid]'s stack raises [Mismatched_exit].  Off by default: runs
+    recover gracefully instead (see [exit_]). *)
+
 val enter : t -> tid:int -> now:float -> string -> unit
+
 val exit_ : t -> tid:int -> now:float -> string -> unit
+(** Pop [name]'s frame and charge its inclusive time.  On a mismatched
+    exit (non-strict mode): if [name] is on the stack but not on top,
+    intermediate frames are closed and charged as if they exited now;
+    if [name] is not on the stack at all, the exit is dropped and the
+    stack is left untouched. *)
+
+val current : t -> tid:int -> string option
+(** The innermost open frame on [tid]'s stack, if any. *)
 
 val add_runtime : t -> tid:int -> ns:float -> unit
 (** Attribute runtime-overhead time to every function on [tid]'s stack. *)

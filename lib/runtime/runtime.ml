@@ -58,6 +58,7 @@ type t = {
   private_sections : (int, int array) Hashtbl.t;  (* site -> per-tid sec ids *)
   lost_bytes : (int, int) Hashtbl.t;  (* site -> far bytes lost to crashes *)
   profile : Profile.t;
+  attribution : Mira_telemetry.Attribution.t;
   mutable nthreads : int;
 }
 
@@ -83,6 +84,8 @@ let create cfg =
   if cfg.swap_readahead > 1 then
     Cache.Swap_section.set_readahead (Cache.Manager.swap manager) (fun pno ->
         List.init (cfg.swap_readahead - 1) (fun i -> pno + i + 1));
+  let attribution = Mira_telemetry.Attribution.create () in
+  Cache.Manager.set_attribution manager attribution;
   {
     cfg;
     net;
@@ -98,11 +101,13 @@ let create cfg =
     private_sections = Hashtbl.create 8;
     lost_bytes = Hashtbl.create 8;
     profile = Profile.create ();
+    attribution;
     nthreads = 1;
   }
 
 let manager t = t.manager
 let net t = t.net
+let attribution t = t.attribution
 let cluster t = t.cluster
 let far_store t = Sim.Cluster.primary t.cluster
 let profile t = t.profile
@@ -158,6 +163,16 @@ let ranges_ref t site =
 let site_ranges t ~site = !(ranges_ref t site)
 let live_far_bytes t = Sim.Remote_alloc.live_bytes t.remote_space
 
+(* Key subsequent ledger charges under the innermost profiled function
+   and the site being accessed; set before any code that may stall
+   (including cluster failover handling, so a crash surfacing during an
+   access is attributed to the access that observed it). *)
+let set_attr_context t ~tid ~site =
+  let fn =
+    Option.value ~default:"(runtime)" (Profile.current t.profile ~tid)
+  in
+  Mira_telemetry.Attribution.set_context t.attribution ~fn ~site
+
 (* --- allocation --------------------------------------------------------- *)
 
 let alloc t ~tid ~site ~bytes ~heap =
@@ -177,7 +192,12 @@ let alloc t ~tid ~site ~bytes ~heap =
       in
       Sim.Clock.advance c sqe.Sim.Net.issue_cpu_ns;
       let comp = Sim.Net.await t.net ~now ~id:sqe.Sim.Net.id in
-      ignore (Sim.Clock.wait_until c comp.Sim.Net.done_at)
+      let stall = Sim.Clock.wait_until c comp.Sim.Net.done_at in
+      set_attr_context t ~tid ~site;
+      Mira_telemetry.Attribution.charge_parts t.attribution
+        (Mira_telemetry.Attribution.split_stall ~stall
+           ~wire_ns:comp.Sim.Net.wire_ns ~queue_ns:comp.Sim.Net.queue_ns
+           ~retry_ns:comp.Sim.Net.retry_ns)
     end;
     let r = ranges_ref t site in
     r := (addr, bytes) :: !r;
@@ -295,6 +315,7 @@ let load t ~tid ~(ptr : Memsys.ptr) ~len ~native =
   | Memsys.Far ->
     if offloaded t tid then offload_load t ~clock:c ~addr:ptr.Memsys.addr ~len
     else begin
+      set_attr_context t ~tid ~site:ptr.Memsys.site;
       sync_cluster t ~clock:c;
       Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
       let before = Sim.Clock.now c in
@@ -318,6 +339,7 @@ let store t ~tid ~(ptr : Memsys.ptr) ~len ~native ~value =
   | Memsys.Far ->
     if offloaded t tid then offload_store t ~clock:c ~addr:ptr.Memsys.addr ~len value
     else begin
+      set_attr_context t ~tid ~site:ptr.Memsys.site;
       sync_cluster t ~clock:c;
       Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
       let before = Sim.Clock.now c in
@@ -392,10 +414,18 @@ let reset_timing t =
   Sim.Net.reset_stats t.net;
   Sim.Net.reset_link t.net;
   Cache.Manager.reset_stats t.manager;
-  Profile.reset t.profile
+  Profile.reset t.profile;
+  Mira_telemetry.Attribution.reset t.attribution
 
 let elapsed t =
   Hashtbl.fold (fun _ c acc -> Float.max acc (Sim.Clock.now c)) t.clocks 0.0
+
+(* The audit-side stall total: what the thread clocks actually spent in
+   [wait_until].  The attribution ledger's total can only be <= this
+   (application-level synchronization — parallel-region joins — also
+   stalls clocks but is not far-memory time). *)
+let clock_stall_ns t =
+  Hashtbl.fold (fun _ c acc -> acc +. Sim.Clock.stalled_ns c) t.clocks 0.0
 
 (* Pull-model telemetry: flatten the whole runtime's statistics —
    network, swap, every live section, allocator and profiler gauges —
@@ -424,7 +454,12 @@ let publish t reg =
       Mira_telemetry.Metrics.set_counter reg
         (Printf.sprintf "runtime.lost_bytes.site%d" site)
         n)
-    (lost_bytes_by_site t)
+    (lost_bytes_by_site t);
+  Mira_telemetry.Metrics.set_gauge reg "runtime.stall_ns"
+    (Mira_telemetry.Attribution.total_ns t.attribution);
+  Mira_telemetry.Metrics.set_gauge reg "runtime.clock_stall_ns"
+    (clock_stall_ns t);
+  Mira_telemetry.Attribution.publish t.attribution reg
 
 let memsys t =
   {
@@ -454,6 +489,7 @@ let memsys t =
     set_nthreads = (fun n -> t.nthreads <- max 1 n);
     profile = t.profile;
     net = t.net;
+    attribution = t.attribution;
     metadata_bytes = (fun () -> Cache.Manager.metadata_bytes t.manager);
     reset_timing = (fun () -> reset_timing t);
     elapsed = (fun () -> elapsed t);

@@ -69,6 +69,17 @@ val far_store : t -> Mira_sim.Far_store.t
 val profile : t -> Profile.t
 val params : t -> Mira_sim.Params.t
 
+val attribution : t -> Mira_telemetry.Attribution.t
+(** The runtime's stall-attribution ledger.  Wired into every stall
+    site at [create] time (sections, swap, manager fences, alloc RPCs,
+    offload RPC waits via [Memsys.attribution]); [reset_timing] clears
+    it alongside the other statistics. *)
+
+val clock_stall_ns : t -> float
+(** Sum of [Mira_sim.Clock.stalled_ns] over all thread clocks — the
+    audit-side total the ledger is checked against.  Published as
+    [runtime.clock_stall_ns]; the ledger total is [runtime.stall_ns]. *)
+
 val memsys : t -> Memsys.t
 (** The interface the interpreter executes against. *)
 
@@ -95,4 +106,6 @@ val publish : t -> Mira_telemetry.Metrics.t -> unit
     histograms, per-section and swap cache stats, allocator gauges,
     cluster failure counters — into a metrics registry ([net.*],
     [section.*], [swap.*], [cache.*], [node.*], [replication.*],
-    [runtime.*], incl. [runtime.lost_bytes] and [runtime.degraded]). *)
+    [runtime.*], incl. [runtime.lost_bytes] and [runtime.degraded]),
+    plus the stall ledger ([runtime.stall_ns],
+    [runtime.clock_stall_ns], per-cause [stall.<cause>_ns]). *)

@@ -1,6 +1,6 @@
-type t = { mutable now : float }
+type t = { mutable now : float; mutable stalled : float }
 
-let create () = { now = 0.0 }
+let create () = { now = 0.0; stalled = 0.0 }
 let now t = t.now
 
 let advance t dt =
@@ -11,8 +11,13 @@ let wait_until t deadline =
   if deadline > t.now then begin
     let stall = deadline -. t.now in
     t.now <- deadline;
+    t.stalled <- t.stalled +. stall;
     stall
   end
   else 0.0
 
-let reset t = t.now <- 0.0
+let stalled_ns t = t.stalled
+
+let reset t =
+  t.now <- 0.0;
+  t.stalled <- 0.0

@@ -18,5 +18,11 @@ val wait_until : t -> float -> float
 (** [wait_until t deadline] advances to [deadline] if it is in the
     future and returns the stall time (0 if the deadline has passed). *)
 
+val stalled_ns : t -> float
+(** Total time this clock has spent in [wait_until] stalls since
+    creation or the last [reset] — the audit-side total the stall
+    attribution ledger is checked against. *)
+
 val reset : t -> unit
-(** Set time back to 0 (between independent runs). *)
+(** Set time back to 0 and clear the stall accumulator (between
+    independent runs). *)

@@ -111,6 +111,9 @@ type completion = {
   attempts : int;
   status : status;
   coalesced : bool;
+  wire_ns : float;  (* successful attempt's wire + propagation time *)
+  queue_ns : float;  (* batching + window gating + link queueing *)
+  retry_ns : float;  (* loss-detection timeouts + retransmit backoff *)
 }
 
 type sqe = { id : int; issue_cpu_ns : float }
@@ -301,7 +304,10 @@ let wire_attempt t ~start ~bytes ~side ~purpose ~inbound =
 
 (* Run the (possibly retried) attempt sequence for one posted message.
    Returns (first wire start, final done_at/detect time, attempts,
-   status). *)
+   status, wire_ns, retry_ns): [wire_ns] is the successful attempt's
+   start-to-done span (0 on timeout), [retry_ns] the accumulated
+   loss-detection windows and retransmission backoffs of failed
+   attempts — the pieces the attribution ledger charges per cause. *)
 let run_attempts t ~id ~posted_at ~bytes ~side ~purpose ~inbound ~deadline =
   let s = t.stats in
   match t.dp.fault with
@@ -310,10 +316,10 @@ let run_attempts t ~id ~posted_at ~bytes ~side ~purpose ~inbound ~deadline =
       wire_attempt t ~start:posted_at ~bytes ~side ~purpose ~inbound
     in
     Metrics.hist_observe s.lat_attempt (done_at -. posted_at);
-    (start, done_at, 1, Done)
+    (start, done_at, 1, Done, done_at -. start, 0.0)
   | Some f ->
     let timeout = match deadline with Some d -> d | None -> f.Fault.timeout_ns in
-    let rec go ~issue_at ~attempt ~first_start =
+    let rec go ~issue_at ~attempt ~first_start ~retry_ns =
       let start, done_at =
         wire_attempt t ~start:issue_at ~bytes ~side ~purpose ~inbound
       in
@@ -331,14 +337,15 @@ let run_attempts t ~id ~posted_at ~bytes ~side ~purpose ~inbound ~deadline =
         in
         let done_at = done_at +. delay in
         Metrics.hist_observe s.lat_attempt (done_at -. issue_at);
-        (Option.get first_start, done_at, attempt, Done)
+        (Option.get first_start, done_at, attempt, Done, done_at -. start, retry_ns)
       end
       else begin
         Metrics.hist_observe s.lat_attempt timeout;
         let detect = issue_at +. timeout in
         if attempt > f.Fault.max_retries then begin
           s.timeouts <- s.timeouts + 1;
-          (Option.get first_start, detect, attempt, Timed_out)
+          (Option.get first_start, detect, attempt, Timed_out, 0.0,
+           retry_ns +. timeout)
         end
         else begin
           s.retries <- s.retries + 1;
@@ -346,10 +353,11 @@ let run_attempts t ~id ~posted_at ~bytes ~side ~purpose ~inbound ~deadline =
             f.Fault.backoff_ns *. (2.0 ** float_of_int (attempt - 1))
           in
           go ~issue_at:(detect +. backoff) ~attempt:(attempt + 1) ~first_start
+            ~retry_ns:(retry_ns +. timeout +. backoff)
         end
       end
     in
-    go ~issue_at:posted_at ~attempt:1 ~first_start:None
+    go ~issue_at:posted_at ~attempt:1 ~first_start:None ~retry_ns:0.0
 
 (* The loss-detection latency for a message sent into a dead node: the
    requester's timer when faults are configured, one round trip
@@ -389,14 +397,18 @@ let post t ~now members =
     List.iter
       (fun (id, req, submitted_at, detached) ->
         if not detached then
+          (* Outage: no wire time; the loss-detection timer is charged
+             as retry, time buffered before the post as queueing. *)
           t.cq <-
             { id; req; submitted_at; posted_at = now; done_at; attempts = 1;
-              status = Node_down; coalesced = n > 1 }
+              status = Node_down; coalesced = n > 1;
+              wire_ns = 0.0; retry_ns = detect_ns t;
+              queue_ns = Float.max 0.0 (issue_at -. submitted_at) }
             :: t.cq)
       members
   end
   else begin
-  let start, done_at, attempts, status =
+  let start, done_at, attempts, status, wire_ns, retry_ns =
     run_attempts t ~id:id0 ~posted_at:issue_at ~bytes ~side:r0.Request.side
       ~purpose:r0.Request.purpose ~inbound ~deadline:r0.Request.deadline_ns
   in
@@ -436,6 +448,10 @@ let post t ~now members =
   List.iter
     (fun (id, req, submitted_at, detached) ->
       if not detached then
+        (* Telescoping: done_at - submitted_at = queueing (doorbell
+           batching + window gating + link backlog) + retry windows +
+           the successful attempt's wire span, so the queueing residual
+           is exact per member. *)
         t.cq <-
           {
             id;
@@ -446,6 +462,10 @@ let post t ~now members =
             attempts;
             status;
             coalesced = n > 1;
+            wire_ns;
+            retry_ns;
+            queue_ns =
+              Float.max 0.0 (done_at -. submitted_at -. wire_ns -. retry_ns);
           }
           :: t.cq)
     members

@@ -125,6 +125,17 @@ type completion = {
   attempts : int;  (** 1 + retries actually performed *)
   status : status;
   coalesced : bool;  (** rode a shared doorbell with other requests *)
+  wire_ns : float;
+      (** the successful attempt's start-to-done span (wire occupancy +
+          propagation + any fault-injected delay); [0] on failure *)
+  queue_ns : float;
+      (** time queued before the successful attempt: doorbell
+          batching, in-flight window gating, and link backlog *)
+  retry_ns : float;
+      (** loss-detection timeouts plus retransmission backoff of
+          failed attempts.  The three parts telescope exactly:
+          [wire_ns + queue_ns + retry_ns = done_at - submitted_at]
+          (for [Node_down], [retry_ns] is the detection timer). *)
 }
 
 type sqe = {

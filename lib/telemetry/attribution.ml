@@ -1,0 +1,276 @@
+(* Cross-layer stall attribution: every simulated nanosecond a thread
+   spends stalled on far memory is charged to exactly one cause bucket
+   and to the (function, alloc site, section) it happened under.
+
+   Conservation is the design center.  Floating-point addition is not
+   associative, so deriving "total" and "per-bucket" sums from floats
+   in different fold orders would leave ulp-sized unattributed
+   remainders.  The ledger therefore stores fixed-point integers
+   (2^-16 ns units, ~15 fs resolution, 2^47 ns ≈ 39 simulated hours of
+   headroom): integer addition is associative, so the per-cause totals,
+   the per-key cells, and the online grand total agree bit-exactly no
+   matter the iteration order.  [check] is a double-entry audit — every
+   charge adds to one cell and to the running total, and a dropped or
+   duplicated cell update (a context-key aliasing bug, a reset bug)
+   shows up as a non-zero remainder. *)
+
+type cause =
+  | Demand_wire
+  | Queueing
+  | Retry
+  | Fence
+  | Writeback
+  | Failover_recovery
+  | Reconfig
+
+let causes =
+  [ Demand_wire; Queueing; Retry; Fence; Writeback; Failover_recovery; Reconfig ]
+
+let cause_name = function
+  | Demand_wire -> "demand_wire"
+  | Queueing -> "queueing"
+  | Retry -> "retry"
+  | Fence -> "fence"
+  | Writeback -> "writeback"
+  | Failover_recovery -> "failover_recovery"
+  | Reconfig -> "reconfig"
+
+let cause_index = function
+  | Demand_wire -> 0
+  | Queueing -> 1
+  | Retry -> 2
+  | Fence -> 3
+  | Writeback -> 4
+  | Failover_recovery -> 5
+  | Reconfig -> 6
+
+let ncauses = 7
+let cause_of_index i = List.nth causes i
+
+(* 2^16 fixed-point units per nanosecond. *)
+let fp_scale = 65536.0
+
+let fp_of_ns ns = Int64.of_float (ns *. fp_scale)
+let ns_of_fp fp = Int64.to_float fp /. fp_scale
+
+type key = {
+  k_fn : string;  (* innermost profiled function, "(runtime)" if none *)
+  k_site : int;  (* allocation site, -1 when not site-bound *)
+  k_section : string;  (* cache section name, "-" outside any section *)
+  k_cause : int;
+}
+
+type t = {
+  cells : (key, int64 ref) Hashtbl.t;
+  mutable total : int64;  (* online double-entry mirror of the cells *)
+  mutable enabled : bool;
+  mutable ctx_fn : string;
+  mutable ctx_site : int;
+}
+
+let no_fn = "(runtime)"
+let no_section = "-"
+
+let create () =
+  {
+    cells = Hashtbl.create 64;
+    total = 0L;
+    enabled = true;
+    ctx_fn = no_fn;
+    ctx_site = -1;
+  }
+
+let set_enabled t on = t.enabled <- on
+let enabled t = t.enabled
+
+let set_context t ~fn ~site =
+  t.ctx_fn <- fn;
+  t.ctx_site <- site
+
+let clear_context t =
+  t.ctx_fn <- no_fn;
+  t.ctx_site <- -1
+
+let context t = (t.ctx_fn, t.ctx_site)
+
+let reset t =
+  Hashtbl.reset t.cells;
+  t.total <- 0L;
+  t.ctx_fn <- no_fn;
+  t.ctx_site <- -1
+
+let add_cell t key fp =
+  (match Hashtbl.find_opt t.cells key with
+  | Some cell -> cell := Int64.add !cell fp
+  | None -> Hashtbl.replace t.cells key (ref fp));
+  t.total <- Int64.add t.total fp
+
+let charge t ?(section = no_section) cause ns =
+  if t.enabled && ns > 0.0 then begin
+    let fp = fp_of_ns ns in
+    if fp > 0L then
+      add_cell t
+        { k_fn = t.ctx_fn; k_site = t.ctx_site; k_section = section;
+          k_cause = cause_index cause }
+        fp
+  end
+
+let charge_parts t ?section parts =
+  List.iter (fun (cause, ns) -> charge t ?section cause ns) parts
+
+(* Split a measured stall over the completion's latency components,
+   tail-first: the stall is the final [stall] ns of the request's
+   latency interval, whose tail is the successful attempt's wire time,
+   preceded by retry windows, preceded by queueing.  Residual
+   subtraction keeps the parts summing exactly to [stall]. *)
+let split_stall ~stall ~wire_ns ~queue_ns ~retry_ns =
+  ignore queue_ns;
+  if stall <= 0.0 then []
+  else begin
+    let wire = Float.min stall (Float.max 0.0 wire_ns) in
+    let rem = stall -. wire in
+    let retry = Float.min rem (Float.max 0.0 retry_ns) in
+    let queue = rem -. retry in
+    [ (Demand_wire, wire); (Retry, retry); (Queueing, queue) ]
+  end
+
+(* --- derived views -------------------------------------------------------- *)
+
+let fold t fn acc =
+  (* Deterministic iteration order for reproducible reports. *)
+  let items = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.cells [] in
+  let items = List.sort compare items in
+  List.fold_left (fun acc (k, v) -> fn acc k v) acc items
+
+let total_ns t = ns_of_fp t.total
+
+let cause_totals_fp t =
+  let sums = Array.make ncauses 0L in
+  fold t
+    (fun () k v -> sums.(k.k_cause) <- Int64.add sums.(k.k_cause) v)
+    ();
+  sums
+
+let cause_ns t cause = ns_of_fp (cause_totals_fp t).(cause_index cause)
+
+let by_cause t =
+  let sums = cause_totals_fp t in
+  List.map (fun c -> (c, ns_of_fp sums.(cause_index c))) causes
+
+let check t =
+  let sums = cause_totals_fp t in
+  let cells_total = Array.fold_left Int64.add 0L sums in
+  if Int64.equal cells_total t.total then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "attribution ledger out of balance: cells sum to %.6f ns but %.6f ns \
+          were charged (unattributed remainder %.6f ns)"
+         (ns_of_fp cells_total) (ns_of_fp t.total)
+         (ns_of_fp (Int64.sub t.total cells_total)))
+
+let unattributed_ns t =
+  let sums = cause_totals_fp t in
+  let cells_total = Array.fold_left Int64.add 0L sums in
+  ns_of_fp (Int64.sub t.total cells_total)
+
+let site_label site = if site < 0 then "-" else Printf.sprintf "site%d" site
+
+(* Group cells under an outer label, keeping per-cause fixed-point sums. *)
+let grouped t label_of =
+  let groups : (string, int64 array) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  fold t
+    (fun () k v ->
+      let label = label_of k in
+      let sums =
+        match Hashtbl.find_opt groups label with
+        | Some sums -> sums
+        | None ->
+          let sums = Array.make ncauses 0L in
+          Hashtbl.replace groups label sums;
+          order := label :: !order;
+          sums
+      in
+      sums.(k.k_cause) <- Int64.add sums.(k.k_cause) v)
+    ();
+  List.rev_map (fun label -> (label, Hashtbl.find groups label)) !order
+
+let group_rows t label_of =
+  List.map
+    (fun (label, sums) ->
+      let total = Array.fold_left Int64.add 0L sums in
+      ( label,
+        ns_of_fp total,
+        List.map (fun c -> (c, ns_of_fp sums.(cause_index c))) causes ))
+    (grouped t label_of)
+
+let by_section t = group_rows t (fun k -> k.k_section)
+let by_site t = group_rows t (fun k -> site_label k.k_site)
+let by_function t = group_rows t (fun k -> k.k_fn)
+
+(* --- folded flame stacks -------------------------------------------------- *)
+
+(* One line per [fn;site;cause], count in whole nanoseconds — the
+   format FlameGraph's flamegraph.pl and speedscope both load. *)
+let folded t =
+  let stacks : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  fold t
+    (fun () k v ->
+      let stack =
+        Printf.sprintf "%s;%s;%s" k.k_fn (site_label k.k_site)
+          (cause_name (cause_of_index k.k_cause))
+      in
+      let cur = Option.value ~default:0L (Hashtbl.find_opt stacks stack) in
+      Hashtbl.replace stacks stack (Int64.add cur v))
+    ();
+  let lines =
+    Hashtbl.fold
+      (fun stack fp acc ->
+        let ns = Int64.to_float fp /. fp_scale in
+        (stack, Int64.of_float (Float.round ns)) :: acc)
+      stacks []
+    |> List.filter (fun (_, n) -> n > 0L)
+    |> List.sort compare
+  in
+  String.concat ""
+    (List.map (fun (stack, n) -> Printf.sprintf "%s %Ld\n" stack n) lines)
+
+(* --- export --------------------------------------------------------------- *)
+
+let causes_json sums_row =
+  Json.Obj
+    (List.map (fun (c, ns) -> (cause_name c, Json.Float ns)) sums_row)
+
+let rows_json rows =
+  Json.Obj
+    (List.map
+       (fun (label, total, row) ->
+         ( label,
+           Json.Obj
+             (("total_ns", Json.Float total)
+             :: List.filter_map
+                  (fun (c, ns) ->
+                    if ns > 0.0 then Some (cause_name c, Json.Float ns)
+                    else None)
+                  row) ))
+       rows)
+
+let to_json t =
+  let conserved = match check t with Ok () -> true | Error _ -> false in
+  Json.Obj
+    [
+      ("total_ns", Json.Float (total_ns t));
+      ("unattributed_ns", Json.Float (unattributed_ns t));
+      ("conserved", Json.Bool conserved);
+      ("by_cause", causes_json (by_cause t));
+      ("by_section", rows_json (by_section t));
+      ("by_site", rows_json (by_site t));
+      ("by_function", rows_json (by_function t));
+    ]
+
+let publish t reg =
+  List.iter
+    (fun (c, ns) ->
+      Metrics.set_gauge reg (Printf.sprintf "stall.%s_ns" (cause_name c)) ns)
+    (by_cause t)

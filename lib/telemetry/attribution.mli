@@ -1,0 +1,93 @@
+(** Cross-layer stall attribution.
+
+    A ledger charging every simulated nanosecond of runtime stall to
+    exactly one cause bucket and a [(function, alloc site, section)]
+    key.  Cells are stored fixed-point (2^-16 ns units) so the
+    conservation invariant — the per-cause totals sum to exactly what
+    was charged — holds bit-exactly regardless of aggregation order.
+    [check] performs the double-entry audit and is asserted by tests
+    and at report time. *)
+
+type cause =
+  | Demand_wire  (** wire + propagation time of the successful transfer *)
+  | Queueing  (** link/doorbell/window queueing ahead of the transfer *)
+  | Retry  (** loss-detection timeouts and retransmission backoff *)
+  | Fence  (** ordering fences (e.g. write fence before an offload RPC) *)
+  | Writeback  (** synchronous writeback backpressure *)
+  | Failover_recovery  (** node-failure detection and failover recovery *)
+  | Reconfig  (** reconfiguration barriers between program sections *)
+
+type t
+
+val causes : cause list
+(** All causes, in canonical (index) order. *)
+
+val cause_name : cause -> string
+(** Stable snake_case name, as used in metric names and flame stacks. *)
+
+val create : unit -> t
+(** A fresh, enabled ledger with empty context. *)
+
+val set_enabled : t -> bool -> unit
+(** When disabled, [charge] is a no-op; flipping this never touches
+    simulated state. *)
+
+val enabled : t -> bool
+
+val set_context : t -> fn:string -> site:int -> unit
+(** Set the attribution context subsequent charges are keyed under:
+    the innermost profiled function and the allocation site being
+    accessed ([site = -1] when not site-bound). *)
+
+val clear_context : t -> unit
+val context : t -> string * int
+
+val charge : t -> ?section:string -> cause -> float -> unit
+(** [charge t ~section cause ns] adds [ns] (simulated nanoseconds;
+    non-positive amounts are ignored) under the current context.
+    [section] defaults to ["-"]. *)
+
+val charge_parts : t -> ?section:string -> (cause * float) list -> unit
+
+val split_stall :
+  stall:float ->
+  wire_ns:float ->
+  queue_ns:float ->
+  retry_ns:float ->
+  (cause * float) list
+(** Split a measured await-site stall (which may be shorter than the
+    request's full latency, because the CPU overlapped part of it)
+    across [Demand_wire]/[Retry]/[Queueing] tail-first.  The returned
+    parts sum exactly to [stall]. *)
+
+val total_ns : t -> float
+(** Everything charged since the last [reset], in ns. *)
+
+val cause_ns : t -> cause -> float
+val by_cause : t -> (cause * float) list
+
+val by_section : t -> (string * float * (cause * float) list) list
+(** Per-section rows: [(section, total_ns, per-cause breakdown)], in
+    deterministic order.  Likewise [by_site] ([site<N>] labels) and
+    [by_function]. *)
+
+val by_site : t -> (string * float * (cause * float) list) list
+val by_function : t -> (string * float * (cause * float) list) list
+
+val check : t -> (unit, string) result
+(** Double-entry audit: the sum over all cells must equal the online
+    total accumulated by [charge]. *)
+
+val unattributed_ns : t -> float
+(** The audit remainder; exactly [0.] when [check] passes. *)
+
+val folded : t -> string
+(** Folded flame stacks: one line per [fn;site;cause count_ns], counts
+    in whole nanoseconds, loadable by FlameGraph / speedscope. *)
+
+val to_json : t -> Json.t
+val publish : t -> Metrics.t -> unit
+(** Publish per-cause gauges [stall.<cause>_ns]. *)
+
+val reset : t -> unit
+(** Clear all cells, the total, and the context. *)

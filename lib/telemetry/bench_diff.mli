@@ -1,0 +1,48 @@
+(** Perf-regression gate over [BENCH_*.json] documents.
+
+    The bench harness sweep ([bench/harness.ml]) writes one JSON
+    document per figure: rows keyed by local-memory ratio, each row
+    holding per-system simulated work times.  This module parses two
+    such documents (a committed baseline and a fresh candidate) and
+    compares them with a relative noise tolerance.  The comparison is
+    pure so the test suite can exercise it on synthetic documents;
+    [bin bench/mira_bench_diff] wraps it as a CLI that CI runs. *)
+
+type outcome =
+  | Time_ms of float  (** simulated work time in milliseconds *)
+  | Failed of string  (** the system could not run (e.g. AIFM OOM) *)
+
+type row = {
+  r_ratio : float;  (** local memory as a fraction of far data *)
+  r_systems : (string * outcome) list;
+}
+
+type doc = {
+  d_title : string;
+  d_native_work_ms : float option;
+  d_rows : row list;
+}
+
+val of_json : Json.t -> (doc, string) result
+(** Parse a BENCH document.  [Error] names the first malformed field. *)
+
+val load : string -> (doc, string) result
+(** Read and parse a BENCH file.  [Error] covers unreadable files,
+    malformed JSON, and schema violations (message includes the path). *)
+
+type verdict = {
+  v_regressions : string list;
+      (** one human-readable line per regression: a system slower than
+          baseline beyond tolerance, a run that now fails, or a
+          baseline row/system missing from the candidate *)
+  v_improvements : string list;  (** faster beyond tolerance, or fixed *)
+  v_notes : string list;  (** coverage drift that is not a regression *)
+  v_compared : int;  (** number of (row, system) time pairs compared *)
+}
+
+val compare_docs : tolerance:float -> baseline:doc -> candidate:doc -> verdict
+(** Match rows by ratio and systems by name; a candidate time more
+    than [tolerance] (relative, e.g. [0.05] = 5%) above baseline is a
+    regression.  Rows or systems present in baseline but missing from
+    the candidate are regressions (silent coverage loss); new ones are
+    notes. *)

@@ -101,7 +101,11 @@ type t = {
 let create () = { table = Hashtbl.create 64; order = [] }
 
 let set t name v =
-  if not (Hashtbl.mem t.table name) then t.order <- name :: t.order;
+  if Hashtbl.mem t.table name then
+    invalid_arg
+      (Printf.sprintf
+         "Metrics: duplicate metric name %S (two publishers claimed it)" name);
+  t.order <- name :: t.order;
   Hashtbl.replace t.table name v
 
 let set_counter t name i = set t name (Counter i)

@@ -47,7 +47,10 @@ type t
 val create : unit -> t
 
 val set_counter : t -> string -> int -> unit
-(** Publish a monotonic count under [name] (overwrites). *)
+(** Publish a monotonic count under [name].  Names are claimed once
+    per registry: publishing the same dotted name twice raises
+    [Invalid_argument] — a second publisher silently shadowing the
+    first is always a wiring bug.  (Applies to all [set_*].) *)
 
 val set_gauge : t -> string -> float -> unit
 val set_hist : t -> string -> hist -> unit

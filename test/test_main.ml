@@ -15,5 +15,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("controller", Test_controller.suite);
       ("telemetry", Test_telemetry.suite);
+      ("attribution", Test_attribution.suite);
       ("random-programs", Test_random_programs.suite);
     ]

@@ -253,17 +253,19 @@ let test_end_to_end_report () =
     lines
 
 (* Telemetry must never perturb the simulation: work time with the
-   trace sink enabled equals work time with it disabled. *)
+   trace sink and the stall-attribution ledger enabled equals work
+   time with both disabled. *)
 let test_no_perturbation () =
   let prog, opts = optimize_small () in
   let compiled = C.optimize opts prog in
-  let run_once () =
+  let run_once ~attr () =
     let rt, machine = C.instantiate compiled in
+    Mira_telemetry.Attribution.set_enabled (Runtime.attribution rt) attr;
     snd (C.measure_work (Runtime.memsys rt) machine)
   in
-  let off = run_once () in
+  let off = run_once ~attr:false () in
   Trace.enable ();
-  let on = run_once () in
+  let on = run_once ~attr:true () in
   Trace.disable ();
   Trace.clear ();
   Alcotest.(check (float 0.0)) "identical simulated time" off on
