@@ -57,7 +57,7 @@ let usage_error msg =
   exit 2
 
 let compare_systems wname ratio iterations threads net_window net_coalesce
-    verbose json_out trace_out flame_out =
+    verbose json_out trace_out flame_out cpath_out =
   if not (Float.is_finite ratio) || ratio <= 0.0 then
     usage_error (Printf.sprintf "invalid ratio %g (need a finite value > 0)" ratio);
   if iterations < 1 then
@@ -106,7 +106,7 @@ let compare_systems wname ratio iterations threads net_window net_coalesce
           (Mira_baselines.Aifm.create ~params:w.params ~gran:(w.aifm_gran w.program)
              ~local_budget:budget ~far_capacity ()))
    with Mira_baselines.Aifm.Oom msg -> Printf.printf "%-10s %s\n" "aifm" msg);
-  if trace_out <> None then Trace.enable ();
+  if trace_out <> None || cpath_out <> None then Trace.enable ();
   let dataplane =
     { Mira_sim.Net.dp_default with
       Mira_sim.Net.window = net_window; coalesce = net_coalesce }
@@ -118,6 +118,12 @@ let compare_systems wname ratio iterations threads net_window net_coalesce
   in
   let compiled = C.optimize opts w.program in
   let rt, machine = C.instantiate compiled in
+  (* The exemplar histograms live in the fresh measured runtime, so
+     when only the critical path is wanted the optimize-phase events
+     would merely crowd exemplar spans out of the capped buffer: start
+     the trace at the measured run.  An explicit --trace keeps the
+     full optimize + run timeline. *)
+  if cpath_out <> None && trace_out = None then Trace.enable ();
   let ms = Mira_runtime.Runtime.memsys rt in
   let v, mira = C.measure_work ms machine in
   results := ("mira", mira) :: !results;
@@ -126,11 +132,35 @@ let compare_systems wname ratio iterations threads net_window net_coalesce
      let n = List.length (Trace.events ()) in
      (try
         Trace.write_jsonl path;
-        Printf.printf "trace written to %s (%d events)\n" path n
+        Printf.printf "trace written to %s (%d events, %d dropped)\n" path n
+          (Trace.dropped ())
       with Sys_error msg ->
-        Printf.eprintf "error: cannot write trace: %s\n" msg);
-     Trace.disable ()
+        Printf.eprintf "error: cannot write trace: %s\n" msg)
    | None -> ());
+  (match cpath_out with
+   | Some path ->
+     (* Decompose the tail exemplars of every published histogram into
+        queue/wire/retry/fill/recovery/local segments; the folded
+        companion file is flamegraph.pl-compatible. *)
+     let reg = Mira.Report.runtime_metrics rt in
+     let evs = Trace.events () in
+     let report = Mira_telemetry.Critical_path.report reg evs in
+     let folded = Mira_telemetry.Critical_path.folded reg evs in
+     (try
+        let oc = open_out path in
+        output_string oc (Json.to_string_pretty report);
+        output_char oc '\n';
+        close_out oc;
+        let oc = open_out (path ^ ".folded") in
+        output_string oc folded;
+        close_out oc;
+        Printf.printf "critical-path report written to %s (+ %s.folded)\n"
+          path path
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write critical-path report: %s\n" msg;
+        exit 1)
+   | None -> ());
+  if trace_out <> None || cpath_out <> None then Trace.disable ();
   Printf.printf "%-10s %12.3f ms   checksum=%s  (%.2fx native)\n\n" "mira"
     (mira /. 1e6)
     (Format.asprintf "%a" Mira_interp.Value.pp v)
@@ -250,12 +280,21 @@ let flame_arg =
                  flamegraph.pl-compatible) to $(docv); see \
                  docs/OBSERVABILITY.md")
 
+let cpath_arg =
+  Arg.(value & opt (some string) None
+       & info [ "critical-path" ] ~docv:"FILE"
+           ~doc:"trace the mira run and write a critical-path report to \
+                 $(docv): every tail-latency exemplar's span tree decomposed \
+                 into queue/wire/retry/fill/recovery/local segments (exact \
+                 fixed-point sums), as JSON plus a folded text companion \
+                 $(docv).folded; see docs/OBSERVABILITY.md")
+
 let cmd =
   let doc = "compare memory systems on a Mira workload" in
   Cmd.v (Cmd.info "mira_compare" ~doc)
     Term.(const compare_systems $ workload_arg $ ratio_arg $ iter_arg
           $ threads_arg $ net_window_arg $ net_coalesce_arg $ verbose_arg
-          $ json_arg $ trace_arg $ flame_arg)
+          $ json_arg $ trace_arg $ flame_arg $ cpath_arg)
 
 (* Exit 0 on success/help, 2 on any command-line error (Cmdliner has
    already printed the error and usage line to stderr), 125 on an

@@ -88,16 +88,29 @@ let check_cluster t ~clock =
           charge t Mira_telemetry.Attribution.Failover_recovery stall;
           let recovery_ns = Mira_sim.Clock.now clock -. start in
           Mira_sim.Cluster.observe_recovery t.cluster recovery_ns;
-          if Mira_telemetry.Trace.enabled () then
-            Mira_telemetry.Trace.complete ~name:"failover" ~cat:"cluster"
-              ~lane:"cluster" ~ts_ns:start ~dur_ns:recovery_ns
-              ~args:
-                [
-                  ("failed_node", Mira_telemetry.Json.Int failed);
-                  ("new_primary", Mira_telemetry.Json.Int new_primary);
-                  ("epoch", Mira_telemetry.Json.Int epoch);
-                ]
-              ()
+          (if Mira_telemetry.Trace.enabled () then begin
+             (* Recovery runs inside the access that tripped the epoch
+                check, so the span nests under the ambient deref when
+                there is one; otherwise it roots its own trace. *)
+             let module Tr = Mira_telemetry.Trace in
+             let trace, parent =
+               match Tr.current_ctx () with
+               | Some c -> (c.Tr.sc_trace, c.Tr.sc_span)
+               | None -> (Tr.new_trace (), 0)
+             in
+             let span = Tr.new_span () in
+             Tr.begin_span ~name:"failover" ~cat:"cluster" ~lane:"cluster"
+               ~ts_ns:start ~trace ~span ~parent
+               ~args:
+                 [
+                   ("failed_node", Mira_telemetry.Json.Int failed);
+                   ("new_primary", Mira_telemetry.Json.Int new_primary);
+                   ("epoch", Mira_telemetry.Json.Int epoch);
+                 ]
+               ();
+             Tr.end_span ~name:"failover" ~cat:"cluster" ~lane:"cluster"
+               ~ts_ns:(start +. recovery_ns) ~trace ~span ()
+           end)
         | Mira_sim.Cluster.Primary_lost { node; lost_bytes; epoch; _ } ->
           (* No failover target: in-flight requests fail, and until the
              node returns every post completes [Node_down] after the

@@ -225,26 +225,37 @@ let find_slot t tag =
    cluster is replicating, the backup's copy rides a second detached
    write — asynchronous even for sync flushes, and mergeable with the
    primary writeback under doorbell batching. *)
+(* Causal context for a child request of the access currently being
+   executed.  [flow] children (detached writebacks, prefetches) link
+   with flow arrows only; synchronous children nest under the ambient
+   span. *)
+let child_ctx ~flow =
+  if Mira_telemetry.Trace.enabled () then
+    match Mira_telemetry.Trace.current_ctx () with
+    | Some c -> Some { c with Mira_telemetry.Trace.sc_flow = flow }
+    | None -> None
+  else None
+
 let post_writeback t ~clock ~sync =
-  let req =
-    Mira_sim.Net.Request.write ~side:t.cfg.side ~purpose:Mira_sim.Net.Writeback
-      t.cfg.line
+  let req ~flow =
+    Mira_sim.Net.Request.write ?ctx:(child_ctx ~flow) ~side:t.cfg.side
+      ~purpose:Mira_sim.Net.Writeback t.cfg.line
   in
   let now = Mira_sim.Clock.now clock in
   if sync then begin
-    let sq = Mira_sim.Net.submit t.net ~now ~urgent:true req in
+    let sq = Mira_sim.Net.submit t.net ~now ~urgent:true (req ~flow:false) in
     Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
     let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
     let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
     charge_stall t Mira_telemetry.Attribution.Writeback stall
   end
   else begin
-    let sq = Mira_sim.Net.submit t.net ~now ~detached:true req in
+    let sq = Mira_sim.Net.submit t.net ~now ~detached:true (req ~flow:true) in
     Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns
   end;
   if Mira_sim.Cluster.replicated t.far then begin
     let now = Mira_sim.Clock.now clock in
-    let sq = Mira_sim.Net.submit t.net ~now ~detached:true req in
+    let sq = Mira_sim.Net.submit t.net ~now ~detached:true (req ~flow:true) in
     Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns
   end
 
@@ -383,7 +394,20 @@ let wait_ready t ~clock line =
     t.stats.late_prefetch <- t.stats.late_prefetch + 1;
     t.stats.stall_ns <- t.stats.stall_ns +. stall;
     (* A late prefetch is still waiting on the wire. *)
-    charge_stall t Mira_telemetry.Attribution.Demand_wire stall
+    charge_stall t Mira_telemetry.Attribution.Demand_wire stall;
+    if Mira_telemetry.Trace.enabled () then
+      match Mira_telemetry.Trace.current_ctx () with
+      | Some ctx ->
+        let module Tr = Mira_telemetry.Trace in
+        let span = Tr.new_span () in
+        let lane = "section:" ^ t.cfg.sec_name in
+        let now = Mira_sim.Clock.now clock in
+        Tr.begin_span ~name:"late-prefetch" ~cat:"cache" ~lane
+          ~ts_ns:(now -. stall) ~trace:ctx.Tr.sc_trace ~span
+          ~parent:ctx.Tr.sc_span ();
+        Tr.end_span ~name:"late-prefetch" ~cat:"cache" ~lane ~ts_ns:now
+          ~trace:ctx.Tr.sc_trace ~span ()
+      | None -> ()
   end
 
 (* Ensure the line covering [addr] is resident; returns its slot.
@@ -403,6 +427,34 @@ let ensure t ~clock ~addr ~for_write =
   | None ->
     t.stats.misses <- t.stats.misses + 1;
     let start = Mira_sim.Clock.now clock in
+    (* The fill span: child of the ambient deref (or a root of its own
+       trace when the access above is not instrumented).  The demand
+       request below carries this context so its net member span nests
+       under the fill. *)
+    let fill =
+      if Mira_telemetry.Trace.enabled () then begin
+        let module Tr = Mira_telemetry.Trace in
+        let trace, parent, site =
+          match Tr.current_ctx () with
+          | Some c -> (c.Tr.sc_trace, c.Tr.sc_span, c.Tr.sc_site)
+          | None -> (Tr.new_trace (), 0, -1)
+        in
+        Some (trace, parent, Tr.new_span (), site)
+      end
+      else None
+    in
+    let fill_ctx =
+      Option.map
+        (fun (trace, _, span, site) ->
+          {
+            Mira_telemetry.Trace.sc_trace = trace;
+            sc_span = span;
+            sc_site = site;
+            sc_lane = "section:" ^ t.cfg.sec_name;
+            sc_flow = false;
+          })
+        fill
+    in
     let cost = if t.cfg.no_meta then 0.0 else lookup_cost t in
     Mira_sim.Clock.advance clock cost;
     let slot =
@@ -421,7 +473,7 @@ let ensure t ~clock ~addr ~for_write =
         let now = Mira_sim.Clock.now clock in
         let sq =
           Mira_sim.Net.submit t.net ~now ~urgent:true
-            (Mira_sim.Net.Request.read ~side:t.cfg.side
+            (Mira_sim.Net.Request.read ?ctx:fill_ctx ~side:t.cfg.side
                ~purpose:Mira_sim.Net.Demand (payload_bytes t))
         in
         Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
@@ -435,12 +487,31 @@ let ensure t ~clock ~addr ~for_write =
     in
     let miss_ns = Mira_sim.Clock.now clock -. start in
     t.stats.miss_ns <- t.stats.miss_ns +. miss_ns;
-    Mira_telemetry.Metrics.hist_observe t.stats.lat_fetch miss_ns;
-    if Mira_telemetry.Trace.enabled () then
-      Mira_telemetry.Trace.complete ~name:"demand-fetch" ~cat:"cache"
-        ~lane:("section:" ^ t.cfg.sec_name) ~ts_ns:start ~dur_ns:miss_ns
+    let fill_trace =
+      match fill with Some (trace, _, _, _) -> trace | None -> 0
+    in
+    Mira_telemetry.Metrics.hist_observe ~trace:fill_trace t.stats.lat_fetch
+      miss_ns;
+    (match fill with
+    | Some (trace, parent, span, _) ->
+      let module Tr = Mira_telemetry.Trace in
+      let lane = "section:" ^ t.cfg.sec_name in
+      Tr.begin_span ~name:"demand-fetch" ~cat:"cache" ~lane ~ts_ns:start ~trace
+        ~span ~parent
         ~args:[ ("addr", Mira_telemetry.Json.Int addr) ]
         ();
+      Tr.end_span ~name:"demand-fetch" ~cat:"cache" ~lane
+        ~ts_ns:(start +. miss_ns) ~trace ~span ();
+      (* Which physical node served the fill (changes at failover). *)
+      Tr.instant ~name:"serve" ~cat:"cluster"
+        ~lane:(Mira_sim.Cluster.service_lane t.far) ~ts_ns:(start +. miss_ns)
+        ~args:
+          [
+            ("trace", Mira_telemetry.Json.Int trace);
+            ("span", Mira_telemetry.Json.Int span);
+          ]
+        ()
+    | None -> ());
     touch t ~clock slot;
     slot
 
@@ -508,9 +579,9 @@ let iter_tags t ~addr ~len fn =
     fn tag
   done
 
-let prefetch_req t =
-  Mira_sim.Net.Request.read ~side:t.cfg.side ~purpose:Mira_sim.Net.Prefetch
-    (payload_bytes t)
+let prefetch_req ?ctx t =
+  Mira_sim.Net.Request.read ?ctx ~side:t.cfg.side
+    ~purpose:Mira_sim.Net.Prefetch (payload_bytes t)
 
 (* Tag is worth prefetching: inside the far address space (loop
    preambles may over-prefetch near object ends) and not resident. *)
@@ -519,13 +590,16 @@ let want_prefetch t tag =
   && find_slot t tag = None
 
 let prefetch t ~clock ~addr ~len =
+  (* Prefetches are asynchronous with respect to the access that
+     triggered them: flow-linked, never nested. *)
+  let ctx = child_ctx ~flow:true in
   if not (Mira_sim.Net.dataplane t.net).Mira_sim.Net.coalesce then
     (* Per-line posting, identical in timing to the synchronous model:
        each line pays its own doorbell and round trip. *)
     iter_tags t ~addr ~len (fun tag ->
         if want_prefetch t tag then begin
           let now = Mira_sim.Clock.now clock in
-          let sq = Mira_sim.Net.submit t.net ~now (prefetch_req t) in
+          let sq = Mira_sim.Net.submit t.net ~now (prefetch_req ?ctx t) in
           Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
           t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
           let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
@@ -540,7 +614,7 @@ let prefetch t ~clock ~addr ~len =
         if want_prefetch t tag then begin
           let sq =
             Mira_sim.Net.submit t.net ~now:(Mira_sim.Clock.now clock)
-              (prefetch_req t)
+              (prefetch_req ?ctx t)
           in
           Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
           t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;

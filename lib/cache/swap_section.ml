@@ -130,24 +130,34 @@ let params t = Mira_sim.Net.params t.net
 (* Per-page metadata: a PTE-like entry plus LRU state (~32 B). *)
 let metadata_bytes t = 32 * Array.length t.frames
 
+(* Causal context for a child request of the access currently being
+   executed; [flow] children (detached writebacks, readahead) link
+   with flow arrows only. *)
+let child_ctx ~flow =
+  if Mira_telemetry.Trace.enabled () then
+    match Mira_telemetry.Trace.current_ctx () with
+    | Some c -> Some { c with Mira_telemetry.Trace.sc_flow = flow }
+    | None -> None
+  else None
+
 let writeback t ~clock frame ~sync =
   if frame.dirty then begin
     let base = frame.pno * t.cfg.page in
     Mira_sim.Cluster.write t.far ~addr:base ~len:t.cfg.page ~src:frame.data ~src_off:0;
-    let req =
-      Mira_sim.Net.Request.write ~side:t.cfg.side
+    let req ~flow =
+      Mira_sim.Net.Request.write ?ctx:(child_ctx ~flow) ~side:t.cfg.side
         ~purpose:Mira_sim.Net.Writeback t.cfg.page
     in
     let now = Mira_sim.Clock.now clock in
     if sync then begin
-      let x = Mira_sim.Net.submit t.net ~now ~urgent:true req in
+      let x = Mira_sim.Net.submit t.net ~now ~urgent:true (req ~flow:false) in
       Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
       let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
       let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
       charge_stall t Mira_telemetry.Attribution.Writeback stall
     end
     else begin
-      let x = Mira_sim.Net.submit t.net ~now ~detached:true req in
+      let x = Mira_sim.Net.submit t.net ~now ~detached:true (req ~flow:true) in
       Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns
     end;
     (* Replication: the backup copy always rides an asynchronous,
@@ -155,7 +165,7 @@ let writeback t ~clock frame ~sync =
        cluster's eager mirror above. *)
     if Mira_sim.Cluster.replicated t.far then begin
       let now = Mira_sim.Clock.now clock in
-      let x = Mira_sim.Net.submit t.net ~now ~detached:true req in
+      let x = Mira_sim.Net.submit t.net ~now ~detached:true (req ~flow:true) in
       Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns
     end;
     frame.dirty <- false;
@@ -223,14 +233,15 @@ let install t ~clock ~pno ~ready_at =
   t.used <- t.used + 1;
   idx
 
-let prefetch_req t =
-  Mira_sim.Net.Request.read ~side:t.cfg.side ~purpose:Mira_sim.Net.Prefetch
-    t.cfg.page
+let prefetch_req ?ctx t =
+  Mira_sim.Net.Request.read ?ctx ~side:t.cfg.side
+    ~purpose:Mira_sim.Net.Prefetch t.cfg.page
 
 let prefetch_page t ~clock ~page =
   if not (Hashtbl.mem t.table page) then begin
+    let ctx = child_ctx ~flow:true in
     let now = Mira_sim.Clock.now clock in
-    let x = Mira_sim.Net.submit t.net ~now (prefetch_req t) in
+    let x = Mira_sim.Net.submit t.net ~now (prefetch_req ?ctx t) in
     Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
     t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
     t.stats.readahead_pages <- t.stats.readahead_pages + 1;
@@ -247,12 +258,13 @@ let prefetch_cluster t ~clock pages =
     List.iter (fun page -> prefetch_page t ~clock ~page) pages
   else begin
     let pages = List.filter (fun p -> not (Hashtbl.mem t.table p)) pages in
+    let ctx = child_ctx ~flow:true in
     let sqes =
       List.map
         (fun page ->
           let x =
             Mira_sim.Net.submit t.net ~now:(Mira_sim.Clock.now clock)
-              (prefetch_req t)
+              (prefetch_req ?ctx t)
           in
           Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
           t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
@@ -272,13 +284,39 @@ let prefetch_cluster t ~clock pages =
 let fault t ~clock ~pno =
   let p = params t in
   let start = Mira_sim.Clock.now clock in
+  (* The fill span of this fault: child of the ambient deref, or a
+     root of its own trace when the access above is untraced. *)
+  let fill =
+    if Mira_telemetry.Trace.enabled () then begin
+      let module Tr = Mira_telemetry.Trace in
+      let trace, parent, site =
+        match Tr.current_ctx () with
+        | Some c -> (c.Tr.sc_trace, c.Tr.sc_span, c.Tr.sc_site)
+        | None -> (Tr.new_trace (), 0, -1)
+      in
+      Some (trace, parent, Tr.new_span (), site)
+    end
+    else None
+  in
+  let fill_ctx =
+    Option.map
+      (fun (trace, _, span, site) ->
+        {
+          Mira_telemetry.Trace.sc_trace = trace;
+          sc_span = span;
+          sc_site = site;
+          sc_lane = "swap";
+          sc_flow = false;
+        })
+      fill
+  in
   t.stats.faults <- t.stats.faults + 1;
   Mira_sim.Clock.advance clock (p.Mira_sim.Params.page_fault_ns +. t.extra_fault_ns);
   let now = Mira_sim.Clock.now clock in
   let x =
     Mira_sim.Net.submit t.net ~now ~urgent:true
-      (Mira_sim.Net.Request.read ~side:t.cfg.side ~purpose:Mira_sim.Net.Demand
-         t.cfg.page)
+      (Mira_sim.Net.Request.read ?ctx:fill_ctx ~side:t.cfg.side
+         ~purpose:Mira_sim.Net.Demand t.cfg.page)
   in
   Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
   let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
@@ -292,12 +330,30 @@ let fault t ~clock ~pno =
     (List.filter (fun extra -> extra >= 0 && extra <> pno) (t.readahead pno));
   let this_fault_ns = Mira_sim.Clock.now clock -. start in
   t.stats.fault_ns <- t.stats.fault_ns +. this_fault_ns;
-  Mira_telemetry.Metrics.hist_observe t.stats.lat_fault this_fault_ns;
-  if Mira_telemetry.Trace.enabled () then
-    Mira_telemetry.Trace.complete ~name:"page-fault" ~cat:"cache" ~lane:"swap"
-      ~ts_ns:start ~dur_ns:this_fault_ns
+  let fill_trace =
+    match fill with Some (trace, _, _, _) -> trace | None -> 0
+  in
+  Mira_telemetry.Metrics.hist_observe ~trace:fill_trace t.stats.lat_fault
+    this_fault_ns;
+  (match fill with
+  | Some (trace, parent, span, _) ->
+    let module Tr = Mira_telemetry.Trace in
+    Tr.begin_span ~name:"page-fault" ~cat:"cache" ~lane:"swap" ~ts_ns:start
+      ~trace ~span ~parent
       ~args:[ ("page", Mira_telemetry.Json.Int pno) ]
       ();
+    Tr.end_span ~name:"page-fault" ~cat:"cache" ~lane:"swap"
+      ~ts_ns:(start +. this_fault_ns) ~trace ~span ();
+    Tr.instant ~name:"serve" ~cat:"cluster"
+      ~lane:(Mira_sim.Cluster.service_lane t.far)
+      ~ts_ns:(start +. this_fault_ns)
+      ~args:
+        [
+          ("trace", Mira_telemetry.Json.Int trace);
+          ("span", Mira_telemetry.Json.Int span);
+        ]
+      ()
+  | None -> ());
   (* With very small frame pools the readahead itself may have evicted
      the demand page; reinstall so the caller's frame is valid (a real
      kernel locks the faulting page instead — no extra cost charged). *)
@@ -318,7 +374,19 @@ let ensure t ~clock ~pno =
       t.stats.late_readahead <- t.stats.late_readahead + 1;
       t.stats.stall_ns <- t.stats.stall_ns +. stall;
       (* Late readahead: still waiting on the wire. *)
-      charge_stall t Mira_telemetry.Attribution.Demand_wire stall
+      charge_stall t Mira_telemetry.Attribution.Demand_wire stall;
+      if Mira_telemetry.Trace.enabled () then
+        match Mira_telemetry.Trace.current_ctx () with
+        | Some ctx ->
+          let module Tr = Mira_telemetry.Trace in
+          let span = Tr.new_span () in
+          let now = Mira_sim.Clock.now clock in
+          Tr.begin_span ~name:"late-readahead" ~cat:"cache" ~lane:"swap"
+            ~ts_ns:(now -. stall) ~trace:ctx.Tr.sc_trace ~span
+            ~parent:ctx.Tr.sc_span ();
+          Tr.end_span ~name:"late-readahead" ~cat:"cache" ~lane:"swap"
+            ~ts_ns:now ~trace:ctx.Tr.sc_trace ~span ()
+        | None -> ()
     end;
     frame.refbit <- true;
     if frame.evict_first then begin

@@ -173,6 +173,51 @@ let set_attr_context t ~tid ~site =
   in
   Mira_telemetry.Attribution.set_context t.attribution ~fn ~site
 
+(* Root span of one far access.  Trace and span ids are minted up
+   front and installed as the ambient context so any child span (cache
+   fill, net member, failover recovery) can attach to it; the b/e pair
+   itself is emitted retroactively, and only when a child span was
+   actually created — trace volume stays proportional to interesting
+   events (misses, stalls, recoveries), not to every hit. *)
+let begin_access ~tid ~site ~clock:c =
+  if not (Mira_telemetry.Trace.enabled ()) then None
+  else begin
+    let module Tr = Mira_telemetry.Trace in
+    let saved = Tr.current_ctx () in
+    let trace = Tr.new_trace () in
+    let span = Tr.new_span () in
+    let seq = Tr.span_seq () in
+    Tr.set_ctx
+      (Some
+         {
+           Tr.sc_trace = trace;
+           sc_span = span;
+           sc_site = site;
+           sc_lane = "runtime";
+           sc_flow = false;
+         });
+    Some (saved, trace, span, seq, tid, site, Sim.Clock.now c)
+  end
+
+let end_access ~kind ~clock:c st =
+  match st with
+  | None -> ()
+  | Some (saved, trace, span, seq, tid, site, t0) ->
+    let module Tr = Mira_telemetry.Trace in
+    Tr.set_ctx saved;
+    if Tr.span_seq () > seq then begin
+      Tr.begin_span ~name:kind ~cat:"runtime" ~lane:"runtime" ~ts_ns:t0 ~trace
+        ~span
+        ~args:
+          [
+            ("site", Mira_telemetry.Json.Int site);
+            ("tid", Mira_telemetry.Json.Int tid);
+          ]
+        ();
+      Tr.end_span ~name:kind ~cat:"runtime" ~lane:"runtime"
+        ~ts_ns:(Sim.Clock.now c) ~trace ~span ()
+    end
+
 (* --- allocation --------------------------------------------------------- *)
 
 let alloc t ~tid ~site ~bytes ~heap =
@@ -185,10 +230,24 @@ let alloc t ~tid ~site ~bytes ~heap =
     if refilled then begin
       (* One RPC to the far node's allocator: an urgent (unbatched)
          two-sided read, awaited synchronously. *)
+      let root = begin_access ~tid ~site ~clock:c in
+      let rpc_ctx =
+        Option.map
+          (fun (_, trace, span, _, _, _, _) ->
+            {
+              Mira_telemetry.Trace.sc_trace = trace;
+              sc_span = span;
+              sc_site = site;
+              sc_lane = "runtime";
+              sc_flow = false;
+            })
+          root
+      in
       let now = Sim.Clock.now c in
       let sqe =
         Sim.Net.submit t.net ~now ~urgent:true
-          (Sim.Net.Request.read ~side:Sim.Net.Two_sided ~purpose:Sim.Net.Rpc 16)
+          (Sim.Net.Request.read ?ctx:rpc_ctx ~side:Sim.Net.Two_sided
+             ~purpose:Sim.Net.Rpc 16)
       in
       Sim.Clock.advance c sqe.Sim.Net.issue_cpu_ns;
       let comp = Sim.Net.await t.net ~now ~id:sqe.Sim.Net.id in
@@ -197,7 +256,8 @@ let alloc t ~tid ~site ~bytes ~heap =
       Mira_telemetry.Attribution.charge_parts t.attribution
         (Mira_telemetry.Attribution.split_stall ~stall
            ~wire_ns:comp.Sim.Net.wire_ns ~queue_ns:comp.Sim.Net.queue_ns
-           ~retry_ns:comp.Sim.Net.retry_ns)
+           ~retry_ns:comp.Sim.Net.retry_ns);
+      end_access ~kind:"alloc-refill" ~clock:c root
     end;
     let r = ranges_ref t site in
     r := (addr, bytes) :: !r;
@@ -316,6 +376,7 @@ let load t ~tid ~(ptr : Memsys.ptr) ~len ~native =
     if offloaded t tid then offload_load t ~clock:c ~addr:ptr.Memsys.addr ~len
     else begin
       set_attr_context t ~tid ~site:ptr.Memsys.site;
+      let root = begin_access ~tid ~site:ptr.Memsys.site ~clock:c in
       sync_cluster t ~clock:c;
       Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
       let before = Sim.Clock.now c in
@@ -329,6 +390,7 @@ let load t ~tid ~(ptr : Memsys.ptr) ~len ~native =
       let hits, misses = Cache.Cache_section.counters h in
       attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c)
         ~hits_before:hb ~misses_before:mb ~hits ~misses;
+      end_access ~kind:"load" ~clock:c root;
       v
     end
 
@@ -340,6 +402,7 @@ let store t ~tid ~(ptr : Memsys.ptr) ~len ~native ~value =
     if offloaded t tid then offload_store t ~clock:c ~addr:ptr.Memsys.addr ~len value
     else begin
       set_attr_context t ~tid ~site:ptr.Memsys.site;
+      let root = begin_access ~tid ~site:ptr.Memsys.site ~clock:c in
       sync_cluster t ~clock:c;
       Profile.touch t.profile ~tid ~site:ptr.Memsys.site;
       let before = Sim.Clock.now c in
@@ -350,7 +413,8 @@ let store t ~tid ~(ptr : Memsys.ptr) ~len ~native ~value =
       else Cache.Cache_section.store h ~clock:c ~addr:ptr.Memsys.addr ~len value;
       let hits, misses = Cache.Cache_section.counters h in
       attribute t ~tid ~site:ptr.Memsys.site ~before ~after:(Sim.Clock.now c)
-        ~hits_before:hb ~misses_before:mb ~hits ~misses
+        ~hits_before:hb ~misses_before:mb ~hits ~misses;
+      end_access ~kind:"store" ~clock:c root
     end
 
 let prefetch t ~tid ~(ptr : Memsys.ptr) ~len =

@@ -150,6 +150,12 @@ let spec t = t.spec
 let capacity t = Far_store.capacity t.nodes.(t.primary).store
 let primary t = t.nodes.(t.primary).store
 let primary_index t = t.primary
+
+(* Trace lane of the node currently serving requests, so fill spans
+   can mark which physical node satisfied them (the lane changes
+   across failovers). *)
+let service_lane t = Printf.sprintf "node%d" t.primary
+
 let epoch t = t.epoch
 let degraded t = t.degraded
 let stats t = t.stats

@@ -99,6 +99,12 @@ val primary : t -> Far_store.t
 (** The store currently serving reads (changes on failover). *)
 
 val primary_index : t -> int
+
+val service_lane : t -> string
+(** Trace lane name of the node currently serving requests
+    (["node<primary_index>"]); changes across failovers so fill spans
+    record which physical node satisfied them. *)
+
 val epoch : t -> int
 (** Bumped on every primary crash; requests in flight under an older
     epoch are stale and must be fenced. *)

@@ -19,18 +19,24 @@ module Request = struct
     purpose : purpose;
     bytes : int;
     deadline_ns : float option;
+    ctx : Trace.span_ctx option;
+        (* causal origin: rides through submit/ring/post/poll/await so
+           the reaped completion can be attributed to its access *)
   }
 
-  let make ?deadline_ns ~dir ~side ~purpose bytes =
+  let make ?deadline_ns ?ctx ~dir ~side ~purpose bytes =
     assert (bytes > 0);
-    { dir; side; purpose; bytes; deadline_ns }
+    { dir; side; purpose; bytes; deadline_ns; ctx }
 
-  let read ?deadline_ns ~side ~purpose bytes =
-    make ?deadline_ns ~dir:Read ~side ~purpose bytes
+  let read ?deadline_ns ?ctx ~side ~purpose bytes =
+    make ?deadline_ns ?ctx ~dir:Read ~side ~purpose bytes
 
-  let write ?deadline_ns ~side ~purpose bytes =
-    make ?deadline_ns ~dir:Write ~side ~purpose bytes
+  let write ?deadline_ns ?ctx ~side ~purpose bytes =
+    make ?deadline_ns ?ctx ~dir:Write ~side ~purpose bytes
 end
+
+let ctx_trace (req : Request.t) =
+  match req.Request.ctx with Some c -> c.Trace.sc_trace | None -> 0
 
 module Fault = struct
   type t = {
@@ -119,6 +125,49 @@ type completion = {
 type sqe = { id : int; issue_cpu_ns : float }
 
 type xfer = { issue_cpu_ns : float; done_at : float }
+
+let status_name = function
+  | Done -> "done"
+  | Timed_out -> "timed_out"
+  | Node_down -> "node_down"
+
+(* One per-member causal span, emitted when the completion's final
+   timing is known: at reap time (poll/await) for reapable requests —
+   after any [fail_inflight] retargeting — and at post time for
+   detached ones.  The span covers submitted_at..done_at on the net
+   lane; a flow arrow links it back to the requesting span's lane.
+   Synchronous requests nest under the requester ([parent]); [sc_flow]
+   contexts (prefetch, detached writeback) are flow-linked only so the
+   parent-containment invariant stays strict. *)
+let emit_member_span (c : completion) =
+  if Trace.enabled () then
+    match c.req.Request.ctx with
+    | None -> ()
+    | Some ctx ->
+      let module J = Mira_telemetry.Json in
+      let span = Trace.new_span () in
+      let parent = if ctx.Trace.sc_flow then 0 else ctx.Trace.sc_span in
+      let name = purpose_name c.req.Request.purpose in
+      let trace = ctx.Trace.sc_trace in
+      let args =
+        [
+          ("bytes", J.Int c.req.Request.bytes);
+          ("status", J.Str (status_name c.status));
+          ("attempts", J.Int c.attempts);
+          ("coalesced", J.Bool c.coalesced);
+          ("queue_ns", J.Float c.queue_ns);
+          ("wire_ns", J.Float c.wire_ns);
+          ("retry_ns", J.Float c.retry_ns);
+        ]
+      in
+      Trace.flow_start ~name ~cat:"net" ~lane:ctx.Trace.sc_lane
+        ~ts_ns:c.submitted_at ~trace ~id:span ();
+      Trace.begin_span ~name ~cat:"net" ~lane:"net" ~ts_ns:c.submitted_at
+        ~trace ~span ~parent ~args ();
+      Trace.flow_end ~name ~cat:"net" ~lane:"net" ~ts_ns:c.submitted_at ~trace
+        ~id:span ();
+      Trace.end_span ~name ~cat:"net" ~lane:"net" ~ts_ns:c.done_at ~trace ~span
+        ()
 
 type stats = {
   mutable msg_count : int;
@@ -396,15 +445,15 @@ let post t ~now members =
         ();
     List.iter
       (fun (id, req, submitted_at, detached) ->
-        if not detached then
-          (* Outage: no wire time; the loss-detection timer is charged
-             as retry, time buffered before the post as queueing. *)
-          t.cq <-
-            { id; req; submitted_at; posted_at = now; done_at; attempts = 1;
-              status = Node_down; coalesced = n > 1;
-              wire_ns = 0.0; retry_ns = detect_ns t;
-              queue_ns = Float.max 0.0 (issue_at -. submitted_at) }
-            :: t.cq)
+        (* Outage: no wire time; the loss-detection timer is charged
+           as retry, time buffered before the post as queueing. *)
+        let c =
+          { id; req; submitted_at; posted_at = now; done_at; attempts = 1;
+            status = Node_down; coalesced = n > 1;
+            wire_ns = 0.0; retry_ns = detect_ns t;
+            queue_ns = Float.max 0.0 (issue_at -. submitted_at) }
+        in
+        if detached then emit_member_span c else t.cq <- c :: t.cq)
       members
   end
   else begin
@@ -418,7 +467,8 @@ let post t ~now members =
   if n > 1 then s.coalesced <- s.coalesced + (n - 1);
   Metrics.hist_observe s.occupancy (float_of_int (List.length t.inflight));
   if status = Done then Metrics.hist_observe s.lat_rtt (done_at -. start);
-  if inbound && status = Done then Metrics.hist_observe s.lat_fetch (done_at -. now);
+  if inbound && status = Done then
+    Metrics.hist_observe ~trace:(ctx_trace r0) s.lat_fetch (done_at -. now);
   (* Host-side telemetry only: histograms and the optional trace span
      never advance any simulated clock. *)
   if Trace.enabled () then begin
@@ -447,27 +497,27 @@ let post t ~now members =
   end;
   List.iter
     (fun (id, req, submitted_at, detached) ->
-      if not detached then
-        (* Telescoping: done_at - submitted_at = queueing (doorbell
-           batching + window gating + link backlog) + retry windows +
-           the successful attempt's wire span, so the queueing residual
-           is exact per member. *)
-        t.cq <-
-          {
-            id;
-            req;
-            submitted_at;
-            posted_at = now;
-            done_at;
-            attempts;
-            status;
-            coalesced = n > 1;
-            wire_ns;
-            retry_ns;
-            queue_ns =
-              Float.max 0.0 (done_at -. submitted_at -. wire_ns -. retry_ns);
-          }
-          :: t.cq)
+      (* Telescoping: done_at - submitted_at = queueing (doorbell
+         batching + window gating + link backlog) + retry windows +
+         the successful attempt's wire span, so the queueing residual
+         is exact per member. *)
+      let c =
+        {
+          id;
+          req;
+          submitted_at;
+          posted_at = now;
+          done_at;
+          attempts;
+          status;
+          coalesced = n > 1;
+          wire_ns;
+          retry_ns;
+          queue_ns =
+            Float.max 0.0 (done_at -. submitted_at -. wire_ns -. retry_ns);
+        }
+      in
+      if detached then emit_member_span c else t.cq <- c :: t.cq)
     members
   end
 
@@ -515,16 +565,21 @@ let poll t ~now =
     List.partition (fun (c : completion) -> c.done_at <= now) t.cq
   in
   t.cq <- rest;
-  List.sort
-    (fun (a : completion) (b : completion) ->
-      match compare a.done_at b.done_at with 0 -> compare a.id b.id | c -> c)
-    ready
+  let ready =
+    List.sort
+      (fun (a : completion) (b : completion) ->
+        match compare a.done_at b.done_at with 0 -> compare a.id b.id | c -> c)
+      ready
+  in
+  List.iter emit_member_span ready;
+  ready
 
 let await t ~now ~id =
   ring t ~now;
   match List.partition (fun (c : completion) -> c.id = id) t.cq with
   | [ c ], rest ->
     t.cq <- rest;
+    emit_member_span c;
     c
   | _ -> invalid_arg "Net.await: unknown or detached request id"
 
@@ -553,6 +608,17 @@ let fail_inflight t ~now =
       (fun (c : completion) ->
         if c.done_at > now && c.status = Done then begin
           incr failed;
+          (* The member span itself is emitted at reap time and will
+             show the retargeted done_at; the instant marks where the
+             epoch bump cut it short. *)
+          if Trace.enabled () then
+            Trace.instant ~name:"retarget" ~cat:"net" ~lane:"net" ~ts_ns:now
+              ~args:
+                [
+                  ("id", Mira_telemetry.Json.Int c.id);
+                  ("trace", Mira_telemetry.Json.Int (ctx_trace c.req));
+                ]
+              ();
           { c with status = Node_down; done_at = now }
         end
         else c)

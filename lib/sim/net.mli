@@ -54,12 +54,22 @@ module Request : sig
         (** per-request loss-detection timer; [None] uses the fault
             model's [timeout_ns].  Ignored when no faults are
             configured. *)
+    ctx : Mira_telemetry.Trace.span_ctx option;
+        (** causal span context of the access that issued the request;
+            rides through submit/ring/post/poll/await (including
+            retries, coalescing and [fail_inflight] retargeting) so the
+            reaped completion emits a member span tied to its trace.
+            [None] (the default) emits nothing. *)
   }
 
-  val read : ?deadline_ns:float -> side:side -> purpose:purpose -> int -> t
+  val read :
+    ?deadline_ns:float -> ?ctx:Mira_telemetry.Trace.span_ctx ->
+    side:side -> purpose:purpose -> int -> t
   (** [read ~side ~purpose bytes] — an inbound transfer request. *)
 
-  val write : ?deadline_ns:float -> side:side -> purpose:purpose -> int -> t
+  val write :
+    ?deadline_ns:float -> ?ctx:Mira_telemetry.Trace.span_ctx ->
+    side:side -> purpose:purpose -> int -> t
   (** [write ~side ~purpose bytes] — an outbound transfer request. *)
 end
 

@@ -7,7 +7,7 @@
 type outcome = Time_ms of float | Failed of string
 
 type row = {
-  r_ratio : float;
+  r_key : string;
   r_systems : (string * outcome) list;
 }
 
@@ -40,16 +40,38 @@ let system_of_json j =
           (Printf.sprintf "system %S: neither \"work_ms\" nor \"failed\"" name)))
   | _ -> Error "system entry without a string \"system\" field"
 
+(* Two row shapes share the gate.  Sweep documents (BENCH_micro) key
+   rows by local-memory ratio and nest per-system outcomes; dataplane
+   and chaos documents key rows by a config string (plus a seed for
+   chaos) and report a single flat [work_ms].  Both reduce to a string
+   key and a [(system, outcome)] list. *)
 let row_of_json j =
   match Option.bind (Json.member "ratio" j) Json.to_float_opt with
-  | None -> Error "row without a numeric \"ratio\" field"
-  | Some r_ratio -> (
+  | Some ratio -> (
+    let r_key = Printf.sprintf "ratio=%g" ratio in
     match Json.member "systems" j with
     | Some (Json.List systems) ->
       let* r_systems = collect system_of_json systems in
-      Ok { r_ratio; r_systems }
-    | _ ->
-      Error (Printf.sprintf "row ratio=%g without a \"systems\" list" r_ratio))
+      Ok { r_key; r_systems }
+    | _ -> Error (Printf.sprintf "row %s without a \"systems\" list" r_key))
+  | None -> (
+    match Json.member "config" j with
+    | Some (Json.Str config) -> (
+      let r_key =
+        match Option.bind (Json.member "seed" j) Json.to_float_opt with
+        | Some seed -> Printf.sprintf "%s seed=%g" config seed
+        | None -> config
+      in
+      match Json.member "failed" j with
+      | Some (Json.Str msg) -> Ok { r_key; r_systems = [ ("work_ms", Failed msg) ] }
+      | Some _ -> Error (Printf.sprintf "row %s: non-string \"failed\"" r_key)
+      | None -> (
+        match Option.bind (Json.member "work_ms" j) Json.to_float_opt with
+        | Some ms -> Ok { r_key; r_systems = [ ("work_ms", Time_ms ms) ] }
+        | None ->
+          Error
+            (Printf.sprintf "row %s: neither \"work_ms\" nor \"failed\"" r_key)))
+    | _ -> Error "row without a numeric \"ratio\" or string \"config\" field")
 
 let of_json j =
   let d_title =
@@ -81,8 +103,6 @@ type verdict = {
   v_notes : string list;
   v_compared : int;
 }
-
-let same_ratio a b = Float.abs (a -. b) < 1e-9
 
 let compare_time ~tolerance ~label ~base ~cand acc =
   let regressions, improvements, compared = acc in
@@ -124,14 +144,14 @@ let compare_docs ~tolerance ~baseline ~candidate =
   List.iter
     (fun brow ->
       match
-        List.find_opt (fun c -> same_ratio c.r_ratio brow.r_ratio)
+        List.find_opt (fun c -> String.equal c.r_key brow.r_key)
           candidate.d_rows
       with
-      | None -> regress "row ratio=%g missing from candidate" brow.r_ratio
+      | None -> regress "row %s missing from candidate" brow.r_key
       | Some crow ->
         List.iter
           (fun (name, bout) ->
-            let label = Printf.sprintf "ratio=%g %s" brow.r_ratio name in
+            let label = Printf.sprintf "%s %s" brow.r_key name in
             match (bout, List.assoc_opt name crow.r_systems) with
             | _, None -> regress "%s missing from candidate" label
             | Time_ms b, Some (Time_ms c) ->
@@ -155,16 +175,16 @@ let compare_docs ~tolerance ~baseline ~candidate =
         List.iter
           (fun (name, _) ->
             if not (List.mem_assoc name brow.r_systems) then
-              note "ratio=%g %s: new system not in baseline" brow.r_ratio name)
+              note "%s %s: new system not in baseline" brow.r_key name)
           crow.r_systems)
     baseline.d_rows;
   List.iter
     (fun crow ->
       if
         not
-          (List.exists (fun b -> same_ratio b.r_ratio crow.r_ratio)
+          (List.exists (fun b -> String.equal b.r_key crow.r_key)
              baseline.d_rows)
-      then note "row ratio=%g is new in candidate" crow.r_ratio)
+      then note "row %s is new in candidate" crow.r_key)
     candidate.d_rows;
   {
     v_regressions = List.rev !regressions;

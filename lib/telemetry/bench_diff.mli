@@ -1,10 +1,12 @@
 (** Perf-regression gate over [BENCH_*.json] documents.
 
-    The bench harness sweep ([bench/harness.ml]) writes one JSON
-    document per figure: rows keyed by local-memory ratio, each row
-    holding per-system simulated work times.  This module parses two
-    such documents (a committed baseline and a fresh candidate) and
-    compares them with a relative noise tolerance.  The comparison is
+    The bench harness writes one JSON document per figure.  Sweep
+    documents (BENCH_micro) key rows by local-memory ratio and nest
+    per-system simulated work times; dataplane and chaos documents key
+    rows by a config string (plus a seed for chaos) with one flat
+    [work_ms].  This module parses either shape into string-keyed rows
+    and compares two documents (a committed baseline and a fresh
+    candidate) with a relative noise tolerance.  The comparison is
     pure so the test suite can exercise it on synthetic documents;
     [bin bench/mira_bench_diff] wraps it as a CLI that CI runs. *)
 
@@ -13,8 +15,12 @@ type outcome =
   | Failed of string  (** the system could not run (e.g. AIFM OOM) *)
 
 type row = {
-  r_ratio : float;  (** local memory as a fraction of far data *)
+  r_key : string;
+      (** ["ratio=<g>"] for sweep rows, ["<config>"] or
+          ["<config> seed=<n>"] for dataplane/chaos rows *)
   r_systems : (string * outcome) list;
+      (** per-system outcomes; flat rows get a single ["work_ms"]
+          pseudo-system *)
 }
 
 type doc = {
@@ -41,7 +47,7 @@ type verdict = {
 }
 
 val compare_docs : tolerance:float -> baseline:doc -> candidate:doc -> verdict
-(** Match rows by ratio and systems by name; a candidate time more
+(** Match rows by key and systems by name; a candidate time more
     than [tolerance] (relative, e.g. [0.05] = 5%) above baseline is a
     regression.  Rows or systems present in baseline but missing from
     the candidate are regressions (silent coverage loss); new ones are

@@ -7,9 +7,12 @@ let level () = !current
 let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
 
 let emit at fmt =
-  Printf.ksprintf
-    (fun s -> if rank !current >= rank at then prerr_endline ("[mira] " ^ s))
-    fmt
+  (* Decide before formatting: [ksprintf] renders its arguments
+     eagerly, so a suppressed level must take the [ikfprintf] path or
+     hot-path callers pay the formatting cost for nothing. *)
+  if rank !current >= rank at then
+    Printf.ksprintf (fun s -> prerr_endline ("[mira] " ^ s)) fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
 
 let info fmt = emit Info fmt
 let debug fmt = emit Debug fmt

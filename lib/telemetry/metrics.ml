@@ -18,11 +18,17 @@ let bucket_of v =
 let bucket_lo i = Float.pow 2.0 (float_of_int i /. float_of_int buckets_per_octave)
 let bucket_hi i = bucket_lo (i + 1)
 
+type exemplar = { ex_value_ns : float; ex_trace : int; ex_seq : int }
+
+let exemplar_cap = 4
+
 type hist = {
   counts : int array;
   online : Stats.online;
   mutable h_min : float;
   mutable h_max : float;
+  mutable exemplars : exemplar list;  (* slowest first, at most [exemplar_cap] *)
+  mutable obs_seq : int;
 }
 
 let hist_create () =
@@ -31,15 +37,36 @@ let hist_create () =
     online = Stats.online_create ();
     h_min = infinity;
     h_max = neg_infinity;
+    exemplars = [];
+    obs_seq = 0;
   }
 
-let hist_observe h v =
+(* Ranking is total (value desc, then arrival order), so the reservoir
+   contents are a deterministic function of the observation stream. *)
+let ex_before a b =
+  a.ex_value_ns > b.ex_value_ns
+  || (a.ex_value_ns = b.ex_value_ns && a.ex_seq < b.ex_seq)
+
+let hist_observe ?(trace = 0) h v =
   let i = bucket_of v in
   h.counts.(i) <- h.counts.(i) + 1;
   Stats.online_add h.online v;
   if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+  if v > h.h_max then h.h_max <- v;
+  h.obs_seq <- h.obs_seq + 1;
+  let ex = { ex_value_ns = v; ex_trace = trace; ex_seq = h.obs_seq } in
+  let rec insert = function
+    | [] -> [ ex ]
+    | x :: rest -> if ex_before ex x then ex :: x :: rest else x :: insert rest
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  h.exemplars <- take exemplar_cap (insert h.exemplars)
 
+let hist_exemplars h = h.exemplars
 let hist_count h = Stats.online_count h.online
 let hist_mean h = Stats.online_mean h.online
 let hist_stddev h = Stats.online_stddev h.online
@@ -74,10 +101,20 @@ let hist_reset h =
   Array.fill h.counts 0 nbuckets 0;
   Stats.online_reset h.online;
   h.h_min <- infinity;
-  h.h_max <- neg_infinity
+  h.h_max <- neg_infinity;
+  h.exemplars <- [];
+  h.obs_seq <- 0
+
+let exemplar_to_json e =
+  Json.Obj
+    [
+      ("value_ns", Json.Float e.ex_value_ns);
+      ("trace", Json.Int e.ex_trace);
+      ("seq", Json.Int e.ex_seq);
+    ]
 
 let hist_to_json h =
-  Json.Obj
+  let base =
     [
       ("count", Json.Int (hist_count h));
       ("mean_ns", Json.Float (hist_mean h));
@@ -87,7 +124,17 @@ let hist_to_json h =
       ("p50_ns", Json.Float (hist_percentile h 50.0));
       ("p95_ns", Json.Float (hist_percentile h 95.0));
       ("p99_ns", Json.Float (hist_percentile h 99.0));
+      ("p999_ns", Json.Float (hist_percentile h 99.9));
     ]
+  in
+  (* Exemplars appear only when tracing actually tagged one: untraced
+     runs keep the historical JSON shape byte-for-byte. *)
+  let exemplars =
+    if List.exists (fun e -> e.ex_trace <> 0) h.exemplars then
+      [ ("exemplars", Json.List (List.map exemplar_to_json h.exemplars)) ]
+    else []
+  in
+  Json.Obj (base @ exemplars)
 
 (* --- registry ------------------------------------------------------------ *)
 

@@ -10,6 +10,11 @@
     of float operations on the host — it never touches the simulated
     clock, so enabling telemetry cannot perturb simulated results.
 
+    Each histogram also keeps a small tail-exemplar reservoir: the
+    slowest [exemplar_cap] observations with the trace id active when
+    they were recorded, so a p99/p999 number can be chased back to a
+    concrete causal trace (see [Trace] and [Critical_path]).
+
     The registry is pull-model: components keep their own mutable
     stats and [publish] them under hierarchical dotted names
     ([net.bytes_demand], [section.node.hits], ...) when a report is
@@ -17,10 +22,27 @@
 
 type hist
 
+type exemplar = {
+  ex_value_ns : float;
+  ex_trace : int;  (** trace id carried by the observation; 0 = untraced *)
+  ex_seq : int;  (** 1-based arrival index within this histogram *)
+}
+
+val exemplar_cap : int
+(** Reservoir size: the slowest-N observations are retained. *)
+
 val hist_create : unit -> hist
-val hist_observe : hist -> float -> unit
+
+val hist_observe : ?trace:int -> hist -> float -> unit
 (** Record a sample (ns).  Non-positive samples land in the lowest
-    bucket; min/max/mean remain exact. *)
+    bucket; min/max/mean remain exact.  [?trace] tags the sample with
+    the trace id of the access that produced it (default 0 =
+    untraced); the reservoir keeps the slowest [exemplar_cap] samples,
+    breaking value ties toward the earliest arrival so contents are
+    deterministic. *)
+
+val hist_exemplars : hist -> exemplar list
+(** Slowest first; at most [exemplar_cap]. *)
 
 val hist_count : hist -> int
 val hist_mean : hist -> float
@@ -34,10 +56,13 @@ val hist_percentile : hist -> float -> float
     clamped to the exact observed min/max.  0 on an empty histogram. *)
 
 val hist_reset : hist -> unit
+(** Clears buckets, moments, and the exemplar reservoir. *)
 
 val hist_to_json : hist -> Json.t
 (** [{count, mean_ns, stddev_ns, min_ns, max_ns, p50_ns, p95_ns,
-    p99_ns}]. *)
+    p99_ns, p999_ns}]; an ["exemplars"] list ([{value_ns, trace,
+    seq}]) is appended only when at least one exemplar carries a
+    nonzero trace id, so untraced runs keep the historical shape. *)
 
 (** {1 Registry} *)
 

@@ -404,7 +404,8 @@ let test_doc_drift_guard () =
 let mk_doc ?(title = "micro") ?(native = Some 2.0) rows =
   { Diff.d_title = title; d_native_work_ms = native; d_rows = rows }
 
-let row ratio systems = { Diff.r_ratio = ratio; r_systems = systems }
+let row ratio systems =
+  { Diff.r_key = Printf.sprintf "ratio=%g" ratio; r_systems = systems }
 
 let baseline_doc =
   mk_doc

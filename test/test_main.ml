@@ -15,6 +15,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("controller", Test_controller.suite);
       ("telemetry", Test_telemetry.suite);
+      ("critical-path", Test_critical_path.suite);
       ("attribution", Test_attribution.suite);
       ("random-programs", Test_random_programs.suite);
     ]

@@ -110,6 +110,59 @@ let test_hist_percentiles () =
   Metrics.hist_reset h;
   Alcotest.(check int) "reset" 0 (Metrics.hist_count h)
 
+let test_hist_edges () =
+  (* empty: every percentile is 0, not NaN *)
+  let h = Metrics.hist_create () in
+  Alcotest.(check (float 0.0)) "empty p0" 0.0 (Metrics.hist_percentile h 0.0);
+  Alcotest.(check (float 0.0)) "empty p100" 0.0 (Metrics.hist_percentile h 100.0);
+  (* single observation: all percentiles clamp to the one value *)
+  Metrics.hist_observe h 123.0;
+  Alcotest.(check int) "count" 1 (Metrics.hist_count h);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single p%g" p)
+        123.0 (Metrics.hist_percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  Alcotest.(check (float 0.0)) "single mean" 123.0 (Metrics.hist_mean h)
+
+let test_exemplar_reservoir () =
+  let h = Metrics.hist_create () in
+  List.iter
+    (fun (v, t) -> Metrics.hist_observe ~trace:t h v)
+    [ (10.0, 1); (50.0, 2); (50.0, 3); (30.0, 4); (70.0, 5); (20.0, 6) ]
+  ;
+  (* slowest [exemplar_cap] kept, value-descending, ties broken toward
+     the earliest arrival: deterministic for a fixed input sequence *)
+  let ex = Metrics.hist_exemplars h in
+  Alcotest.(check int) "reservoir full" Metrics.exemplar_cap (List.length ex);
+  Alcotest.(check (list (float 0.0))) "slowest first" [ 70.0; 50.0; 50.0; 30.0 ]
+    (List.map (fun e -> e.Metrics.ex_value_ns) ex);
+  Alcotest.(check (list int)) "tie keeps earliest arrival" [ 5; 2; 3; 4 ]
+    (List.map (fun e -> e.Metrics.ex_seq) ex);
+  Alcotest.(check (list int)) "traces ride along" [ 5; 2; 3; 4 ]
+    (List.map (fun e -> e.Metrics.ex_trace) ex);
+  (* a second histogram fed the same sequence agrees exactly *)
+  let h2 = Metrics.hist_create () in
+  List.iter
+    (fun (v, t) -> Metrics.hist_observe ~trace:t h2 v)
+    [ (10.0, 1); (50.0, 2); (50.0, 3); (30.0, 4); (70.0, 5); (20.0, 6) ]
+  ;
+  Alcotest.(check bool) "deterministic" true (ex = Metrics.hist_exemplars h2);
+  (* untraced histograms keep the historical JSON shape *)
+  let plain = Metrics.hist_create () in
+  Metrics.hist_observe plain 5.0;
+  Alcotest.(check bool) "no exemplars key when untraced" true
+    (Json.member "exemplars" (Metrics.hist_to_json plain) = None);
+  (match Json.member "exemplars" (Metrics.hist_to_json h) with
+  | Some (Json.List l) ->
+    Alcotest.(check int) "exemplars serialized" Metrics.exemplar_cap
+      (List.length l)
+  | _ -> Alcotest.fail "traced histogram must serialize exemplars");
+  Metrics.hist_reset h;
+  Alcotest.(check int) "reset clears reservoir" 0
+    (List.length (Metrics.hist_exemplars h))
+
 let test_registry () =
   let reg = Metrics.create () in
   Metrics.set_counter reg "a.count" 7;
@@ -164,6 +217,51 @@ let test_trace_sink () =
   (* disabled sink must ignore pushes *)
   Trace.complete ~name:"xfer" ~cat:"net" ~lane:"net" ~ts_ns:0.0 ~dur_ns:1.0 ();
   Alcotest.(check int) "no-op when disabled" 0 (List.length (Trace.events ()))
+
+(* The controller-category exemption has its own cap: once both the
+   main buffer and the controller headroom are full, controller events
+   are dropped and counted like everything else. *)
+let test_ctrl_cap_bounded () =
+  Trace.enable ();
+  Trace.set_limit 5;
+  Trace.set_ctrl_limit 3;
+  for i = 0 to 9 do
+    Trace.complete ~name:"xfer" ~cat:"net" ~lane:"net" ~ts_ns:(float_of_int i)
+      ~dur_ns:1.0 ()
+  done;
+  for i = 0 to 9 do
+    Trace.instant ~name:"accept" ~cat:"controller" ~lane:"controller"
+      ~ts_ns:(float_of_int i) ()
+  done;
+  Alcotest.(check int) "main cap + controller headroom" 8
+    (List.length (Trace.events ()));
+  Alcotest.(check int) "overflow counted" 12 (Trace.dropped ());
+  Trace.set_limit 200_000;
+  Trace.set_ctrl_limit 20_000;
+  Trace.disable ();
+  Trace.clear ()
+
+(* --- logging ------------------------------------------------------------- *)
+
+(* A suppressed level must not even format its arguments: [%t] lets the
+   message observe whether formatting ran. *)
+let test_log_lazy () =
+  let module Log = Mira_telemetry.Log in
+  let saved = Log.level () in
+  let hit = ref false in
+  let probe () =
+    hit := true;
+    "probe"
+  in
+  Log.set_level Log.Quiet;
+  Log.debug "%t" probe;
+  Alcotest.(check bool) "suppressed level formats nothing" false !hit;
+  Log.info "%t" probe;
+  Alcotest.(check bool) "suppressed info formats nothing" false !hit;
+  Log.set_level Log.Debug;
+  Log.debug "%t" probe;
+  Alcotest.(check bool) "active level formats" true !hit;
+  Log.set_level saved
 
 (* --- decisions ----------------------------------------------------------- *)
 
@@ -266,8 +364,15 @@ let test_no_perturbation () =
   let off = run_once ~attr:false () in
   Trace.enable ();
   let on = run_once ~attr:true () in
+  let events = Trace.events () in
   Trace.disable ();
   Trace.clear ();
+  (* guard against the check going vacuous: the traced run must have
+     actually exercised the causal-span paths, including nesting *)
+  Alcotest.(check bool) "traced run emitted causal spans" true
+    (List.exists
+       (fun e -> e.Trace.ev_phase = Trace.Begin && e.Trace.ev_parent <> 0)
+       events);
   Alcotest.(check (float 0.0)) "identical simulated time" off on
 
 (* Resets must clear every run counter: after [reset_timing] all
@@ -314,8 +419,12 @@ let suite =
     Alcotest.test_case "json accessors" `Quick test_json_accessors;
     Alcotest.test_case "hist empty" `Quick test_hist_empty;
     Alcotest.test_case "hist percentiles" `Quick test_hist_percentiles;
+    Alcotest.test_case "hist edge cases" `Quick test_hist_edges;
+    Alcotest.test_case "exemplar reservoir" `Quick test_exemplar_reservoir;
     Alcotest.test_case "registry" `Quick test_registry;
     Alcotest.test_case "trace sink" `Quick test_trace_sink;
+    Alcotest.test_case "controller cap bounded" `Quick test_ctrl_cap_bounded;
+    Alcotest.test_case "log lazy formatting" `Quick test_log_lazy;
     Alcotest.test_case "decision render" `Quick test_decision_render;
     Alcotest.test_case "end-to-end report" `Slow test_end_to_end_report;
     Alcotest.test_case "no perturbation" `Slow test_no_perturbation;
