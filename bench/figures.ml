@@ -91,7 +91,7 @@ let node_cfg ?(structure = Section.Set_assoc 8) ?(line = 128) ~size () =
 let fig5 () =
   let prog = G.build graph_cfg in
   let far = G.far_bytes graph_cfg in
-  let ctx = make_ctx ~far_bytes:far prog in
+  let ctx = Ctx.make ~far_bytes:far prog in
   sweep ctx ~far_bytes:far ~ratios:ratios_wide
     ~systems:[ Fastswap; Leap; Aifm graph_aifm; Mira_sys mira_default ]
     ~title:"Figure 5: graph traversal, relative performance vs local memory"
@@ -117,7 +117,7 @@ let ablations =
 let cumulative_ablation ~title ~prog ~far ?(params = Mira_sim.Params.default)
     ?(extra = []) ~ratio () =
   Printf.printf "\n### %s\n" title;
-  let ctx = make_ctx ~params ~far_bytes:far ~mira_iterations:3 prog in
+  let ctx = Ctx.make ~far_bytes:far prog |> Ctx.with_params params |> Ctx.with_iterations 3 in
   let native =
     match run ctx ~budget:ctx.far_capacity Native with
     | Time t -> t
@@ -392,7 +392,7 @@ let fig13 () =
 let fig15 () =
   let prog = G.build graph_cfg in
   let far = G.far_bytes graph_cfg in
-  let ctx = make_ctx ~far_bytes:far prog in
+  let ctx = Ctx.make ~far_bytes:far prog in
   Printf.printf "\n### Figure 15: prefetching and eviction hints (graph)\n";
   let native =
     match run ctx ~budget:ctx.far_capacity Native with
@@ -424,7 +424,7 @@ let fig15 () =
 let fig16 () =
   let prog = D.build df_cfg in
   let far = D.far_bytes df_cfg in
-  let ctx = make_ctx ~far_bytes:far ~mira_iterations:4 prog in
+  let ctx = Ctx.make ~far_bytes:far prog |> Ctx.with_iterations 4 in
   sweep ctx ~far_bytes:far ~ratios:ratios_wide
     ~systems:[ Fastswap; Leap; Aifm D.aifm_gran; Mira_sys mira_default ]
     ~title:"Figure 16: DataFrame, relative performance vs local memory"
@@ -432,7 +432,10 @@ let fig16 () =
 let fig17 () =
   let prog = Gpt.build gpt_cfg in
   let far = Gpt.far_bytes gpt_cfg in
-  let ctx = make_ctx ~params:gpt_params ~far_bytes:far ~mira_iterations:4 prog in
+  let ctx =
+    Ctx.make ~far_bytes:far prog
+    |> Ctx.with_params gpt_params |> Ctx.with_iterations 4
+  in
   sweep ctx ~far_bytes:far ~ratios:ratios_narrow
     ~systems:[ Fastswap; Leap; Mira_sys mira_default ]
     ~title:"Figure 17: GPT-2 inference, relative performance vs local memory"
@@ -440,7 +443,7 @@ let fig17 () =
 let fig18 () =
   let prog = M.build mcf_cfg in
   let far = M.far_bytes mcf_cfg in
-  let ctx = make_ctx ~far_bytes:far prog in
+  let ctx = Ctx.make ~far_bytes:far prog in
   sweep ctx ~far_bytes:far ~ratios:ratios_wide
     ~systems:[ Fastswap; Leap; Aifm M.aifm_gran; Mira_sys mira_default ]
     ~title:"Figure 18: MCF, relative performance vs local memory"
@@ -464,7 +467,7 @@ let fig19 () =
   let t = Table.create ~header:[ "application"; "mira"; "aifm" ] in
   List.iter
     (fun (name, prog, far, params) ->
-      let ctx = make_ctx ~params ~far_bytes:far prog in
+      let ctx = Ctx.make ~far_bytes:far prog |> Ctx.with_params params in
       let native =
         match run ctx ~budget:ctx.far_capacity Native with
         | Time v -> v
@@ -585,7 +588,7 @@ let fig23 () =
   let cfg = { df_cfg with D.ops = `Agg_only } in
   let prog = D.build cfg in
   let far = D.far_bytes cfg in
-  let ctx = make_ctx ~far_bytes:far prog in
+  let ctx = Ctx.make ~far_bytes:far prog in
   Printf.printf "\n### Figure 23: batching (DataFrame avg/min/max job)\n";
   let native =
     match run ctx ~budget:ctx.far_capacity Native with
@@ -618,7 +621,10 @@ let fig23 () =
 let thread_sweep ~title ~prog ~far ~params ~ratio ~systems () =
   Printf.printf "\n### %s\n" title;
   let budget = int_of_float (float_of_int far *. ratio) in
-  let base_ctx = make_ctx ~params ~far_bytes:far ~mira_iterations:3 prog in
+  let base_ctx =
+    Ctx.make ~far_bytes:far prog
+    |> Ctx.with_params params |> Ctx.with_iterations 3
+  in
   let native1 =
     match run base_ctx ~budget:base_ctx.far_capacity Native with
     | Time t -> t

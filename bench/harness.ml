@@ -32,18 +32,43 @@ type ctx = {
   verbose : bool;
   mira_iterations : int;
   nthreads : int;
+  tenants : int;
 }
 
-let make_ctx ?(params = Mira_sim.Params.default) ?(verbose = false)
-    ?(mira_iterations = 4) ?(nthreads = 1) ~far_bytes prog =
-  {
-    params;
-    far_capacity = Mira_util.Misc.round_up (4 * far_bytes) 4096;
-    prog;
-    verbose;
-    mira_iterations;
-    nthreads;
-  }
+(* Benchmark-context builder: [Ctx.make ~far_bytes prog] gives the
+   defaults, [with_*] customizes.  Every system a sweep runs receives
+   the same context, so a tweak (thread count, tenant count, params)
+   applies uniformly. *)
+module Ctx = struct
+  type t = ctx
+
+  let make ~far_bytes prog =
+    {
+      params = Mira_sim.Params.default;
+      far_capacity = Mira_util.Misc.round_up (4 * far_bytes) 4096;
+      prog;
+      verbose = false;
+      mira_iterations = 4;
+      nthreads = 1;
+      tenants = 1;
+    }
+
+  let with_params params t = { t with params }
+  let with_verbose verbose t = { t with verbose }
+
+  let with_iterations mira_iterations t =
+    if mira_iterations < 1 then
+      invalid_arg "Ctx.with_iterations: must be >= 1";
+    { t with mira_iterations }
+
+  let with_nthreads nthreads t =
+    if nthreads < 1 then invalid_arg "Ctx.with_nthreads: must be >= 1";
+    { t with nthreads }
+
+  let with_tenants tenants t =
+    if tenants < 1 then invalid_arg "Ctx.with_tenants: must be >= 1";
+    { t with tenants }
+end
 
 let measured ctx = Mira_passes.Instrument.run_only ctx.prog ~names:[ C.work_function ctx.prog ]
 
@@ -86,6 +111,7 @@ let run_detail ctx ~budget system =
             C.params = p;
             max_iterations = ctx.mira_iterations;
             nthreads = ctx.nthreads;
+            tenants = ctx.tenants;
             verbose = ctx.verbose }
       in
       let compiled = C.optimize opts ctx.prog in

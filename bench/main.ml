@@ -9,7 +9,11 @@
 
 let targets =
   Figures.all_figures
-  @ [ ("micro", Micro.run); ("micro-sweep", Micro.sweep) ]
+  @ [
+      ("micro", Micro.run);
+      ("micro-sweep", Micro.sweep);
+      ("serving", Serving.run);
+    ]
 
 let usage () =
   print_endline "usage: main.exe [--list | --only <id>[,<id>...]]";

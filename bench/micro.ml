@@ -81,7 +81,9 @@ let sweep () =
   let cfg = W.config_default in
   let prog = W.build cfg in
   let far = W.far_bytes cfg in
-  let ctx = Harness.make_ctx ~far_bytes:far ~mira_iterations:3 prog in
+  let ctx =
+    Harness.Ctx.make ~far_bytes:far prog |> Harness.Ctx.with_iterations 3
+  in
   Harness.sweep ctx ~far_bytes:far ~ratios:[ 0.2; 0.5 ]
     ~systems:
       [ Harness.Fastswap; Harness.Leap; Harness.Mira_sys (fun o -> o) ]

@@ -1,0 +1,84 @@
+(* Many-tenant kv serving: tail latency vs tenant count.
+
+   The sweep runs the open-loop [Kv_serving] workload at a fixed
+   per-tenant offered load over growing tenant counts, so the shared
+   resources (net link bandwidth, far cluster) cross saturation inside
+   the sweep — p999 and the SLO-miss fraction blow up where they do in
+   the paper's motivation.  Writes BENCH_serving.json (config-keyed
+   rows, one [tenants=N] row per count plus a [tenants=N p999] row so
+   the perf-regression gate guards the tail, not just the elapsed
+   time). *)
+module K = Mira_workloads.Kv_serving
+module Json = Mira_telemetry.Json
+module Table = Mira_util.Table
+
+let tenant_counts = [ 1; 2; 4; 8 ]
+
+(* Swap-like sections (4 KiB lines), uniform keys, small cache ratio:
+   high miss-byte rate, so the shared 6.25 B/ns link saturates between
+   4 and 8 tenants at a 250 krps per-tenant offered load. *)
+let sweep_cfg tenants =
+  {
+    K.config_default with
+    K.tenants;
+    requests = 2_500;
+    keys = 16_384;
+    value_bytes = 64;
+    line = 4096;
+    local_ratio = 0.125;
+    zipf_s = 0.0;
+    arrival_ns = 4_000.0;
+  }
+
+let run () =
+  Printf.printf "\n### Serving: kv tail latency vs tenant count\n";
+  let t =
+    Table.create
+      ~header:
+        [ "tenants"; "krps"; "p50 us"; "p99 us"; "p999 us"; "SLO miss" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let r = K.run (sweep_cfg n) in
+      Table.add_row t
+        [
+          string_of_int n;
+          Printf.sprintf "%.0f" (r.K.throughput_rps /. 1e3);
+          Printf.sprintf "%.1f" (r.K.agg_p50_ns /. 1e3);
+          Printf.sprintf "%.1f" (r.K.agg_p99_ns /. 1e3);
+          Printf.sprintf "%.1f" (r.K.agg_p999_ns /. 1e3);
+          Printf.sprintf "%.2f%%" (100.0 *. r.K.agg_slo_miss_frac);
+        ];
+      let key = Printf.sprintf "tenants=%d" n in
+      let detail =
+        match K.report_json r with Json.Obj fields -> fields | _ -> []
+      in
+      rows :=
+        Json.Obj
+          [
+            ("config", Json.Str (key ^ " p999"));
+            ("work_ms", Json.Float (r.K.agg_p999_ns /. 1e6));
+          ]
+        :: Json.Obj
+             (("config", Json.Str key)
+             :: ("work_ms", Json.Float (r.K.elapsed_ns /. 1e6))
+             :: detail)
+        :: !rows)
+    tenant_counts;
+  Table.print t;
+  match Harness.bench_json_dir () with
+  | None -> ()
+  | Some dir ->
+    let doc =
+      Json.Obj
+        [ ("title", Json.Str "serving"); ("rows", Json.List (List.rev !rows)) ]
+    in
+    let path = Filename.concat dir "BENCH_serving.json" in
+    (try
+       let oc = open_out path in
+       output_string oc (Json.to_string_pretty doc);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "[bench json: %s]\n" path
+     with Sys_error msg -> Printf.eprintf "[bench json skipped: %s]\n" msg)

@@ -52,22 +52,158 @@ let workload_of = function
 let usage_error msg =
   Printf.eprintf "mira_compare: %s\n" msg;
   prerr_endline
-    "Usage: mira_compare [-w WORKLOAD] [-r RATIO] [-i N] [-t N] [OPTION]…\n\
+    "Usage: mira_compare [-w WORKLOAD] [-r RATIO] [-i N] [-t N] \
+     [--tenants N] [OPTION]…\n\
      Try 'mira_compare --help' for more information.";
   exit 2
 
-let compare_systems wname ratio iterations threads net_window net_coalesce
-    verbose json_out trace_out flame_out cpath_out =
+(* The kv workload is not a MIR program run through the interpreter:
+   it drives Mira's runtime directly with N open-loop serving loops
+   interleaved on the discrete-event scheduler, and reports tail
+   latency against an SLO instead of a systems comparison. *)
+let serve_kv ratio tenants requests verbose json_out trace_out flame_out
+    cpath_out =
+  let module K = Mira_workloads.Kv_serving in
+  let module Table = Mira_util.Table in
+  if not (Float.is_finite ratio) || ratio <= 0.0 || ratio > 1.0 then
+    usage_error
+      (Printf.sprintf
+         "invalid ratio %g (the kv workload caches ratio of its data \
+          locally; need a finite value in (0,1])"
+         ratio);
+  if requests < 1 then
+    usage_error (Printf.sprintf "invalid requests %d (need >= 1)" requests);
+  let cfg = { K.config_default with K.tenants; requests; local_ratio = ratio } in
+  Printf.printf
+    "kv: %d tenant(s), %d requests each, %d keys x %d B, %.0f%% cached \
+     locally, SLO %.0f us\n\n"
+    tenants cfg.K.requests cfg.K.keys cfg.K.value_bytes (ratio *. 100.0)
+    (cfg.K.slo_ns /. 1e3);
+  if trace_out <> None || cpath_out <> None then Trace.enable ();
+  let rt = Mira_runtime.Runtime.create (K.runtime_config cfg) in
+  let r = K.run_on rt cfg in
+  let t =
+    Table.create
+      ~header:[ "tenant"; "p50 us"; "p99 us"; "p999 us"; "SLO miss" ]
+  in
+  Array.iter
+    (fun (tr : K.tenant_report) ->
+      Table.add_row t
+        [
+          string_of_int tr.K.tenant;
+          Printf.sprintf "%.1f" (tr.K.p50_ns /. 1e3);
+          Printf.sprintf "%.1f" (tr.K.p99_ns /. 1e3);
+          Printf.sprintf "%.1f" (tr.K.p999_ns /. 1e3);
+          Printf.sprintf "%.2f%%" (100.0 *. tr.K.slo_miss_frac);
+        ])
+    r.K.per_tenant;
+  Table.print t;
+  Printf.printf
+    "\naggregate: %.0f krps, p50 %.1f us, p99 %.1f us, p999 %.1f us, SLO \
+     miss %.2f%%, checksum %016Lx\n"
+    (r.K.throughput_rps /. 1e3)
+    (r.K.agg_p50_ns /. 1e3)
+    (r.K.agg_p99_ns /. 1e3)
+    (r.K.agg_p999_ns /. 1e3)
+    (100.0 *. r.K.agg_slo_miss_frac)
+    r.K.checksum;
+  if verbose then begin
+    print_newline ();
+    print_string (Mira.Report.runtime_stats rt)
+  end;
+  (match trace_out with
+   | Some path ->
+     let n = List.length (Trace.events ()) in
+     (try
+        Trace.write_jsonl path;
+        Printf.printf "trace written to %s (%d events, %d dropped)\n" path n
+          (Trace.dropped ())
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write trace: %s\n" msg)
+   | None -> ());
+  (match cpath_out with
+   | Some path ->
+     (* The serving latency histograms join the runtime's registry so
+        tail requests decompose alongside the net/cache exemplars. *)
+     let reg = Mira.Report.runtime_metrics rt in
+     K.publish r reg;
+     let evs = Trace.events () in
+     let report = Mira_telemetry.Critical_path.report reg evs in
+     let folded = Mira_telemetry.Critical_path.folded reg evs in
+     (try
+        let oc = open_out path in
+        output_string oc (Json.to_string_pretty report);
+        output_char oc '\n';
+        close_out oc;
+        let oc = open_out (path ^ ".folded") in
+        output_string oc folded;
+        close_out oc;
+        Printf.printf "critical-path report written to %s (+ %s.folded)\n"
+          path path
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write critical-path report: %s\n" msg;
+        exit 1)
+   | None -> ());
+  if trace_out <> None || cpath_out <> None then Trace.disable ();
+  (match flame_out with
+   | Some path ->
+     let folded =
+       Mira_telemetry.Attribution.folded
+         (Mira_runtime.Runtime.attribution rt)
+     in
+     let frames =
+       String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 folded
+     in
+     (try
+        let oc = open_out path in
+        output_string oc folded;
+        close_out oc;
+        Printf.printf "flame stacks written to %s (%d stack(s))\n" path frames
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write flame output: %s\n" msg;
+        exit 1)
+   | None -> ());
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let report =
+      Json.Obj
+        [
+          ("workload", Json.Str "kv");
+          ("ratio", Json.Float ratio);
+          ("serving", K.report_json r);
+          ("mira_runtime_stats", Mira.Report.runtime_stats_json rt);
+          ("stall_attribution", Mira.Report.attribution_json rt);
+        ]
+    in
+    (try
+       let oc = open_out path in
+       output_string oc (Json.to_string_pretty report);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "report written to %s\n" path
+     with Sys_error msg ->
+       Printf.eprintf "error: cannot write report: %s\n" msg;
+       exit 1)
+
+let compare_systems wname ratio iterations threads tenants requests
+    net_window net_coalesce verbose json_out trace_out flame_out cpath_out =
   if not (Float.is_finite ratio) || ratio <= 0.0 then
     usage_error (Printf.sprintf "invalid ratio %g (need a finite value > 0)" ratio);
   if iterations < 1 then
     usage_error (Printf.sprintf "invalid iterations %d (need >= 1)" iterations);
   if threads < 1 then
     usage_error (Printf.sprintf "invalid threads %d (need >= 1)" threads);
+  if tenants < 1 then
+    usage_error (Printf.sprintf "invalid tenants %d (need >= 1)" tenants);
   if net_window < 0 then
     usage_error
       (Printf.sprintf "invalid net-window %d (need >= 0; 0 = unbounded)"
          net_window);
+  if wname = "kv" then
+    serve_kv ratio tenants requests verbose json_out trace_out flame_out
+      cpath_out
+  else begin
   let w = workload_of wname in
   let far_capacity = 4 * w.far_bytes in
   let budget =
@@ -114,7 +250,7 @@ let compare_systems wname ratio iterations threads net_window net_coalesce
   let opts =
     { (C.options_default ~local_budget:budget ~far_capacity) with
       C.params = w.params; max_iterations = iterations; nthreads = threads;
-      dataplane; verbose }
+      tenants; dataplane; verbose }
   in
   let compiled = C.optimize opts w.program in
   let rt, machine = C.instantiate compiled in
@@ -225,15 +361,19 @@ let compare_systems wname ratio iterations threads net_window net_coalesce
      with Sys_error msg ->
        Printf.eprintf "error: cannot write report: %s\n" msg;
        exit 1)
+  end
 
 open Cmdliner
 
 let workload_arg =
   (* An enum conv: an unknown workload is a parse error (usage + exit 2),
      not an uncaught exception deep in the run. *)
-  let names = [ "graph"; "dataframe"; "mcf"; "gpt2" ] in
+  let names = [ "graph"; "dataframe"; "mcf"; "gpt2"; "kv" ] in
   Arg.(value & opt (enum (List.map (fun n -> (n, n)) names)) "graph"
-       & info [ "w"; "workload" ] ~doc:"graph | dataframe | mcf | gpt2")
+       & info [ "w"; "workload" ]
+           ~doc:"graph | dataframe | mcf | gpt2 | kv (kv = many-tenant \
+                 serving on the discrete-event scheduler; reports tail \
+                 latency instead of a systems comparison)")
 
 let ratio_arg =
   Arg.(value & opt float 0.25
@@ -244,6 +384,19 @@ let iter_arg =
 
 let threads_arg =
   Arg.(value & opt int 1 & info [ "t"; "threads" ] ~doc:"simulated threads")
+
+let tenants_arg =
+  Arg.(value & opt int 1
+       & info [ "tenants" ]
+           ~doc:"tenant contexts interleaved on the discrete-event \
+                 scheduler (the kv workload runs one serving loop per \
+                 tenant; 1 = the historical single-tenant mode)")
+
+let requests_arg =
+  Arg.(value & opt int Mira_workloads.Kv_serving.config_default.requests
+       & info [ "requests" ]
+           ~doc:"kv workload: requests per tenant (ignored by the MIR \
+                 workloads)")
 
 let net_window_arg =
   Arg.(value & opt int 0
@@ -293,8 +446,9 @@ let cmd =
   let doc = "compare memory systems on a Mira workload" in
   Cmd.v (Cmd.info "mira_compare" ~doc)
     Term.(const compare_systems $ workload_arg $ ratio_arg $ iter_arg
-          $ threads_arg $ net_window_arg $ net_coalesce_arg $ verbose_arg
-          $ json_arg $ trace_arg $ flame_arg $ cpath_arg)
+          $ threads_arg $ tenants_arg $ requests_arg $ net_window_arg
+          $ net_coalesce_arg $ verbose_arg $ json_arg $ trace_arg
+          $ flame_arg $ cpath_arg)
 
 (* Exit 0 on success/help, 2 on any command-line error (Cmdliner has
    already printed the error and usage line to stderr), 125 on an

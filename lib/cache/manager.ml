@@ -84,7 +84,9 @@ let check_cluster t ~clock =
             Mira_sim.Net.fence ~dir:Mira_sim.Net.Request.Write t.net
               ~now:(Mira_sim.Clock.now clock)
           in
-          let stall = Mira_sim.Clock.wait_until clock done_at in
+          let stall =
+            Mira_sim.Clock.wait_event clock ~ev:Mira_sim.Clock.Fence done_at
+          in
           charge t Mira_telemetry.Attribution.Failover_recovery stall;
           let recovery_ns = Mira_sim.Clock.now clock -. start in
           Mira_sim.Cluster.observe_recovery t.cluster recovery_ns;
@@ -202,7 +204,9 @@ let end_section t ~clock ~id =
     let done_at =
       Mira_sim.Net.fence ~dir:Mira_sim.Net.Request.Write t.net ~now
     in
-    let stall = Mira_sim.Clock.wait_until clock done_at in
+    let stall =
+      Mira_sim.Clock.wait_event clock ~ev:Mira_sim.Clock.Fence done_at
+    in
     charge t Mira_telemetry.Attribution.Reconfig stall;
     t.section_bytes <- t.section_bytes - (Section.config section).Section.size;
     Hashtbl.remove t.sections id;

@@ -246,7 +246,11 @@ let post_writeback t ~clock ~sync =
     let sq = Mira_sim.Net.submit t.net ~now ~urgent:true (req ~flow:false) in
     Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
     let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
-    let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
+    let stall =
+      Mira_sim.Clock.wait_event clock
+        ~ev:(Mira_sim.Clock.Net_completion sq.Mira_sim.Net.id)
+        c.Mira_sim.Net.done_at
+    in
     charge_stall t Mira_telemetry.Attribution.Writeback stall
   end
   else begin
@@ -389,7 +393,9 @@ let touch t ~clock slot =
   line.evictable <- false
 
 let wait_ready t ~clock line =
-  let stall = Mira_sim.Clock.wait_until clock line.ready_at in
+  let stall =
+    Mira_sim.Clock.wait_event clock ~ev:Mira_sim.Clock.Cache_fill line.ready_at
+  in
   if stall > 0.0 then begin
     t.stats.late_prefetch <- t.stats.late_prefetch + 1;
     t.stats.stall_ns <- t.stats.stall_ns +. stall;
@@ -479,7 +485,10 @@ let ensure t ~clock ~addr ~for_write =
         Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
         let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
         let slot = install t ~clock ~tag ~ready_at:c.Mira_sim.Net.done_at in
-        let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
+        let stall =
+          Mira_sim.Clock.wait_event clock ~ev:Mira_sim.Clock.Cache_fill
+            c.Mira_sim.Net.done_at
+        in
         charge_split t c stall;
         t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
         slot

@@ -153,7 +153,11 @@ let writeback t ~clock frame ~sync =
       let x = Mira_sim.Net.submit t.net ~now ~urgent:true (req ~flow:false) in
       Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
       let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
-      let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
+      let stall =
+        Mira_sim.Clock.wait_event clock
+          ~ev:(Mira_sim.Clock.Net_completion x.Mira_sim.Net.id)
+          c.Mira_sim.Net.done_at
+      in
       charge_stall t Mira_telemetry.Attribution.Writeback stall
     end
     else begin
@@ -321,7 +325,10 @@ let fault t ~clock ~pno =
   Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
   let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
   let idx = install t ~clock ~pno ~ready_at:c.Mira_sim.Net.done_at in
-  let stall = Mira_sim.Clock.wait_until clock c.Mira_sim.Net.done_at in
+  let stall =
+    Mira_sim.Clock.wait_event clock ~ev:Mira_sim.Clock.Cache_fill
+      c.Mira_sim.Net.done_at
+  in
   charge_split t c stall;
   t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
   (* Readahead decided while the demand page is in flight; the cluster
@@ -369,7 +376,10 @@ let ensure t ~clock ~pno =
   | Some idx ->
     let frame = t.frames.(idx) in
     t.stats.hits <- t.stats.hits + 1;
-    let stall = Mira_sim.Clock.wait_until clock frame.ready_at in
+    let stall =
+      Mira_sim.Clock.wait_event clock ~ev:Mira_sim.Clock.Cache_fill
+        frame.ready_at
+    in
     if stall > 0.0 then begin
       t.stats.late_readahead <- t.stats.late_readahead + 1;
       t.stats.stall_ns <- t.stats.stall_ns +. stall;

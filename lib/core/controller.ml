@@ -24,6 +24,7 @@ type options = {
   max_iterations : int;
   size_samples : float list;
   nthreads : int;
+  tenants : int;
   seed : int;
   feat_sections : bool;
   feat_prefetch : bool;
@@ -45,6 +46,7 @@ let options_default ~local_budget ~far_capacity =
     max_iterations = 3;
     size_samples = [ 0.15; 0.35; 0.7 ];
     nthreads = 1;
+    tenants = 1;
     seed = 42;
     feat_sections = true;
     feat_prefetch = true;
@@ -84,7 +86,8 @@ let make_runtime opts =
       |> with_page opts.params.Params.page_size
       |> with_local_capacity (max opts.far_capacity (1 lsl 20))
       |> with_dataplane opts.dataplane
-      |> with_cluster opts.cluster)
+      |> with_cluster opts.cluster
+      |> with_tenants opts.tenants)
 
 (* Apply section assignments to a fresh runtime.  Read-only sections are
    split per-thread when running multithreaded (§4.6); shared writable

@@ -24,6 +24,10 @@ type options = {
   size_samples : float list;  (** budget fractions sampled for non-
                                   sequential sections *)
   nthreads : int;
+  tenants : int;
+      (** tenant contexts on every runtime the controller creates
+          ([Mira_runtime.Runtime.Config.with_tenants]); 1 = the
+          historical single-tenant mode *)
   seed : int;
   feat_sections : bool;  (** ablation toggles (Figures 6/15/21/23) *)
   feat_prefetch : bool;

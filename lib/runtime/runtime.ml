@@ -14,6 +14,9 @@ type config = {
          initial configuration behaves like an optimized kernel swap) *)
   dataplane : Sim.Net.dp_config;
   cluster : Sim.Cluster.spec;
+  tenants : int;
+      (* independent app contexts interleaving on the discrete-event
+         scheduler; 1 = the historical serialized single-tenant mode *)
 }
 
 module Config = struct
@@ -31,6 +34,7 @@ module Config = struct
       swap_readahead = 8;
       dataplane = Sim.Net.dp_default;
       cluster = Sim.Cluster.spec_default;
+      tenants = 1;
     }
 
   let with_params params c = { c with params }
@@ -41,6 +45,11 @@ module Config = struct
   let with_alloc_chunk alloc_chunk c = { c with alloc_chunk }
   let with_dataplane dataplane c = { c with dataplane }
   let with_cluster cluster c = { c with cluster }
+
+  let with_tenants tenants c =
+    if tenants < 1 then
+      invalid_arg (Printf.sprintf "Config.with_tenants: %d (need >= 1)" tenants);
+    { c with tenants }
 end
 
 type t = {
@@ -52,6 +61,7 @@ type t = {
   local_space : Sim.Remote_alloc.t;
   remote_space : Sim.Remote_alloc.t;
   local_alloc : Local_alloc.t;
+  sched : Sim.Sched.t;
   clocks : (int, Sim.Clock.t) Hashtbl.t;
   offload_depth : (int, int ref) Hashtbl.t;
   site_ranges : (int, (int * int) list ref) Hashtbl.t;
@@ -95,6 +105,7 @@ let create cfg =
     local_space = Sim.Remote_alloc.create ~base:local_base ~limit:cfg.local_capacity;
     remote_space;
     local_alloc = Local_alloc.create remote_space ~chunk:cfg.alloc_chunk;
+    sched = Sim.Sched.create ();
     clocks = Hashtbl.create 8;
     offload_depth = Hashtbl.create 8;
     site_ranges = Hashtbl.create 32;
@@ -113,13 +124,19 @@ let far_store t = Sim.Cluster.primary t.cluster
 let profile t = t.profile
 let params t = t.cfg.params
 
+(* Every thread/tenant clock is a view over the runtime's scheduler;
+   free-running (yield hook inert) until tasks are spawned on
+   [sched t] and [Sched.run] dispatches more than one of them. *)
 let clock t tid =
   match Hashtbl.find_opt t.clocks tid with
   | Some c -> c
   | None ->
-    let c = Sim.Clock.create () in
+    let c = Sim.Sched.clock t.sched ~tenant:tid in
     Hashtbl.replace t.clocks tid c;
     c
+
+let sched t = t.sched
+let tenants t = t.cfg.tenants
 
 let offload_ref t tid =
   match Hashtbl.find_opt t.offload_depth tid with
@@ -178,15 +195,26 @@ let set_attr_context t ~tid ~site =
    fill, net member, failover recovery) can attach to it; the b/e pair
    itself is emitted retroactively, and only when a child span was
    actually created — trace volume stays proportional to interesting
-   events (misses, stalls, recoveries), not to every hit. *)
+   events (misses, stalls, recoveries), not to every hit.
+
+   When a request-scoped context is already ambient (a serving
+   workload wrapped this access in a per-request span), the access
+   joins that trace and nests under the request span instead of
+   becoming its own root — that is how the critical-path tooling
+   decomposes whole tail requests.  In every pre-existing flow the
+   ambient context here is [None], so nothing changes. *)
 let begin_access ~tid ~site ~clock:c =
   if not (Mira_telemetry.Trace.enabled ()) then None
   else begin
     let module Tr = Mira_telemetry.Trace in
     let saved = Tr.current_ctx () in
-    let trace = Tr.new_trace () in
+    let trace =
+      match saved with
+      | Some ctx when not ctx.Tr.sc_flow -> ctx.Tr.sc_trace
+      | _ -> Tr.new_trace ()
+    in
     let span = Tr.new_span () in
-    let seq = Tr.span_seq () in
+    let stall0 = Sim.Clock.stalled_ns c in
     Tr.set_ctx
       (Some
          {
@@ -196,18 +224,29 @@ let begin_access ~tid ~site ~clock:c =
            sc_lane = "runtime";
            sc_flow = false;
          });
-    Some (saved, trace, span, seq, tid, site, Sim.Clock.now c)
+    Some (saved, trace, span, stall0, tid, site, Sim.Clock.now c)
   end
 
 let end_access ~kind ~clock:c st =
   match st with
   | None -> ()
-  | Some (saved, trace, span, seq, tid, site, t0) ->
+  | Some (saved, trace, span, stall0, tid, site, t0) ->
     let module Tr = Mira_telemetry.Trace in
     Tr.set_ctx saved;
-    if Tr.span_seq () > seq then begin
-      Tr.begin_span ~name:kind ~cat:"runtime" ~lane:"runtime" ~ts_ns:t0 ~trace
-        ~span
+    (* Emission condition: did this access stall its own clock?  Every
+       child span (demand fill, late prefetch, member reap, recovery)
+       is minted while the access waits, so the per-clock stall delta
+       marks "has children" exactly — unlike the global span counter,
+       which other tenants advance while this task is parked on the
+       scheduler. *)
+    if Sim.Clock.stalled_ns c > stall0 then begin
+      let parent =
+        match saved with
+        | Some ctx when not ctx.Tr.sc_flow -> ctx.Tr.sc_span
+        | _ -> 0
+      in
+      Tr.begin_span ~parent ~name:kind ~cat:"runtime" ~lane:"runtime"
+        ~ts_ns:t0 ~trace ~span
         ~args:
           [
             ("site", Mira_telemetry.Json.Int site);
@@ -251,7 +290,11 @@ let alloc t ~tid ~site ~bytes ~heap =
       in
       Sim.Clock.advance c sqe.Sim.Net.issue_cpu_ns;
       let comp = Sim.Net.await t.net ~now ~id:sqe.Sim.Net.id in
-      let stall = Sim.Clock.wait_until c comp.Sim.Net.done_at in
+      let stall =
+        Sim.Clock.wait_event c
+          ~ev:(Sim.Clock.Net_completion sqe.Sim.Net.id)
+          comp.Sim.Net.done_at
+      in
       set_attr_context t ~tid ~site;
       Mira_telemetry.Attribution.charge_parts t.attribution
         (Mira_telemetry.Attribution.split_stall ~stall
@@ -475,6 +518,7 @@ let op_cost t ~tid ns =
 
 let reset_timing t =
   Hashtbl.iter (fun _ c -> Sim.Clock.reset c) t.clocks;
+  Sim.Sched.reset_stats t.sched;
   Sim.Net.reset_stats t.net;
   Sim.Net.reset_link t.net;
   Cache.Manager.reset_stats t.manager;
@@ -509,6 +553,8 @@ let publish t reg =
   Mira_telemetry.Metrics.set_counter reg "runtime.live_far_bytes"
     (Sim.Remote_alloc.live_bytes t.remote_space);
   Mira_telemetry.Metrics.set_counter reg "runtime.nthreads" t.nthreads;
+  Mira_telemetry.Metrics.set_counter reg "runtime.tenants" t.cfg.tenants;
+  Sim.Sched.publish t.sched reg;
   Mira_telemetry.Metrics.set_gauge reg "runtime.elapsed_ns" (elapsed t);
   Mira_telemetry.Metrics.set_counter reg "runtime.lost_bytes" (lost_bytes_total t);
   Mira_telemetry.Metrics.set_counter reg "runtime.degraded"

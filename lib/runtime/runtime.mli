@@ -30,6 +30,11 @@ type config = {
       (** far-memory cluster: node count, replication factor, crash
           schedule ([Mira_sim.Cluster.spec_default] = one node, no
           replication, no crashes — the pre-cluster system) *)
+  tenants : int;
+      (** independent app contexts interleaving on the runtime's
+          discrete-event scheduler ([sched]); 1 (the default) is the
+          historical serialized single-tenant mode and is bit-identical
+          to it *)
 }
 
 (** Builder for [config]: [Config.make ~local_budget ~far_capacity]
@@ -52,6 +57,10 @@ module Config : sig
   val with_alloc_chunk : int -> t -> t
   val with_dataplane : Mira_sim.Net.dp_config -> t -> t
   val with_cluster : Mira_sim.Cluster.spec -> t -> t
+
+  val with_tenants : int -> t -> t
+  (** Number of tenant contexts (>= 1; raises [Invalid_argument]
+      otherwise).  Workloads spawn one task per tenant on [sched]. *)
 end
 
 type t
@@ -68,6 +77,15 @@ val far_store : t -> Mira_sim.Far_store.t
 
 val profile : t -> Profile.t
 val params : t -> Mira_sim.Params.t
+
+val sched : t -> Mira_sim.Sched.t
+(** The runtime's discrete-event scheduler.  Every per-thread/tenant
+    clock handed out by this runtime is a view over it; spawn one task
+    per tenant and [Mira_sim.Sched.run] to interleave them on
+    simulated time (see docs/CONCURRENCY.md). *)
+
+val tenants : t -> int
+(** The configured tenant count ([Config.with_tenants]). *)
 
 val attribution : t -> Mira_telemetry.Attribution.t
 (** The runtime's stall-attribution ledger.  Wired into every stall

@@ -1,20 +1,54 @@
-type t = { mutable now : float; mutable stalled : float }
+type event =
+  | Net_completion of int
+  | Cache_fill
+  | Fence
+  | Timer
 
-let create () = { now = 0.0; stalled = 0.0 }
+let event_name = function
+  | Net_completion _ -> "net_completion"
+  | Cache_fill -> "cache_fill"
+  | Fence -> "fence"
+  | Timer -> "timer"
+
+type t = {
+  mutable now : float;
+  mutable stalled : float;
+  mutable observer : (event -> float -> unit) option;
+}
+
+let create () = { now = 0.0; stalled = 0.0; observer = None }
 let now t = t.now
+let set_observer t obs = t.observer <- obs
+
+let notify t ev =
+  match t.observer with None -> () | Some f -> f ev t.now
+
+(* A NaN delta fails every comparison and a negative-zero delta passes
+   [>= 0.0], so both used to slip through the old [assert] and could
+   poison the monotonic time base (and with it every ledger audit).
+   Reject them loudly instead.  [%h] renders the exact bit pattern. *)
+let check_delta fn dt =
+  if not (dt >= 0.0) || (dt = 0.0 && 1.0 /. dt < 0.0) then
+    invalid_arg (Printf.sprintf "Clock.%s: invalid time delta %h ns" fn dt)
 
 let advance t dt =
-  assert (dt >= 0.0);
-  t.now <- t.now +. dt
+  check_delta "advance" dt;
+  if dt > 0.0 then begin
+    t.now <- t.now +. dt;
+    notify t Timer
+  end
 
-let wait_until t deadline =
+let wait_event t ~ev deadline =
   if deadline > t.now then begin
     let stall = deadline -. t.now in
     t.now <- deadline;
     t.stalled <- t.stalled +. stall;
+    notify t ev;
     stall
   end
   else 0.0
+
+let wait_until ?(ev = Timer) t deadline = wait_event t ~ev deadline
 
 let stalled_ns t = t.stalled
 

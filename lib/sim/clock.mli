@@ -1,22 +1,58 @@
 (** Simulated time.
 
-    One clock per executing thread.  Time is a float number of
-    nanoseconds since simulation start; it only moves forward. *)
+    One clock per executing tenant/thread.  Time is a float number of
+    nanoseconds since simulation start; it only moves forward.
+
+    A clock is either free-running (the historical behaviour: the
+    single serialized app thread owns time) or a {e per-tenant view}
+    over the discrete-event scheduler ([Sched]): the scheduler installs
+    an {!set_observer} hook, and every time this clock moves forward
+    the owning task yields so other tenants with earlier clocks run
+    first.  The float arithmetic below is byte-for-byte the same in
+    both modes — a one-tenant scheduled run is bit-identical to the
+    pre-scheduler serialized clock.
+
+    The scheduler orders clocks on an int64 fixed-point key in units of
+    2{^-16} ns ("ticks", the same fixed point as the attribution
+    ledger); the float here remains the source of truth for all time
+    arithmetic, ticks are only an exact total order for the event
+    queue. *)
+
+type event =
+  | Net_completion of int
+      (** blocked awaiting the network completion with this sqe id *)
+  | Cache_fill  (** blocked on a cache-line/page fill (incl. late prefetch) *)
+  | Fence  (** blocked draining a write fence / ordering barrier *)
+  | Timer  (** plain time passage: compute, arrival timers, backoff *)
+(** Why a clock moved: the typed blocking events tasks suspend on.
+    Purely informational for free-running clocks; the scheduler counts
+    and exposes them per kind. *)
+
+val event_name : event -> string
 
 type t
 
 val create : unit -> t
-(** A clock at time 0. *)
+(** A free-running clock at time 0. *)
 
 val now : t -> float
 (** Current simulated time in nanoseconds. *)
 
 val advance : t -> float -> unit
-(** [advance t dt] moves time forward by [dt] ns. [dt] must be >= 0. *)
+(** [advance t dt] moves time forward by [dt] ns.  Raises
+    [Invalid_argument] when [dt] is NaN, negative, or negative zero —
+    deltas that would silently poison the monotonic time base the
+    stall-attribution ledger audits against. *)
 
-val wait_until : t -> float -> float
+val wait_until : ?ev:event -> t -> float -> float
 (** [wait_until t deadline] advances to [deadline] if it is in the
-    future and returns the stall time (0 if the deadline has passed). *)
+    future and returns the stall time (0 if the deadline has passed).
+    [ev] (default [Timer]) names what the caller is blocked on; under
+    the scheduler it is the typed event the task suspends on. *)
+
+val wait_event : t -> ev:event -> float -> float
+(** [wait_until] with a mandatory event kind (the migrated data-path
+    call sites: net completions, cache fills, fences). *)
 
 val stalled_ns : t -> float
 (** Total time this clock has spent in [wait_until] stalls since
@@ -25,4 +61,10 @@ val stalled_ns : t -> float
 
 val reset : t -> unit
 (** Set time back to 0 and clear the stall accumulator (between
-    independent runs). *)
+    independent runs).  The scheduler hook, if any, is kept. *)
+
+val set_observer : t -> (event -> float -> unit) option -> unit
+(** Install (or clear) the movement hook: called with the event kind
+    and the new [now] after every forward move.  Reserved for [Sched]
+    — the hook is how a tenant task yields; user code should never
+    need it. *)

@@ -124,8 +124,6 @@ type completion = {
 
 type sqe = { id : int; issue_cpu_ns : float }
 
-type xfer = { issue_cpu_ns : float; done_at : float }
-
 let status_name = function
   | Done -> "done"
   | Timed_out -> "timed_out"
@@ -635,16 +633,3 @@ let fail_inflight t ~now =
    failover target exists. *)
 let set_down t ~until = t.down_until <- Float.max t.down_until until
 
-(* --- synchronous shorthands ---------------------------------------------- *)
-
-let fetch t ?(async = false) ~side ~purpose ~now ~bytes () =
-  let sq = submit t ~now ~urgent:(not async) (Request.read ~side ~purpose bytes) in
-  let c = await t ~now ~id:sq.id in
-  { issue_cpu_ns = sq.issue_cpu_ns; done_at = c.done_at }
-
-let push t ?(async = true) ~side ~purpose ~now ~bytes () =
-  let sq =
-    submit t ~now ~urgent:(not async) (Request.write ~side ~purpose bytes)
-  in
-  let c = await t ~now ~id:sq.id in
-  { issue_cpu_ns = sq.issue_cpu_ns; done_at = c.done_at }

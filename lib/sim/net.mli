@@ -28,9 +28,13 @@
     but may carry exactly the bytes requested.
 
     With the default configuration ([dp_default]: unbounded window, no
-    coalescing, no faults) the data plane is bit-identical to the old
-    blocking [fetch]/[push] interface, which survives as a thin
-    synchronous shorthand implemented on [submit]/[await]. *)
+    coalescing, no faults) the data plane is bit-identical to the
+    original blocking fetch/push model.  The synchronous veneers that
+    survived the redesign as a transition aid are gone: every caller —
+    the cache sections, the swap section, [Rpc], the baselines, the
+    tests — posts typed requests with [submit] and reaps completions
+    with [await]/[poll].  A blocking read is simply
+    [submit ~urgent:true] + [await] + a clock wait until [done_at]. *)
 
 type side = One_sided | Two_sided
 
@@ -259,33 +263,6 @@ val set_down : t -> until:float -> unit
     complete as [Node_down] after the loss-detection timer (the fault
     model's [timeout_ns], or one RTT without faults) without touching
     the wire. *)
-
-(** {1 Synchronous shorthands}
-
-    The original blocking interface, now a veneer over
-    [submit]/[await].  With [dp_default] these are bit-identical to the
-    pre-dataplane model. *)
-
-type xfer = {
-  issue_cpu_ns : float;  (** local CPU time consumed posting the message *)
-  done_at : float;  (** absolute simulated time of completion *)
-}
-
-val fetch :
-  t -> ?async:bool -> side:side -> purpose:purpose -> now:float -> bytes:int ->
-  unit -> xfer
-(** Read [bytes] from far memory.  The caller advances its clock by
-    [issue_cpu_ns] immediately and, if the access is blocking, waits
-    until [done_at].  [async] (default false) posts at the batched
-    doorbell cost. *)
-
-val push :
-  t -> ?async:bool -> side:side -> purpose:purpose -> now:float -> bytes:int ->
-  unit -> xfer
-(** Write [bytes] to far memory (used for writeback and RPC argument
-    shipping); fire-and-forget by default ([async] default true), so
-    callers only pay [issue_cpu_ns] unless they need completion
-    (e.g. flush-before-RPC — see [fence]). *)
 
 val reset_link : t -> unit
 (** Forget link occupancy and all queue state (between independent

@@ -1,0 +1,199 @@
+(* Deterministic discrete-event scheduler: N tenant tasks interleave
+   on simulated time.
+
+   Each tenant owns a [Clock] attached to this scheduler.  Whenever a
+   task moves its clock forward (compute, a typed blocking event), the
+   clock's observer performs the [Yield] effect: the task's
+   continuation is parked in the event queue keyed by
+
+       (time in int64 ticks, tenant id, submission seqno)
+
+   and the globally earliest task resumes.  Shared resources (the
+   section cache, the net in-flight window, the far cluster) therefore
+   always observe calls in nondecreasing simulated-time order, and the
+   interleaving is a pure function of the clocks — two runs with the
+   same seeds replay byte-identically.
+
+   Time keys are int64 fixed point in units of 2^-16 ns (the
+   attribution ledger's tick), an exact total order even when two
+   float timestamps differ below float printing precision.  The floats
+   inside [Clock] remain the source of truth for all arithmetic: with
+   a single live task the observer never fires, so a 1-tenant
+   scheduled run is bit-identical to the pre-scheduler serialized
+   clock. *)
+
+type event = Clock.event =
+  | Net_completion of int
+  | Cache_fill
+  | Fence
+  | Timer
+
+let ticks_per_ns = 65536.0
+let ticks_of_ns ns = Int64.of_float (Float.round (ns *. ticks_per_ns))
+let ns_of_ticks t = Int64.to_float t /. ticks_per_ns
+
+type resume =
+  | Start of (unit -> unit)
+  | Resume of (unit, unit) Effect.Deep.continuation
+
+(* [ctx] is the task's ambient trace context, captured when the task
+   parks and reinstalled when it resumes: [Trace.set_ctx] is process
+   state, so without the save/restore a resumed tenant would inherit
+   whatever request span the previously-running tenant left ambient
+   and child spans would attach to the wrong trace. *)
+type entry = {
+  at : int64;
+  tenant : int;
+  seq : int;
+  resume : resume;
+  ctx : Mira_telemetry.Trace.span_ctx option;
+}
+
+type t = {
+  mutable queue : entry list;  (* unordered; dispatch scans for the min *)
+  mutable seq : int;
+  mutable live : int;  (* spawned tasks that have not returned *)
+  mutable running : bool;
+  mutable dispatched : int;
+  clocks : (int, Clock.t) Hashtbl.t;
+  blocks : (string, int) Hashtbl.t;  (* yields per event kind *)
+}
+
+type _ Effect.t += Yield : { at : int64; ev : event } -> unit Effect.t
+
+let create () =
+  {
+    queue = [];
+    seq = 0;
+    live = 0;
+    running = false;
+    dispatched = 0;
+    clocks = Hashtbl.create 8;
+    blocks = Hashtbl.create 8;
+  }
+
+let tenants t = Hashtbl.length t.clocks
+
+let clock t ~tenant =
+  match Hashtbl.find_opt t.clocks tenant with
+  | Some c -> c
+  | None ->
+    let c = Clock.create () in
+    (* The yield point: only fires while the scheduler loop is live and
+       more than one task could be affected by the move — so clocks
+       handed out before [run], after it returns, or in a 1-tenant run
+       behave exactly like free-running clocks. *)
+    Clock.set_observer c
+      (Some
+         (fun ev now ->
+           if t.running && t.live > 1 then
+             Effect.perform (Yield { at = ticks_of_ns now; ev })));
+    Hashtbl.replace t.clocks tenant c;
+    c
+
+let push t entry = t.queue <- entry :: t.queue
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let spawn ?at_ns t ~tenant f =
+  let at =
+    match at_ns with
+    | Some ns -> ticks_of_ns ns
+    | None -> ticks_of_ns (Clock.now (clock t ~tenant))
+  in
+  t.live <- t.live + 1;
+  push t { at; tenant; seq = next_seq t; resume = Start f; ctx = None }
+
+(* Strict total order: earliest tick first, ties by tenant id, then by
+   submission order.  Determinism depends on nothing else. *)
+let entry_before a b =
+  a.at < b.at
+  || (a.at = b.at && (a.tenant < b.tenant || (a.tenant = b.tenant && a.seq < b.seq)))
+
+let pop_earliest t =
+  match t.queue with
+  | [] -> None
+  | first :: rest ->
+    let best = List.fold_left (fun m e -> if entry_before e m then e else m) first rest in
+    t.queue <- List.filter (fun e -> e != best) t.queue;
+    Some best
+
+let count_block t ev =
+  let k = Clock.event_name ev in
+  Hashtbl.replace t.blocks k
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.blocks k))
+
+let run t =
+  if t.running then invalid_arg "Sched.run: already running";
+  t.running <- true;
+  let handler tenant =
+    {
+      Effect.Deep.retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun e ->
+          t.running <- false;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield { at; ev } ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                count_block t ev;
+                push t
+                  {
+                    at;
+                    tenant;
+                    seq = next_seq t;
+                    resume = Resume k;
+                    ctx = Mira_telemetry.Trace.current_ctx ();
+                  })
+          | _ -> None);
+    }
+  in
+  let rec loop () =
+    match pop_earliest t with
+    | None -> ()
+    | Some e ->
+      t.dispatched <- t.dispatched + 1;
+      Mira_telemetry.Trace.set_ctx e.ctx;
+      (match e.resume with
+      | Start f -> Effect.Deep.match_with f () (handler e.tenant)
+      | Resume k -> Effect.Deep.continue k ());
+      loop ()
+  in
+  loop ();
+  Mira_telemetry.Trace.set_ctx None;
+  t.running <- false
+
+let dispatched t = t.dispatched
+
+let block_counts t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.blocks []
+  |> List.sort compare
+
+let elapsed_ns t =
+  Hashtbl.fold (fun _ c acc -> Float.max acc (Clock.now c)) t.clocks 0.0
+
+let publish t reg =
+  Mira_telemetry.Metrics.set_counter reg "sched.tenants" (tenants t);
+  Mira_telemetry.Metrics.set_counter reg "sched.dispatched" t.dispatched;
+  List.iter
+    (fun (k, v) ->
+      Mira_telemetry.Metrics.set_counter reg (Printf.sprintf "sched.block.%s" k) v)
+    (block_counts t)
+
+let reset_stats t =
+  t.dispatched <- 0;
+  Hashtbl.reset t.blocks
+
+let reset t =
+  if t.running then invalid_arg "Sched.reset: scheduler is running";
+  t.queue <- [];
+  t.seq <- 0;
+  t.live <- 0;
+  t.dispatched <- 0;
+  Hashtbl.reset t.blocks;
+  Hashtbl.iter (fun _ c -> Clock.reset c) t.clocks

@@ -1,0 +1,84 @@
+(** Deterministic discrete-event scheduler: the time API for
+    many-tenant simulation.
+
+    [Sched] replaces "one app thread on one serialized clock" with N
+    tenant contexts running as resumable tasks.  Each tenant owns a
+    {!Clock.t} that is a {e view} over this scheduler: whenever a task
+    moves its clock forward — compute time, or blocking on a typed
+    event (net completion, cache-line fill, fence, arrival timer) — it
+    yields, and the task with the globally earliest clock resumes.
+    Tenants thereby contend for the shared section cache, the net
+    in-flight window, and the far cluster in exact simulated-time
+    order.
+
+    {b Determinism.}  Parked tasks are ordered by the triple
+    [(time, tenant id, seqno)] where time is int64 fixed point in
+    units of 2{^-16} ns (the attribution ledger's tick — see
+    [Clock.advance]'s validation) and seqno is the global submission
+    counter.  The interleaving is a pure function of the tasks' clock
+    movements, so identical seeds replay byte-identically.
+
+    {b Single-tenant identity.}  With at most one live task the clocks
+    never yield and all float time arithmetic is untouched: a 1-tenant
+    scheduled run is bit-identical to the pre-scheduler serialized
+    clock. *)
+
+type event = Clock.event =
+  | Net_completion of int
+  | Cache_fill
+  | Fence
+  | Timer
+
+val ticks_per_ns : float
+(** 65536 — the fixed-point scale: 1 tick = 2{^-16} ns. *)
+
+val ticks_of_ns : float -> int64
+(** Nearest-tick conversion used for event-queue ordering keys. *)
+
+val ns_of_ticks : int64 -> float
+
+type t
+
+val create : unit -> t
+
+val clock : t -> tenant:int -> Clock.t
+(** The tenant's clock view, created and attached on first use.
+    Clocks handed out before {!run} (setup), after it returns, or in a
+    run with a single live task behave exactly like free-running
+    clocks. *)
+
+val tenants : t -> int
+(** Number of tenant clocks created so far. *)
+
+val spawn : ?at_ns:float -> t -> tenant:int -> (unit -> unit) -> unit
+(** Register a task for [tenant], runnable at [at_ns] (default: the
+    tenant clock's current time).  Tasks may spawn further tasks while
+    running. *)
+
+val run : t -> unit
+(** Dispatch until no task is runnable.  Raises [Invalid_argument] on
+    re-entry.  Exceptions escaping a task abort the run and propagate. *)
+
+val dispatched : t -> int
+(** Total dispatches (task starts + resumes) — a determinism
+    fingerprint for tests. *)
+
+val block_counts : t -> (string * int) list
+(** Yields per typed-event kind ([cache_fill], [fence],
+    [net_completion], [timer]), sorted by name. *)
+
+val elapsed_ns : t -> float
+(** Max over all tenant clocks. *)
+
+val publish : t -> Mira_telemetry.Metrics.t -> unit
+(** Export [sched.tenants], [sched.dispatched] and per-kind
+    [sched.block.<event>] counters. *)
+
+val reset_stats : t -> unit
+(** Zero [dispatched] and the per-kind block counters without touching
+    clocks or parked tasks (the runtime's [reset_timing] hook). *)
+
+val reset : t -> unit
+(** Drop parked tasks and counters and reset every tenant clock to 0
+    (between independent runs).  Raises [Invalid_argument] while
+    running. *)

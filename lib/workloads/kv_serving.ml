@@ -1,0 +1,371 @@
+module Clock = Mira_sim.Clock
+module Sched = Mira_sim.Sched
+module Runtime = Mira_runtime.Runtime
+module Memsys = Mira_runtime.Memsys
+module Section = Mira_cache.Section
+module Manager = Mira_cache.Manager
+module Metrics = Mira_telemetry.Metrics
+module Trace = Mira_telemetry.Trace
+module Json = Mira_telemetry.Json
+module Prng = Mira_util.Prng
+module Stats = Mira_util.Stats
+
+type config = {
+  tenants : int;
+  requests : int;
+  keys : int;
+  value_bytes : int;
+  zipf_s : float;
+  arrival_ns : float;
+  get_fraction : float;
+  slo_ns : float;
+  local_ratio : float;
+  line : int;
+  seed : int;
+}
+
+let config_default =
+  {
+    tenants = 4;
+    requests = 20_000;
+    keys = 8192;
+    value_bytes = 128;
+    zipf_s = 0.99;
+    arrival_ns = 8_000.0;
+    get_fraction = 0.95;
+    slo_ns = 50_000.0;
+    local_ratio = 0.5;
+    line = 256;
+    seed = 42;
+  }
+
+let fail fmt = Printf.ksprintf invalid_arg ("Kv_serving: " ^^ fmt)
+
+let validate cfg =
+  if cfg.tenants < 1 then fail "tenants must be >= 1 (got %d)" cfg.tenants;
+  if cfg.requests < 1 then fail "requests must be >= 1 (got %d)" cfg.requests;
+  if cfg.keys < 1 then fail "keys must be >= 1 (got %d)" cfg.keys;
+  if cfg.value_bytes < 8 || cfg.value_bytes mod 8 <> 0 then
+    fail "value_bytes must be a positive multiple of 8 (got %d)" cfg.value_bytes;
+  if cfg.line < 8 || cfg.line mod 8 <> 0 then
+    fail "line must be a positive multiple of 8 (got %d)" cfg.line;
+  if not (cfg.zipf_s >= 0.0) then fail "zipf_s must be >= 0 (got %g)" cfg.zipf_s;
+  if not (cfg.arrival_ns > 0.0) then
+    fail "arrival_ns must be > 0 (got %g)" cfg.arrival_ns;
+  if not (cfg.get_fraction >= 0.0 && cfg.get_fraction <= 1.0) then
+    fail "get_fraction must be in [0,1] (got %g)" cfg.get_fraction;
+  if not (cfg.slo_ns > 0.0) then fail "slo_ns must be > 0 (got %g)" cfg.slo_ns;
+  if not (cfg.local_ratio > 0.0 && cfg.local_ratio <= 1.0) then
+    fail "local_ratio must be in (0,1] (got %g)" cfg.local_ratio
+
+type tenant_report = {
+  tenant : int;
+  completed : int;
+  mean_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_ns : float;
+  slo_miss : int;
+  slo_miss_frac : float;
+  lat_hist : Metrics.hist;
+}
+
+type report = {
+  r_cfg : config;
+  per_tenant : tenant_report array;
+  elapsed_ns : float;
+  throughput_rps : float;
+  agg_p50_ns : float;
+  agg_p99_ns : float;
+  agg_p999_ns : float;
+  agg_slo_miss_frac : float;
+  checksum : int64;
+}
+
+(* Sizing.  Per-tenant data is one contiguous far allocation of
+   [keys * value_bytes]; the section caches [local_ratio] of it. *)
+let data_bytes cfg = cfg.keys * cfg.value_bytes
+
+let round_up n m = (n + m - 1) / m * m
+
+let sec_bytes cfg =
+  let want = int_of_float (cfg.local_ratio *. float_of_int (data_bytes cfg)) in
+  max (4 * cfg.line) (round_up want cfg.line)
+
+let page = 4096
+let site_of_tenant i = 9100 + i
+let sec_id_of_tenant i = 7000 + i
+
+let runtime_config cfg =
+  let local_budget = (cfg.tenants * sec_bytes cfg) + (4 * page) in
+  let far_capacity =
+    (2 * page) + (cfg.tenants * (round_up (data_bytes cfg) page + page))
+  in
+  Runtime.Config.make ~local_budget ~far_capacity
+  |> Runtime.Config.with_tenants cfg.tenants
+
+(* Zipfian popularity: rank r (0-based) has weight (r+1)^-s.  Ranks are
+   mapped onto key indices through a seed-deterministic permutation so
+   the hot set is scattered over the keyspace (and thus over cache
+   lines) instead of sitting in the first few lines. *)
+type generator = { cum : float array; perm : int array }
+
+let make_generator cfg rng =
+  let cum = Array.make cfg.keys 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to cfg.keys - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) cfg.zipf_s);
+    cum.(r) <- !total
+  done;
+  let perm = Array.init cfg.keys (fun i -> i) in
+  Prng.shuffle rng perm;
+  { cum; perm }
+
+let draw_key g rng =
+  let n = Array.length g.cum in
+  let u = Prng.float rng g.cum.(n - 1) in
+  (* first rank with cum > u *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if g.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  g.perm.(!lo)
+
+let draw_interarrival rng mean =
+  let u = Prng.float rng 1.0 in
+  -.mean *. Float.log (1.0 -. u)
+
+let mix64 x =
+  let ( ^^^ ) a b = Int64.logxor a b in
+  let x = x ^^^ Int64.shift_right_logical x 33 in
+  let x = Int64.mul x 0xff51afd7ed558ccdL in
+  let x = x ^^^ Int64.shift_right_logical x 33 in
+  let x = Int64.mul x 0xc4ceb9fe1a85ec53L in
+  x ^^^ Int64.shift_right_logical x 33
+
+let value_of ~tenant ~key ~req ~word =
+  mix64
+    (Int64.of_int
+       ((tenant * 0x1000003) lxor (key * 8191) lxor (req * 131) lxor word))
+
+(* Mutable per-tenant run state, written by the task, read afterwards. *)
+type tenant_state = {
+  ts_lats : float array;
+  mutable ts_checksum : int64;
+  ts_hist : Metrics.hist;
+  mutable ts_slo_miss : int;
+}
+
+let serving_lane i = Printf.sprintf "serving.t%d" i
+
+(* One tenant's open-loop serving task.  Runs as a scheduler task; every
+   clock movement inside (waits, access costs, net stalls) yields to the
+   globally earliest tenant. *)
+let run_tenant cfg (ms : Memsys.t) ~base ~tenant:i rng gen st =
+  let c = ms.Memsys.clock ~tid:i in
+  let site = site_of_tenant i in
+  let fn = Printf.sprintf "kv_t%d" i in
+  let words = cfg.value_bytes / 8 in
+  ms.Memsys.enter ~tid:i fn;
+  let arrival = ref 0.0 in
+  for r = 0 to cfg.requests - 1 do
+    arrival := !arrival +. draw_interarrival rng cfg.arrival_ns;
+    if Clock.now c < !arrival then ignore (Clock.wait_until c !arrival);
+    let key = draw_key gen rng in
+    let addr = base + (key * cfg.value_bytes) in
+    let is_get = Prng.float rng 1.0 < cfg.get_fraction in
+    (* Request span, emitted retroactively and only for requests that
+       stalled (missed, waited on a fill/fence): hit-only requests cost
+       one bool read, and trace volume stays proportional to
+       interesting events — the convention every layer follows. *)
+    let traced = Trace.enabled () in
+    let saved = if traced then Trace.current_ctx () else None in
+    let trace = if traced then Trace.new_trace () else 0 in
+    let span = if traced then Trace.new_span () else 0 in
+    let stall0 = Clock.stalled_ns c in
+    if traced then
+      Trace.set_ctx
+        (Some
+           {
+             Trace.sc_trace = trace;
+             sc_span = span;
+             sc_site = site;
+             sc_lane = serving_lane i;
+             sc_flow = false;
+           });
+    let ptr w =
+      { Memsys.space = Memsys.Far; addr = addr + (8 * w); site }
+    in
+    if is_get then begin
+      let acc = ref 0L in
+      for w = 0 to words - 1 do
+        acc :=
+          Int64.add !acc (ms.Memsys.load ~tid:i ~ptr:(ptr w) ~len:8 ~native:false)
+      done;
+      st.ts_checksum <- mix64 (Int64.add st.ts_checksum !acc)
+    end
+    else
+      for w = 0 to words - 1 do
+        ms.Memsys.store ~tid:i ~ptr:(ptr w) ~len:8 ~native:false
+          ~value:(value_of ~tenant:i ~key ~req:r ~word:w)
+      done;
+    let finish = Clock.now c in
+    let emitted = traced && Clock.stalled_ns c > stall0 in
+    if traced then begin
+      Trace.set_ctx saved;
+      if emitted then begin
+        Trace.begin_span
+          ~args:
+            [
+              ("tenant", Json.Int i);
+              ("key", Json.Int key);
+              ("op", Json.Str (if is_get then "get" else "put"));
+            ]
+          ~name:"request" ~cat:"serving" ~lane:(serving_lane i)
+          ~ts_ns:!arrival ~trace ~span ();
+        Trace.end_span ~name:"request" ~cat:"serving" ~lane:(serving_lane i)
+          ~ts_ns:finish ~trace ~span ()
+      end
+    end;
+    let lat = finish -. !arrival in
+    st.ts_lats.(r) <- lat;
+    Metrics.hist_observe ~trace:(if emitted then trace else 0) st.ts_hist lat;
+    if lat > cfg.slo_ns then st.ts_slo_miss <- st.ts_slo_miss + 1
+  done;
+  ms.Memsys.exit_ ~tid:i fn
+
+let run_on rt cfg =
+  validate cfg;
+  if Runtime.tenants rt <> cfg.tenants then
+    fail "runtime has %d tenants but config wants %d" (Runtime.tenants rt)
+      cfg.tenants;
+  let ms = Runtime.memsys rt in
+  let mgr = Runtime.manager rt in
+  let sched = Runtime.sched rt in
+  ms.Memsys.set_nthreads cfg.tenants;
+  (* Setup: per-tenant far data and private section, then zero the
+     clocks so measurement starts at t=0 for every tenant. *)
+  let bases = Array.make cfg.tenants 0 in
+  for i = 0 to cfg.tenants - 1 do
+    let p =
+      ms.Memsys.alloc ~tid:i ~site:(site_of_tenant i) ~bytes:(data_bytes cfg)
+        ~heap:true
+    in
+    bases.(i) <- p.Memsys.addr;
+    let sc =
+      Section.config_default ~sec_id:(sec_id_of_tenant i)
+        ~name:(Printf.sprintf "kv%d" i) ~line:cfg.line ~size:(sec_bytes cfg)
+    in
+    (match Manager.add_section mgr ~clock:(ms.Memsys.clock ~tid:i) sc with
+    | Ok _ -> ()
+    | Error e -> fail "section for tenant %d: %s" i e);
+    Manager.assign_site mgr ~site:(site_of_tenant i)
+      ~sec_id:(sec_id_of_tenant i)
+  done;
+  ms.Memsys.reset_timing ();
+  let master = Prng.create cfg.seed in
+  let gen = make_generator cfg master in
+  let states =
+    Array.init cfg.tenants (fun i ->
+        ignore i;
+        {
+          ts_lats = Array.make cfg.requests 0.0;
+          ts_checksum = 0L;
+          ts_hist = Metrics.hist_create ();
+          ts_slo_miss = 0;
+        })
+  in
+  let rngs = Array.init cfg.tenants (fun _ -> Prng.split master) in
+  for i = 0 to cfg.tenants - 1 do
+    Sched.spawn sched ~tenant:i (fun () ->
+        run_tenant cfg ms ~base:bases.(i) ~tenant:i rngs.(i) gen states.(i))
+  done;
+  Sched.run sched;
+  let elapsed = ms.Memsys.elapsed () in
+  let per_tenant =
+    Array.mapi
+      (fun i st ->
+        let lats = st.ts_lats in
+        {
+          tenant = i;
+          completed = cfg.requests;
+          mean_ns = Stats.mean lats;
+          p50_ns = Stats.percentile lats 50.0;
+          p99_ns = Stats.percentile lats 99.0;
+          p999_ns = Stats.percentile lats 99.9;
+          max_ns = snd (Stats.min_max lats);
+          slo_miss = st.ts_slo_miss;
+          slo_miss_frac = float_of_int st.ts_slo_miss /. float_of_int cfg.requests;
+          lat_hist = st.ts_hist;
+        })
+      states
+  in
+  let all = Array.concat (Array.to_list (Array.map (fun s -> s.ts_lats) states)) in
+  let total = cfg.tenants * cfg.requests in
+  let misses = Array.fold_left (fun a s -> a + s.ts_slo_miss) 0 states in
+  let checksum =
+    Array.fold_left (fun a s -> mix64 (Int64.add a s.ts_checksum)) 0L states
+  in
+  {
+    r_cfg = cfg;
+    per_tenant;
+    elapsed_ns = elapsed;
+    throughput_rps =
+      (if elapsed > 0.0 then float_of_int total /. (elapsed *. 1e-9) else 0.0);
+    agg_p50_ns = Stats.percentile all 50.0;
+    agg_p99_ns = Stats.percentile all 99.0;
+    agg_p999_ns = Stats.percentile all 99.9;
+    agg_slo_miss_frac = float_of_int misses /. float_of_int total;
+    checksum;
+  }
+
+let run cfg =
+  validate cfg;
+  run_on (Runtime.create (runtime_config cfg)) cfg
+
+let publish r m =
+  let total = Array.fold_left (fun a t -> a + t.completed) 0 r.per_tenant in
+  let misses = Array.fold_left (fun a t -> a + t.slo_miss) 0 r.per_tenant in
+  Metrics.set_counter m "serving.requests" total;
+  Metrics.set_counter m "serving.slo_miss" misses;
+  Array.iter
+    (fun t ->
+      Metrics.set_hist m
+        (Printf.sprintf "serving.tenant%d.latency" t.tenant)
+        t.lat_hist;
+      Metrics.set_counter m
+        (Printf.sprintf "serving.tenant%d.slo_miss" t.tenant)
+        t.slo_miss)
+    r.per_tenant
+
+let report_json r =
+  let tenant_json t =
+    Json.Obj
+      [
+        ("tenant", Json.Int t.tenant);
+        ("completed", Json.Int t.completed);
+        ("mean_ns", Json.Float t.mean_ns);
+        ("p50_ns", Json.Float t.p50_ns);
+        ("p99_ns", Json.Float t.p99_ns);
+        ("p999_ns", Json.Float t.p999_ns);
+        ("max_ns", Json.Float t.max_ns);
+        ("slo_miss", Json.Int t.slo_miss);
+        ("slo_miss_frac", Json.Float t.slo_miss_frac);
+      ]
+  in
+  Json.Obj
+    [
+      ("tenants", Json.Int r.r_cfg.tenants);
+      ("requests_per_tenant", Json.Int r.r_cfg.requests);
+      ("elapsed_ns", Json.Float r.elapsed_ns);
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ("p50_ns", Json.Float r.agg_p50_ns);
+      ("p99_ns", Json.Float r.agg_p99_ns);
+      ("p999_ns", Json.Float r.agg_p999_ns);
+      ("slo_ns", Json.Float r.r_cfg.slo_ns);
+      ("slo_miss_frac", Json.Float r.agg_slo_miss_frac);
+      ("checksum", Json.Str (Printf.sprintf "%016Lx" r.checksum));
+      ("per_tenant", Json.List (Array.to_list (Array.map tenant_json r.per_tenant)));
+    ]

@@ -380,6 +380,9 @@ let test_doc_drift_guard () =
     in
     if starts_with ~prefix:"runtime.lost_bytes.site" name then
       "runtime.lost_bytes.site<N>"
+    else if starts_with ~prefix:"sched.block." name then "sched.block.<event>"
+    else if starts_with ~prefix:"serving.tenant" name then
+      "serving.tenant<N>." ^ List.nth (String.split_on_char '.' name) 2
     else name
   in
   let missing =

@@ -29,6 +29,16 @@ let old_model ~side requests =
       s +. wire +. latency +. extra)
     requests
 
+(* Blocking demand read on the data plane (what the retired fetch
+   veneer did): urgent submit + await. *)
+let sync_read net ~side ~now bytes =
+  let sq =
+    Net.submit net ~now ~urgent:true
+      (Net.Request.read ~side ~purpose:Net.Demand bytes)
+  in
+  let c = Net.await net ~now ~id:sq.Net.id in
+  (sq, c)
+
 let test_identity_no_faults () =
   (* With dp_default the new data plane must reproduce the old blocking
      model bit-for-bit, for both sides and mixed payload sizes. *)
@@ -39,10 +49,10 @@ let test_identity_no_faults () =
       let expected = old_model ~side requests in
       List.iter2
         (fun (now, bytes) want ->
-          let x = Net.fetch net ~side ~purpose:Net.Demand ~now ~bytes () in
-          Alcotest.(check (float 0.0)) "done_at identical" want x.Net.done_at;
+          let sq, c = sync_read net ~side ~now bytes in
+          Alcotest.(check (float 0.0)) "done_at identical" want c.Net.done_at;
           Alcotest.(check (float 0.0))
-            "sync post cost" p.Params.msg_cpu_ns x.Net.issue_cpu_ns)
+            "sync post cost" p.Params.msg_cpu_ns sq.Net.issue_cpu_ns)
         requests expected)
     [ Net.One_sided; Net.Two_sided ]
 
@@ -345,9 +355,8 @@ let test_fail_inflight_node_down () =
   Alcotest.(check int) "node_down counted" 2 s.Net.node_down;
   Alcotest.(check int) "never counted as timeouts" 0 s.Net.timeouts;
   (* The link is idle again: a post after the crash completes normally. *)
-  let x = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:100.0
-            ~bytes:64 () in
-  Alcotest.(check bool) "link drained" true (x.Net.done_at < 100.0 +. 1e5)
+  let _, c = sync_read net ~side:Net.One_sided ~now:100.0 64 in
+  Alcotest.(check bool) "link drained" true (c.Net.done_at < 100.0 +. 1e5)
 
 let test_fail_inflight_spares_landed () =
   (* A transfer that already completed before the crash stays [Done]. *)
@@ -382,10 +391,9 @@ let test_set_down_window () =
   Alcotest.(check int) "no wire traffic" before (Net.stats net).Net.msg_count;
   Alcotest.(check int) "no timeout counted" 0 (Net.stats net).Net.timeouts;
   (* After the node returns, posts flow normally again. *)
-  let x = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:20_000.0
-            ~bytes:64 () in
+  let _, c2 = sync_read net ~side:Net.One_sided ~now:20_000.0 64 in
   Alcotest.(check bool) "post-outage transfer completes" true
-    (x.Net.done_at > 20_000.0)
+    (c2.Net.done_at > 20_000.0)
 
 let suite =
   [

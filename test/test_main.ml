@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
+      ("sched", Test_sched.suite);
       ("dataplane", Test_dataplane.suite);
       ("mir", Test_mir.suite);
       ("cache", Test_cache.suite);

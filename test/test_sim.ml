@@ -20,35 +20,47 @@ let test_clock_basic () =
   Clock.reset c;
   Alcotest.(check (float 0.0)) "reset" 0.0 (Clock.now c)
 
+(* Blocking one-shot transfer on the data plane (what the retired
+   fetch/push veneers did): submit, await, return (issue cpu, done_at). *)
+let sync_read net ?(urgent = true) ~side ~purpose ~now bytes =
+  let sq = Net.submit net ~now ~urgent (Net.Request.read ~side ~purpose bytes) in
+  let c = Net.await net ~now ~id:sq.Net.id in
+  (sq.Net.issue_cpu_ns, c.Net.done_at)
+
+let sync_write net ?(urgent = false) ~side ~purpose ~now bytes =
+  let sq = Net.submit net ~now ~urgent (Net.Request.write ~side ~purpose bytes) in
+  let c = Net.await net ~now ~id:sq.Net.id in
+  (sq.Net.issue_cpu_ns, c.Net.done_at)
+
 let test_net_latency_ordering () =
   let net = Net.create Params.default in
-  let x1 = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:64 () in
-  let x2 = Net.fetch net ~side:Net.Two_sided ~purpose:Net.Demand ~now:0.0 ~bytes:64 () in
-  Alcotest.(check bool) "two-sided slower" true (x2.Net.done_at > x1.Net.done_at)
+  let _, d1 = sync_read net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 64 in
+  let _, d2 = sync_read net ~side:Net.Two_sided ~purpose:Net.Demand ~now:0.0 64 in
+  Alcotest.(check bool) "two-sided slower" true (d2 > d1)
 
 let test_net_bandwidth_serializes () =
   let net = Net.create Params.default in
   let big = 1 lsl 20 in
-  let x1 = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:big () in
-  let x2 = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:big () in
+  let _, d1 = sync_read net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 big in
+  let _, d2 = sync_read net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 big in
   let wire = float_of_int big /. Params.default.Params.bandwidth_bytes_per_ns in
-  Alcotest.(check bool) "second waits for wire" true
-    (x2.Net.done_at -. x1.Net.done_at >= wire -. 1.0)
+  Alcotest.(check bool) "second waits for wire" true (d2 -. d1 >= wire -. 1.0)
 
 let test_net_async_cheaper () =
   let net = Net.create Params.default in
-  let sync = Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:64 () in
-  let asyn =
-    Net.fetch net ~async:true ~side:Net.One_sided ~purpose:Net.Prefetch ~now:0.0
-      ~bytes:64 ()
+  let sync_cpu, _ =
+    sync_read net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 64
   in
-  Alcotest.(check bool) "async post cheaper" true
-    (asyn.Net.issue_cpu_ns < sync.Net.issue_cpu_ns)
+  let async_cpu, _ =
+    sync_read net ~urgent:false ~side:Net.One_sided ~purpose:Net.Prefetch
+      ~now:0.0 64
+  in
+  Alcotest.(check bool) "async post cheaper" true (async_cpu < sync_cpu)
 
 let test_net_stats () =
   let net = Net.create Params.default in
-  ignore (Net.fetch net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 ~bytes:100 ());
-  ignore (Net.push net ~side:Net.One_sided ~purpose:Net.Writeback ~now:0.0 ~bytes:50 ());
+  ignore (sync_read net ~side:Net.One_sided ~purpose:Net.Demand ~now:0.0 100);
+  ignore (sync_write net ~side:Net.One_sided ~purpose:Net.Writeback ~now:0.0 50);
   let s = Net.stats net in
   Alcotest.(check int) "msgs" 2 s.Net.msg_count;
   Alcotest.(check int) "in" 100 s.Net.bytes_in;

@@ -381,7 +381,8 @@ let test_no_perturbation () =
 let static_metrics =
   [
     "swap.capacity_bytes"; "cache.section_bytes"; "cache.metadata_bytes";
-    "runtime.live_far_bytes"; "runtime.nthreads";
+    "runtime.live_far_bytes"; "runtime.nthreads"; "runtime.tenants";
+    "sched.tenants";
   ]
 
 let test_reset_clears_stats () =
