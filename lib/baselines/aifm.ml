@@ -150,33 +150,23 @@ let create ?(params = Sim.Params.default) ?gran ~local_budget ~far_capacity () =
     match ptr.Rt.Memsys.space with
     | Rt.Memsys.Local ->
       Sim.Clock.advance (clock t tid) t.params.Sim.Params.native_mem_ns;
-      let buf = Bytes.make 8 '\000' in
-      Sim.Far_store.read t.local_store ~addr:ptr.Rt.Memsys.addr ~len ~dst:buf
-        ~dst_off:0;
-      Bytes.get_int64_le buf 0
+      Sim.Far_store.read_le t.local_store ~addr:ptr.Rt.Memsys.addr ~len
     | Rt.Memsys.Far ->
       deref ~tid;
       let entry = ensure t ~tid ~site:ptr.Rt.Memsys.site ~addr:ptr.Rt.Memsys.addr in
       let off = ptr.Rt.Memsys.addr mod entry.e_bytes in
-      let buf = Bytes.make 8 '\000' in
-      Bytes.blit entry.e_data off buf 0 len;
-      Bytes.get_int64_le buf 0
+      Mira_util.Bytes_le.get entry.e_data ~off ~len
   in
   let store ~tid ~(ptr : Rt.Memsys.ptr) ~len ~native:_ ~value =
     match ptr.Rt.Memsys.space with
     | Rt.Memsys.Local ->
       Sim.Clock.advance (clock t tid) t.params.Sim.Params.native_mem_ns;
-      let buf = Bytes.make 8 '\000' in
-      Bytes.set_int64_le buf 0 value;
-      Sim.Far_store.write t.local_store ~addr:ptr.Rt.Memsys.addr ~len ~src:buf
-        ~src_off:0
+      Sim.Far_store.write_le t.local_store ~addr:ptr.Rt.Memsys.addr ~len value
     | Rt.Memsys.Far ->
       deref ~tid;
       let entry = ensure t ~tid ~site:ptr.Rt.Memsys.site ~addr:ptr.Rt.Memsys.addr in
       let off = ptr.Rt.Memsys.addr mod entry.e_bytes in
-      let buf = Bytes.make 8 '\000' in
-      Bytes.set_int64_le buf 0 value;
-      Bytes.blit buf 0 entry.e_data off len;
+      Mira_util.Bytes_le.set entry.e_data ~off ~len value;
       entry.e_dirty <- true
   in
   {

@@ -53,15 +53,11 @@ let create ?(params = Sim.Params.default) ~capacity () =
     load =
       (fun ~tid ~ptr ~len ~native:_ ->
         native ~tid;
-        let buf = Bytes.make 8 '\000' in
-        Sim.Far_store.read t.store ~addr:ptr.Rt.Memsys.addr ~len ~dst:buf ~dst_off:0;
-        Bytes.get_int64_le buf 0);
+        Sim.Far_store.read_le t.store ~addr:ptr.Rt.Memsys.addr ~len);
     store =
       (fun ~tid ~ptr ~len ~native:_ ~value ->
         native ~tid;
-        let buf = Bytes.make 8 '\000' in
-        Bytes.set_int64_le buf 0 value;
-        Sim.Far_store.write t.store ~addr:ptr.Rt.Memsys.addr ~len ~src:buf ~src_off:0);
+        Sim.Far_store.write_le t.store ~addr:ptr.Rt.Memsys.addr ~len value);
     prefetch = (fun ~tid:_ ~ptr:_ ~len:_ -> ());
     flush_evict = (fun ~tid:_ ~ptr:_ ~len:_ -> ());
     evict_site = (fun ~tid:_ ~site:_ -> ());

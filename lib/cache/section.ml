@@ -528,19 +528,18 @@ let check_span t ~addr ~len =
   assert (len > 0 && len <= 8);
   assert (addr / t.cfg.line = (addr + len - 1) / t.cfg.line)
 
+(* Scalar access straight into the line buffer — no staging blit.  The
+   line itself is filled/written back by a single boundary copy against
+   the cluster store (install / writeback). *)
 let read_slot t slot ~addr ~len =
   let line = t.lines.(slot) in
   let off = addr mod t.cfg.line in
-  let buf = Bytes.make 8 '\000' in
-  Bytes.blit line.data off buf 0 len;
-  Bytes.get_int64_le buf 0
+  Mira_util.Bytes_le.get line.data ~off ~len
 
 let write_slot t slot ~addr ~len v =
   let line = t.lines.(slot) in
   let off = addr mod t.cfg.line in
-  let buf = Bytes.make 8 '\000' in
-  Bytes.set_int64_le buf 0 v;
-  Bytes.blit buf 0 line.data off len;
+  Mira_util.Bytes_le.set line.data ~off ~len v;
   line.dirty <- true
 
 let load t ~clock ~addr ~len =

@@ -415,18 +415,15 @@ let load t ~clock ~addr ~len =
   let idx = ensure t ~clock ~pno:(addr / t.cfg.page) in
   Mira_sim.Clock.advance clock (params t).Mira_sim.Params.native_mem_ns;
   let frame = t.frames.(idx) in
-  let buf = Bytes.make 8 '\000' in
-  Bytes.blit frame.data (addr mod t.cfg.page) buf 0 len;
-  Bytes.get_int64_le buf 0
+  (* straight out of the frame: no staging blit *)
+  Mira_util.Bytes_le.get frame.data ~off:(addr mod t.cfg.page) ~len
 
 let store t ~clock ~addr ~len v =
   check_span t ~addr ~len;
   let idx = ensure t ~clock ~pno:(addr / t.cfg.page) in
   Mira_sim.Clock.advance clock (params t).Mira_sim.Params.native_mem_ns;
   let frame = t.frames.(idx) in
-  let buf = Bytes.make 8 '\000' in
-  Bytes.set_int64_le buf 0 v;
-  Bytes.blit buf 0 frame.data (addr mod t.cfg.page) len;
+  Mira_util.Bytes_le.set frame.data ~off:(addr mod t.cfg.page) ~len v;
   frame.dirty <- true
 
 let iter_pages t ~addr ~len fn =

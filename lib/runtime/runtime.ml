@@ -52,6 +52,58 @@ module Config = struct
     { c with tenants }
 end
 
+(* Per-site registry of live allocation ranges.  Iteration order is
+   observable (it fixes flush/evict/discard submission order and the
+   lost-byte scan, and thereby simulated time), so the old newest-first
+   cons list survives as a doubly-linked list — while an address index
+   makes release O(1), where [free] used to [List.assoc_opt] and then
+   rebuild the whole list. *)
+module Regions = struct
+  type node = {
+    addr : int;
+    len : int;
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type t = { mutable head : node option; index : (int, node) Hashtbl.t }
+
+  let create () = { head = None; index = Hashtbl.create 8 }
+
+  let add t ~addr ~len =
+    let n = { addr; len; prev = None; next = t.head } in
+    (match t.head with Some h -> h.prev <- Some n | None -> ());
+    t.head <- Some n;
+    Hashtbl.replace t.index addr n
+
+  let find_len t ~addr =
+    Option.map (fun n -> n.len) (Hashtbl.find_opt t.index addr)
+
+  let remove t ~addr =
+    match Hashtbl.find_opt t.index addr with
+    | None -> ()
+    | Some n ->
+      Hashtbl.remove t.index addr;
+      (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+      (match n.next with Some s -> s.prev <- n.prev | None -> ())
+
+  let iter f t =
+    let rec go = function
+      | None -> ()
+      | Some n ->
+        f n.addr n.len;
+        go n.next
+    in
+    go t.head
+
+  let to_list t =
+    let rec go acc = function
+      | None -> List.rev acc
+      | Some n -> go ((n.addr, n.len) :: acc) n.next
+    in
+    go [] t.head
+end
+
 type t = {
   cfg : config;
   net : Sim.Net.t;
@@ -64,7 +116,7 @@ type t = {
   sched : Sim.Sched.t;
   clocks : (int, Sim.Clock.t) Hashtbl.t;
   offload_depth : (int, int ref) Hashtbl.t;
-  site_ranges : (int, (int * int) list ref) Hashtbl.t;
+  site_ranges : (int, Regions.t) Hashtbl.t;
   private_sections : (int, int array) Hashtbl.t;  (* site -> per-tid sec ids *)
   lost_bytes : (int, int) Hashtbl.t;  (* site -> far bytes lost to crashes *)
   profile : Profile.t;
@@ -169,15 +221,15 @@ let route_h t ~tid ~site =
   | Some section -> Cache.Section.handle section
   | None -> Cache.Manager.swap_handle t.manager
 
-let ranges_ref t site =
+let regions_of t site =
   match Hashtbl.find_opt t.site_ranges site with
   | Some r -> r
   | None ->
-    let r = ref [] in
+    let r = Regions.create () in
     Hashtbl.replace t.site_ranges site r;
     r
 
-let site_ranges t ~site = !(ranges_ref t site)
+let site_ranges t ~site = Regions.to_list (regions_of t site)
 let live_far_bytes t = Sim.Remote_alloc.live_bytes t.remote_space
 
 (* Key subsequent ledger charges under the innermost profiled function
@@ -302,15 +354,13 @@ let alloc t ~tid ~site ~bytes ~heap =
            ~retry_ns:comp.Sim.Net.retry_ns);
       end_access ~kind:"alloc-refill" ~clock:c root
     end;
-    let r = ranges_ref t site in
-    r := (addr, bytes) :: !r;
+    Regions.add (regions_of t site) ~addr ~len:bytes;
     Profile.add_alloc t.profile ~site ~bytes;
     { Memsys.space = Memsys.Far; addr; site }
   end
   else begin
     let addr = Sim.Remote_alloc.alloc t.local_space bytes in
-    let r = ranges_ref t site in
-    r := (addr, bytes) :: !r;
+    Regions.add (regions_of t site) ~addr ~len:bytes;
     Profile.add_alloc t.profile ~site ~bytes;
     { Memsys.space = Memsys.Local; addr; site }
   end
@@ -321,18 +371,18 @@ let free t ~tid ~(ptr : Memsys.ptr) =
   match ptr.Memsys.space with
   | Memsys.Local ->
     (* Local (stack) allocations are recorded in the site ranges too. *)
-    let r = ranges_ref t ptr.Memsys.site in
-    (match List.assoc_opt ptr.Memsys.addr !r with
+    let r = regions_of t ptr.Memsys.site in
+    (match Regions.find_len r ~addr:ptr.Memsys.addr with
     | None -> ()
     | Some len ->
-      r := List.filter (fun (a, _) -> a <> ptr.Memsys.addr) !r;
+      Regions.remove r ~addr:ptr.Memsys.addr;
       Sim.Remote_alloc.free t.local_space ~addr:ptr.Memsys.addr ~len)
   | Memsys.Far ->
-    let r = ranges_ref t ptr.Memsys.site in
-    (match List.assoc_opt ptr.Memsys.addr !r with
+    let r = regions_of t ptr.Memsys.site in
+    (match Regions.find_len r ~addr:ptr.Memsys.addr with
     | None -> ()
     | Some len ->
-      r := List.filter (fun (a, _) -> a <> ptr.Memsys.addr) !r;
+      Regions.remove r ~addr:ptr.Memsys.addr;
       (* Drop any cached lines (no write-back needed: object is dead). *)
       Cache.Cache_section.discard_range
         (route_h t ~tid ~site:ptr.Memsys.site)
@@ -343,30 +393,22 @@ let free t ~tid ~(ptr : Memsys.ptr) =
 
 let local_load t ~clock:c ~addr ~len =
   Sim.Clock.advance c t.cfg.params.Sim.Params.native_mem_ns;
-  let buf = Bytes.make 8 '\000' in
-  Sim.Far_store.read t.local_store ~addr ~len ~dst:buf ~dst_off:0;
-  Bytes.get_int64_le buf 0
+  Sim.Far_store.read_le t.local_store ~addr ~len
 
 let local_store_v t ~clock:c ~addr ~len v =
   Sim.Clock.advance c t.cfg.params.Sim.Params.native_mem_ns;
-  let buf = Bytes.make 8 '\000' in
-  Bytes.set_int64_le buf 0 v;
-  Sim.Far_store.write t.local_store ~addr ~len ~src:buf ~src_off:0
+  Sim.Far_store.write_le t.local_store ~addr ~len v
 
 (* Far-node-local access while executing an offloaded function. *)
 let offload_load t ~clock:c ~addr ~len =
   let p = t.cfg.params in
   Sim.Clock.advance c (p.Sim.Params.native_mem_ns *. p.Sim.Params.remote_compute_slowdown);
-  let buf = Bytes.make 8 '\000' in
-  Sim.Cluster.read t.cluster ~addr ~len ~dst:buf ~dst_off:0;
-  Bytes.get_int64_le buf 0
+  Sim.Cluster.read_le t.cluster ~addr ~len
 
 let offload_store t ~clock:c ~addr ~len v =
   let p = t.cfg.params in
   Sim.Clock.advance c (p.Sim.Params.native_mem_ns *. p.Sim.Params.remote_compute_slowdown);
-  let buf = Bytes.make 8 '\000' in
-  Bytes.set_int64_le buf 0 v;
-  Sim.Cluster.write t.cluster ~addr ~len ~src:buf ~src_off:0
+  Sim.Cluster.write_le t.cluster ~addr ~len v
 
 (* Per-object data-loss accounting: wiped far extents (a primary crash
    with no surviving replica) are intersected with the live allocation
@@ -378,8 +420,8 @@ let account_lost t =
   | extents ->
     Hashtbl.iter
       (fun site ranges ->
-        List.iter
-          (fun (addr, len) ->
+        Regions.iter
+          (fun addr len ->
             List.iter
               (fun (ea, el) ->
                 let lo = max addr ea and hi = min (addr + len) (ea + el) in
@@ -389,7 +431,7 @@ let account_lost t =
                   in
                   Hashtbl.replace t.lost_bytes site (cur + (hi - lo)))
               extents)
-          !ranges)
+          ranges)
       t.site_ranges
 
 (* The cluster sync hook on the access fast path: O(1) when no
@@ -485,17 +527,17 @@ let flush_evict t ~tid ~(ptr : Memsys.ptr) ~len =
 let iter_site_ranges t ~tid ~sites fn =
   List.iter
     (fun site ->
-      List.iter
-        (fun (addr, len) -> fn ~site ~addr ~len ~handle:(route_h t ~tid ~site))
-        !(ranges_ref t site))
+      Regions.iter
+        (fun addr len -> fn ~site ~addr ~len ~handle:(route_h t ~tid ~site))
+        (regions_of t site))
     sites
 
 let evict_site t ~tid ~site =
   let c = clock t tid in
   let h = route_h t ~tid ~site in
-  List.iter
-    (fun (addr, len) -> Cache.Cache_section.evict_hint h ~clock:c ~addr ~len)
-    !(ranges_ref t site)
+  Regions.iter
+    (fun addr len -> Cache.Cache_section.evict_hint h ~clock:c ~addr ~len)
+    (regions_of t site)
 
 let flush_sites t ~tid ~sites =
   let c = clock t tid in

@@ -314,6 +314,15 @@ let write t ~addr ~len ~src ~src_off =
     t.stats.replication_bytes <- t.stats.replication_bytes + len
   end
 
+let read_le t ~addr ~len = Far_store.read_le t.nodes.(t.primary).store ~addr ~len
+
+let write_le t ~addr ~len v =
+  Far_store.write_le t.nodes.(t.primary).store ~addr ~len v;
+  if replicated t then begin
+    Far_store.write_le t.nodes.(t.backup).store ~addr ~len v;
+    t.stats.replication_bytes <- t.stats.replication_bytes + len
+  end
+
 let read_i64 t ~addr = Far_store.read_i64 t.nodes.(t.primary).store ~addr
 
 let write_i64 t ~addr v =

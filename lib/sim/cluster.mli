@@ -155,6 +155,14 @@ val publish : t -> Mira_telemetry.Metrics.t -> unit
 
 val read : t -> addr:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
 val write : t -> addr:int -> len:int -> src:Bytes.t -> src_off:int -> unit
+val read_le : t -> addr:int -> len:int -> int64
+(** Staging-free little-endian scalar read from the primary (see
+    {!Far_store.read_le}). *)
+
+val write_le : t -> addr:int -> len:int -> int64 -> unit
+(** Staging-free little-endian scalar write, mirrored to the backup
+    (with replication-byte accounting) when replication is on. *)
+
 val read_i64 : t -> addr:int -> int64
 val write_i64 : t -> addr:int -> int64 -> unit
 val blit_within : t -> src:int -> dst:int -> len:int -> unit

@@ -33,6 +33,18 @@ let write t ~addr ~len ~src ~src_off =
   ensure t (addr + len);
   Bytes.blit src src_off t.data addr len
 
+(* Scalar access straight into the backing bytes: the value crosses the
+   store boundary exactly once, no staging buffer. *)
+let read_le t ~addr ~len =
+  assert (addr >= 0 && len > 0 && len <= 8);
+  ensure t (addr + len);
+  Mira_util.Bytes_le.get t.data ~off:addr ~len
+
+let write_le t ~addr ~len v =
+  assert (addr >= 0 && len > 0 && len <= 8);
+  ensure t (addr + len);
+  Mira_util.Bytes_le.set t.data ~off:addr ~len v
+
 let read_i64 t ~addr =
   ensure t (addr + 8);
   Bytes.get_int64_le t.data addr

@@ -22,6 +22,14 @@ val read : t -> addr:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
 val write : t -> addr:int -> len:int -> src:Bytes.t -> src_off:int -> unit
 (** Copy [len] bytes from [src] at [src_off] to far address [addr]. *)
 
+val read_le : t -> addr:int -> len:int -> int64
+(** Little-endian scalar read of the [len] (1-8) bytes at [addr],
+    zero-extended — one copy at the store boundary, no staging
+    buffer. *)
+
+val write_le : t -> addr:int -> len:int -> int64 -> unit
+(** Little-endian scalar write of the value's [len] low bytes. *)
+
 val read_i64 : t -> addr:int -> int64
 val write_i64 : t -> addr:int -> int64 -> unit
 

@@ -194,14 +194,36 @@ type batch = {
       (* id, request, submitted_at, detached *)
 }
 
+module Heap = Mira_util.Min_heap
+
+(* Heap orderings.  [le_done]/[le_gate] tolerate ties (tie order is
+   irrelevant: retirement, counting and fencing are set operations);
+   the completion index is made strict by the unique id so [poll]'s
+   reap order is exactly the old [(done_at, id)] sort. *)
+let le_done (a, _) (b, _) = (a : float) <= b
+let le_gate (a : float) b = a <= b
+
+let le_cq (d1, i1) (d2, i2) =
+  (d1 : float) < d2 || (d1 = d2 && (i1 : int) <= i2)
+
 type t = {
   params : Params.t;
   mutable dp : dp_config;
   mutable link_free_at : float;
   mutable next_id : int;
-  mutable inflight : (float * Request.dir) list;
-      (* done_at of every posted message not yet known-complete *)
-  mutable cq : completion list;  (* unreaped completions, any order *)
+  inflight : (float * Request.dir) Heap.t;
+      (* done_at of every posted message not yet known-complete,
+         min-keyed by done_at so retirement pops instead of filtering *)
+  window_q : float Heap.t;
+      (* the largest min(n, window) in-flight done_ats (maintained only
+         when a window is configured).  Invariant: every in-flight
+         done_at outside this heap is <= its minimum, so the window
+         gate is its O(1) peek — see gate_time *)
+  cq_tbl : (int, completion) Hashtbl.t;
+      (* unreaped completions by id (authoritative; await is O(1)) *)
+  cq_idx : (float * int) Heap.t;
+      (* reap index over cq_tbl keyed (done_at, id); entries whose id
+         has been reaped by [await] are stale and skipped by [poll] *)
   mutable pending : batch option;
   mutable down_until : float;
       (* far node unreachable until this instant: messages posted before
@@ -236,8 +258,10 @@ let create ?(dp = dp_default) params =
     dp;
     link_free_at = 0.0;
     next_id = 0;
-    inflight = [];
-    cq = [];
+    inflight = Heap.create ~le:le_done;
+    window_q = Heap.create ~le:le_gate;
+    cq_tbl = Hashtbl.create 64;
+    cq_idx = Heap.create ~le:le_cq;
     pending = None;
     down_until = 0.0;
     stats = empty_stats ();
@@ -247,9 +271,23 @@ let params t = t.params
 let stats t = t.stats
 let dataplane t = t.dp
 
+(* Rebuild [window_q] as the largest min(n, window) in-flight done_ats
+   (bounded-heap selection: push, then drop the minimum on overflow).
+   Needed whenever [window] changes out from under live traffic. *)
+let rebuild_window t =
+  Heap.clear t.window_q;
+  let w = t.dp.window in
+  if w > 0 then
+    Heap.iter
+      (fun (d, _) ->
+        Heap.push t.window_q d;
+        if Heap.length t.window_q > w then ignore (Heap.pop t.window_q))
+      t.inflight
+
 let set_dataplane t dp =
   (match dp.fault with Some f -> Fault.validate f | None -> ());
-  t.dp <- dp
+  t.dp <- dp;
+  rebuild_window t
 
 let reset_stats t =
   let s = t.stats in
@@ -273,8 +311,10 @@ let reset_stats t =
 let reset_link t =
   t.link_free_at <- 0.0;
   t.next_id <- 0;
-  t.inflight <- [];
-  t.cq <- [];
+  Heap.clear t.inflight;
+  Heap.clear t.window_q;
+  Hashtbl.reset t.cq_tbl;
+  Heap.clear t.cq_idx;
   t.pending <- None;
   t.down_until <- 0.0
 
@@ -310,25 +350,58 @@ let record t ~purpose ~inbound bytes =
 
 (* --- in-flight window ---------------------------------------------------- *)
 
+(* Drop every in-flight entry that has landed by [now] — O(log n) per
+   retired entry instead of rebuilding a list.  [window_q] stays the
+   top-min(n, window) of what remains: if it loses any member here,
+   that member was its minimum's side of [now], and every done_at
+   outside [window_q] is <= that minimum, so those are all retired by
+   the same call. *)
 let retire t ~now =
-  t.inflight <- List.filter (fun (d, _) -> d > now) t.inflight
+  let rec drop () =
+    match Heap.peek t.inflight with
+    | Some (d, _) when d <= now ->
+      ignore (Heap.pop t.inflight);
+      drop ()
+    | _ -> ()
+  in
+  drop ();
+  let rec drop_gate () =
+    match Heap.peek t.window_q with
+    | Some d when d <= now ->
+      ignore (Heap.pop t.window_q);
+      drop_gate ()
+    | _ -> ()
+  in
+  drop_gate ()
 
+(* Non-destructive by design: tests and telemetry probe arbitrary
+   (including past) instants, so this counts rather than retires. *)
 let in_flight t ~now =
-  List.length (List.filter (fun (d, _) -> d > now) t.inflight)
+  Heap.fold (fun n (d, _) -> if d > now then n + 1 else n) 0 t.inflight
+
+(* Track a newly posted message.  The bounded push keeps [window_q] the
+   largest min(n, window) live done_ats, so the admission gate below
+   never sorts. *)
+let add_inflight t ~done_at ~dir =
+  Heap.push t.inflight (done_at, dir);
+  let w = t.dp.window in
+  if w > 0 then begin
+    Heap.push t.window_q done_at;
+    if Heap.length t.window_q > w then ignore (Heap.pop t.window_q)
+  end
 
 (* Earliest time a new message may start when the window is full: the
-   moment the in-flight population drops below [window]. *)
+   moment the in-flight population drops below [window] — i.e. the
+   window-th largest live done_at, which is exactly [window_q]'s O(1)
+   peek.  Callers retire first, so everything in the heap is live. *)
 let gate_time t ~now =
   let w = t.dp.window in
-  if w <= 0 then now
-  else begin
-    let live =
-      List.filter (fun d -> d > now) (List.map fst t.inflight)
-      |> List.sort compare
-    in
-    let n = List.length live in
-    if n < w then now else List.nth live (n - w)
-  end
+  if w <= 0 || Heap.length t.window_q < w then now
+  else match Heap.peek t.window_q with Some d -> d | None -> now
+
+let enqueue_completion t (c : completion) =
+  Hashtbl.replace t.cq_tbl c.id c;
+  Heap.push t.cq_idx (c.done_at, c.id)
 
 (* --- posting ------------------------------------------------------------- *)
 
@@ -431,7 +504,7 @@ let post t ~now members =
        timer.  Not a [Timed_out] — nothing was dropped, the node is
        gone — and no bytes are accounted. *)
     let done_at = issue_at +. detect_ns t in
-    t.inflight <- (done_at, r0.Request.dir) :: t.inflight;
+    add_inflight t ~done_at ~dir:r0.Request.dir;
     let s = t.stats in
     s.doorbells <- s.doorbells + 1;
     s.node_down <- s.node_down + n;
@@ -451,7 +524,7 @@ let post t ~now members =
             wire_ns = 0.0; retry_ns = detect_ns t;
             queue_ns = Float.max 0.0 (issue_at -. submitted_at) }
         in
-        if detached then emit_member_span c else t.cq <- c :: t.cq)
+        if detached then emit_member_span c else enqueue_completion t c)
       members
   end
   else begin
@@ -459,11 +532,11 @@ let post t ~now members =
     run_attempts t ~id:id0 ~posted_at:issue_at ~bytes ~side:r0.Request.side
       ~purpose:r0.Request.purpose ~inbound ~deadline:r0.Request.deadline_ns
   in
-  t.inflight <- (done_at, r0.Request.dir) :: t.inflight;
+  add_inflight t ~done_at ~dir:r0.Request.dir;
   let s = t.stats in
   s.doorbells <- s.doorbells + 1;
   if n > 1 then s.coalesced <- s.coalesced + (n - 1);
-  Metrics.hist_observe s.occupancy (float_of_int (List.length t.inflight));
+  Metrics.hist_observe s.occupancy (float_of_int (Heap.length t.inflight));
   if status = Done then Metrics.hist_observe s.lat_rtt (done_at -. start);
   if inbound && status = Done then
     Metrics.hist_observe ~trace:(ctx_trace r0) s.lat_fetch (done_at -. now);
@@ -515,7 +588,7 @@ let post t ~now members =
             Float.max 0.0 (done_at -. submitted_at -. wire_ns -. retry_ns);
         }
       in
-      if detached then emit_member_span c else t.cq <- c :: t.cq)
+      if detached then emit_member_span c else enqueue_completion t c)
     members
   end
 
@@ -557,33 +630,39 @@ let submit t ~now ?(urgent = false) ?(detached = false) (req : Request.t) =
 
 (* --- completion queue ---------------------------------------------------- *)
 
+(* The reap index pops in (done_at, id) order — the exact order the old
+   partition+sort produced.  Entries whose id is gone from the table
+   were reaped by [await]; they are skipped and discarded here. *)
 let poll t ~now =
   ring t ~now;
-  let ready, rest =
-    List.partition (fun (c : completion) -> c.done_at <= now) t.cq
+  let rec drain acc =
+    match Heap.peek t.cq_idx with
+    | Some (d, id) when d <= now -> (
+      ignore (Heap.pop t.cq_idx);
+      match Hashtbl.find_opt t.cq_tbl id with
+      | Some c ->
+        Hashtbl.remove t.cq_tbl id;
+        drain (c :: acc)
+      | None -> drain acc)
+    | _ -> List.rev acc
   in
-  t.cq <- rest;
-  let ready =
-    List.sort
-      (fun (a : completion) (b : completion) ->
-        match compare a.done_at b.done_at with 0 -> compare a.id b.id | c -> c)
-      ready
-  in
+  let ready = drain [] in
   List.iter emit_member_span ready;
   ready
 
 let await t ~now ~id =
   ring t ~now;
-  match List.partition (fun (c : completion) -> c.id = id) t.cq with
-  | [ c ], rest ->
-    t.cq <- rest;
+  match Hashtbl.find_opt t.cq_tbl id with
+  | Some c ->
+    Hashtbl.remove t.cq_tbl id;
+    (* The (done_at, id) index entry goes stale; poll skips it. *)
     emit_member_span c;
     c
-  | _ -> invalid_arg "Net.await: unknown or detached request id"
+  | None -> invalid_arg "Net.await: unknown or detached request id"
 
 let fence ?dir t ~now =
   ring t ~now;
-  List.fold_left
+  Heap.fold
     (fun acc (done_at, d) ->
       match dir with
       | Some want when d <> want -> acc
@@ -600,32 +679,46 @@ let fence ?dir t ~now =
    number of reapable requests failed. *)
 let fail_inflight t ~now =
   ring t ~now;
-  let failed = ref 0 in
-  t.cq <-
-    List.map
-      (fun (c : completion) ->
-        if c.done_at > now && c.status = Done then begin
-          incr failed;
-          (* The member span itself is emitted at reap time and will
-             show the retargeted done_at; the instant marks where the
-             epoch bump cut it short. *)
-          if Trace.enabled () then
-            Trace.instant ~name:"retarget" ~cat:"net" ~lane:"net" ~ts_ns:now
-              ~args:
-                [
-                  ("id", Mira_telemetry.Json.Int c.id);
-                  ("trace", Mira_telemetry.Json.Int (ctx_trace c.req));
-                ]
-              ();
-          { c with status = Node_down; done_at = now }
-        end
-        else c)
-      t.cq;
-  t.inflight <-
-    List.map (fun (d, dir) -> ((if d > now then now else d), dir)) t.inflight;
+  let retargeted =
+    Hashtbl.fold
+      (fun _ (c : completion) acc ->
+        if c.done_at > now && c.status = Done then c :: acc else acc)
+      t.cq_tbl []
+    (* newest-first: the order the old completion list was walked in,
+       so the retarget instants land in the trace identically *)
+    |> List.sort (fun (a : completion) (b : completion) -> Int.compare b.id a.id)
+  in
+  List.iter
+    (fun (c : completion) ->
+      (* The member span itself is emitted at reap time and will
+         show the retargeted done_at; the instant marks where the
+         epoch bump cut it short. *)
+      if Trace.enabled () then
+        Trace.instant ~name:"retarget" ~cat:"net" ~lane:"net" ~ts_ns:now
+          ~args:
+            [
+              ("id", Mira_telemetry.Json.Int c.id);
+              ("trace", Mira_telemetry.Json.Int (ctx_trace c.req));
+            ]
+          ();
+      Hashtbl.replace t.cq_tbl c.id { c with status = Node_down; done_at = now })
+    retargeted;
+  let failed = List.length retargeted in
+  if failed > 0 then begin
+    (* Retargeting moved done_at keys: rebuild the reap index (rare
+       crash path; poll order must follow the new keys). *)
+    Heap.clear t.cq_idx;
+    Hashtbl.iter (fun id (c : completion) -> Heap.push t.cq_idx (c.done_at, id)) t.cq_tbl
+  end;
+  (* Clamping down to [now] is monotone, so both heaps keep their
+     invariants in place — no re-heapify. *)
+  Heap.map_monotone
+    (fun (d, dir) -> ((if d > now then now else d), dir))
+    t.inflight;
+  Heap.map_monotone (fun d -> if d > now then now else d) t.window_q;
   if t.link_free_at > now then t.link_free_at <- now;
-  t.stats.node_down <- t.stats.node_down + !failed;
-  !failed
+  t.stats.node_down <- t.stats.node_down + failed;
+  failed
 
 (* Declare the far node unreachable until [until]: messages posted
    before that instant complete as [Node_down] after the loss-detection

@@ -49,8 +49,17 @@ type entry = {
   ctx : Mira_telemetry.Trace.span_ctx option;
 }
 
+(* Strict total order: earliest tick first, ties by tenant id, then by
+   submission order.  Determinism depends on nothing else.  The seqno
+   is globally unique, so this is a strict total order over entries —
+   which is exactly why the event queue can be a binary heap: with no
+   ties, heap pop order coincides with the old scan-for-min order. *)
+let entry_before a b =
+  a.at < b.at
+  || (a.at = b.at && (a.tenant < b.tenant || (a.tenant = b.tenant && a.seq < b.seq)))
+
 type t = {
-  mutable queue : entry list;  (* unordered; dispatch scans for the min *)
+  queue : entry Mira_util.Min_heap.t;  (* ordered by [entry_before] *)
   mutable seq : int;
   mutable live : int;  (* spawned tasks that have not returned *)
   mutable running : bool;
@@ -63,7 +72,7 @@ type _ Effect.t += Yield : { at : int64; ev : event } -> unit Effect.t
 
 let create () =
   {
-    queue = [];
+    queue = Mira_util.Min_heap.create ~le:entry_before;
     seq = 0;
     live = 0;
     running = false;
@@ -91,7 +100,7 @@ let clock t ~tenant =
     Hashtbl.replace t.clocks tenant c;
     c
 
-let push t entry = t.queue <- entry :: t.queue
+let push t entry = Mira_util.Min_heap.push t.queue entry
 
 let next_seq t =
   t.seq <- t.seq + 1;
@@ -106,19 +115,7 @@ let spawn ?at_ns t ~tenant f =
   t.live <- t.live + 1;
   push t { at; tenant; seq = next_seq t; resume = Start f; ctx = None }
 
-(* Strict total order: earliest tick first, ties by tenant id, then by
-   submission order.  Determinism depends on nothing else. *)
-let entry_before a b =
-  a.at < b.at
-  || (a.at = b.at && (a.tenant < b.tenant || (a.tenant = b.tenant && a.seq < b.seq)))
-
-let pop_earliest t =
-  match t.queue with
-  | [] -> None
-  | first :: rest ->
-    let best = List.fold_left (fun m e -> if entry_before e m then e else m) first rest in
-    t.queue <- List.filter (fun e -> e != best) t.queue;
-    Some best
+let pop_earliest t = Mira_util.Min_heap.pop t.queue
 
 let count_block t ev =
   let k = Clock.event_name ev in
@@ -191,7 +188,7 @@ let reset_stats t =
 
 let reset t =
   if t.running then invalid_arg "Sched.reset: scheduler is running";
-  t.queue <- [];
+  Mira_util.Min_heap.clear t.queue;
   t.seq <- 0;
   t.live <- 0;
   t.dispatched <- 0;

@@ -1,0 +1,29 @@
+(* Little-endian scalar access into byte buffers without a staging
+   copy.  The hot access paths (section slots, swap frames, the flat
+   stores) previously allocated an 8-byte scratch buffer and blitted
+   through it on every load/store; these helpers read/write the value
+   in place with identical semantics: [len] low-order bytes,
+   little-endian, zero-extended on read, high bytes dropped on write. *)
+
+let get data ~off ~len =
+  if len = 8 then Bytes.get_int64_le data off
+  else begin
+    let v = ref 0L in
+    for i = len - 1 downto 0 do
+      v :=
+        Int64.logor
+          (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code (Bytes.get data (off + i))))
+    done;
+    !v
+  end
+
+let set data ~off ~len v =
+  if len = 8 then Bytes.set_int64_le data off v
+  else begin
+    let v = ref v in
+    for i = 0 to len - 1 do
+      Bytes.set data (off + i) (Char.chr (Int64.to_int !v land 0xff));
+      v := Int64.shift_right_logical !v 8
+    done
+  end

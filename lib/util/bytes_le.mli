@@ -1,0 +1,10 @@
+(** Staging-free little-endian scalar access into byte buffers.
+
+    [get]/[set] move the [len] (1-8) low-order bytes of an int64
+    directly between the value and [data.[off .. off+len-1]],
+    little-endian.  [get] zero-extends; [set] drops the high bytes.
+    Exactly equivalent to blitting through a zeroed 8-byte scratch
+    buffer — minus the allocation and double copy. *)
+
+val get : Bytes.t -> off:int -> len:int -> int64
+val set : Bytes.t -> off:int -> len:int -> int64 -> unit

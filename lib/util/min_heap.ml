@@ -1,0 +1,107 @@
+(* Array-backed binary min-heap.  The classic sift-up/sift-down pair
+   over a growable array: parent of [i] is [(i-1)/2], children are
+   [2i+1] and [2i+2], and the invariant is [le parent child] along
+   every edge.  No per-operation allocation once the array has grown
+   to the working-set size. *)
+
+type 'a t = {
+  le : 'a -> 'a -> bool;
+  mutable data : 'a array;  (* elements live in [0, size) *)
+  mutable size : int;
+}
+
+let create ~le = { le; data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let data = Array.make (max 8 (2 * cap)) x in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let sift_up t i0 =
+  let d = t.data in
+  let x = d.(i0) in
+  let i = ref i0 in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    if t.le x d.(p) && not (t.le d.(p) x) then begin
+      d.(!i) <- d.(p);
+      i := p;
+      true
+    end
+    else false
+  do
+    ()
+  done;
+  d.(!i) <- x
+
+let sift_down t i0 =
+  let d = t.data and n = t.size in
+  let x = d.(i0) in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= n then continue := false
+    else begin
+      let r = l + 1 in
+      let c = if r < n && t.le d.(r) d.(l) && not (t.le d.(l) d.(r)) then r else l in
+      if t.le d.(c) x && not (t.le x d.(c)) then begin
+        d.(!i) <- d.(c);
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  d.(!i) <- x
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* Drop the stale duplicate so popped elements don't outlive the
+         heap (the slot is overwritten again on the next push). *)
+      t.data.(t.size) <- t.data.(0);
+      sift_down t 0
+    end
+    else t.data <- [||];
+    Some top
+  end
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let map_monotone f t =
+  for i = 0 to t.size - 1 do
+    t.data.(i) <- f t.data.(i)
+  done

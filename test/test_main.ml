@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mira"
     [
       ("util", Test_util.suite);
+      ("min-heap", Test_min_heap.suite);
       ("sim", Test_sim.suite);
       ("sched", Test_sched.suite);
       ("dataplane", Test_dataplane.suite);
