@@ -868,17 +868,20 @@ let figchaos () =
   let t =
     Table.create
       ~header:
-        [ "config"; "seed"; "work (ms)"; "tput (Mops/s)"; "recovery p50 (us)";
-          "crashes"; "failovers"; "repl (KB)"; "lost (B)"; "node_down";
-          "checksum" ]
+        [ "config"; "seed"; "work (ms)"; "tput (Mops/s)"; "rec p50 (us)";
+          "rec p99 (us)"; "crashes"; "failovers"; "wire (KB)"; "resync (KB)";
+          "recon (KB)"; "lost (B)"; "node_down"; "checksum" ]
   in
   let rows = ref [] in
-  let record label seed spec =
+  let record label ~scheme ~overlap seed spec =
     let v, work_ns, rt = run_chaos spec in
     let cl = Mira_sim.Cluster.stats (Runtime.cluster rt) in
     let net = Mira_sim.Net.stats (Runtime.net rt) in
     let rec_p50 =
       Mira_telemetry.Metrics.hist_percentile cl.Mira_sim.Cluster.recovery 50.0
+    in
+    let rec_p99 =
+      Mira_telemetry.Metrics.hist_percentile cl.Mira_sim.Cluster.recovery 99.0
     in
     let tput =
       float_of_int dp_micro_cfg.Mira_workloads.Micro_sum.elems /. (work_ns /. 1e3)
@@ -890,44 +893,75 @@ let figchaos () =
         Printf.sprintf "%.3f" (work_ns /. 1e6);
         Printf.sprintf "%.2f" tput;
         Printf.sprintf "%.1f" (rec_p50 /. 1e3);
+        Printf.sprintf "%.1f" (rec_p99 /. 1e3);
         string_of_int cl.Mira_sim.Cluster.crashes;
         string_of_int cl.Mira_sim.Cluster.failovers;
         string_of_int (cl.Mira_sim.Cluster.replication_bytes / 1024);
+        string_of_int (cl.Mira_sim.Cluster.resync_bytes / 1024);
+        string_of_int (cl.Mira_sim.Cluster.reconstructed_bytes / 1024);
         string_of_int lost;
         string_of_int net.Mira_sim.Net.node_down;
         checksum ];
     rows :=
       Mira_telemetry.Json.Obj
         [ ("config", Mira_telemetry.Json.Str label);
+          ("scheme", Mira_telemetry.Json.Str scheme);
+          ("overlap", Mira_telemetry.Json.Bool overlap);
           ("seed", Mira_telemetry.Json.Int seed);
           ("work_ms", Mira_telemetry.Json.Float (work_ns /. 1e6));
           ("throughput_mops", Mira_telemetry.Json.Float tput);
           ("recovery_p50_us", Mira_telemetry.Json.Float (rec_p50 /. 1e3));
+          ("recovery_p99_us", Mira_telemetry.Json.Float (rec_p99 /. 1e3));
           ("crashes", Mira_telemetry.Json.Int cl.Mira_sim.Cluster.crashes);
           ("failovers", Mira_telemetry.Json.Int cl.Mira_sim.Cluster.failovers);
           ( "replication_bytes",
             Mira_telemetry.Json.Int cl.Mira_sim.Cluster.replication_bytes );
+          ( "bytes_on_wire",
+            Mira_telemetry.Json.Int cl.Mira_sim.Cluster.replication_bytes );
+          ( "resync_bytes",
+            Mira_telemetry.Json.Int cl.Mira_sim.Cluster.resync_bytes );
+          ( "reconstructed_bytes",
+            Mira_telemetry.Json.Int cl.Mira_sim.Cluster.reconstructed_bytes );
           ("lost_bytes", Mira_telemetry.Json.Int lost);
           ("node_down", Mira_telemetry.Json.Int net.Mira_sim.Net.node_down);
           ("checksum", Mira_telemetry.Json.Str checksum) ]
       :: !rows
   in
   (* Outages at 15% of the baseline run are long enough to straddle
-     demand faults, so the degraded rows show real detection latency. *)
+     demand faults, so the degraded rows show real detection latency.
+     The sweep crosses redundancy scheme (3-way mirror vs EC(4,2), both
+     tolerating two concurrent failures) with outage shape (serialized
+     vs genuinely overlapping: the overlap rows pack both crashes into
+     the first tenth of the run, so two nodes are down at once and the
+     quorum rules — not serial failover — keep the checksum intact). *)
   let horizon_ns = base_ns *. 0.6 and down_ns = base_ns *. 0.15 in
+  let schedule ~overlap ~seed ~nodes =
+    if overlap then
+      Mira_sim.Cluster.schedule_of_seed ~overlap:true ~seed ~nodes ~crashes:2
+        ~horizon_ns:(base_ns *. 0.1) ~down_ns:(base_ns *. 0.3)
+    else
+      Mira_sim.Cluster.schedule_of_seed ~overlap:false ~seed ~nodes ~crashes:2
+        ~horizon_ns ~down_ns
+  in
   List.iter
     (fun seed ->
-      record "no-fault" seed Mira_sim.Cluster.spec_default;
-      record "crash, replication=2" seed
-        { Mira_sim.Cluster.nodes = 2; replication = 2;
-          schedule =
-            Mira_sim.Cluster.schedule_of_seed ~seed ~nodes:2 ~crashes:2
-              ~horizon_ns ~down_ns };
-      record "crash, replication=off" seed
-        { Mira_sim.Cluster.nodes = 1; replication = 1;
-          schedule =
-            Mira_sim.Cluster.schedule_of_seed ~seed ~nodes:1 ~crashes:1
-              ~horizon_ns ~down_ns })
+      record "no-fault" ~scheme:"1,0" ~overlap:false seed
+        Mira_sim.Cluster.spec_default;
+      List.iter
+        (fun overlap ->
+          let tag = if overlap then "overlap" else "serial" in
+          record (Printf.sprintf "mirror3 %s" tag) ~scheme:"1,2" ~overlap seed
+            (Mira_sim.Cluster.mirror ~nodes:3 ~copies:3
+               (schedule ~overlap ~seed ~nodes:3));
+          record (Printf.sprintf "ec(4,2) %s" tag) ~scheme:"4,2" ~overlap seed
+            (Mira_sim.Cluster.ec ~nodes:6 ~k:4 ~m:2
+               (schedule ~overlap ~seed ~nodes:6)))
+        [ false; true ];
+      record "no-repl crash" ~scheme:"1,0" ~overlap:false seed
+        { Mira_sim.Cluster.spec_default with
+          Mira_sim.Cluster.schedule =
+            Mira_sim.Cluster.schedule_of_seed ~overlap:false ~seed ~nodes:1
+              ~crashes:1 ~horizon_ns ~down_ns })
     [ 11; 23 ];
   Table.print t;
   match bench_json_dir () with

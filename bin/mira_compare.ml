@@ -187,7 +187,8 @@ let serve_kv ratio tenants requests verbose json_out trace_out flame_out
        exit 1)
 
 let compare_systems wname ratio iterations threads tenants requests
-    net_window net_coalesce verbose json_out trace_out flame_out cpath_out =
+    net_window net_coalesce nodes ec verbose json_out trace_out flame_out
+    cpath_out =
   if not (Float.is_finite ratio) || ratio <= 0.0 then
     usage_error (Printf.sprintf "invalid ratio %g (need a finite value > 0)" ratio);
   if iterations < 1 then
@@ -200,6 +201,42 @@ let compare_systems wname ratio iterations threads tenants requests
     usage_error
       (Printf.sprintf "invalid net-window %d (need >= 0; 0 = unbounded)"
          net_window);
+  if nodes < 1 then
+    usage_error (Printf.sprintf "invalid nodes %d (need >= 1)" nodes);
+  let cluster =
+    match ec with
+    | None ->
+      (* --nodes alone: n-way flat mirroring across the cluster. *)
+      if nodes = 1 then Mira_sim.Cluster.spec_default
+      else Mira_sim.Cluster.mirror ~nodes ~copies:nodes []
+    | Some spec_str ->
+      let k, m =
+        match String.split_on_char ',' spec_str with
+        | [ ks; ms ] -> (
+          match (int_of_string_opt (String.trim ks),
+                 int_of_string_opt (String.trim ms)) with
+          | Some k, Some m -> (k, m)
+          | _ ->
+            usage_error
+              (Printf.sprintf "invalid --ec '%s' (expected k,m)" spec_str))
+        | _ ->
+          usage_error
+            (Printf.sprintf "invalid --ec '%s' (expected k,m)" spec_str)
+      in
+      if k < 1 then
+        usage_error (Printf.sprintf "invalid --ec %d,%d (k must be >= 1)" k m);
+      if m < 0 then
+        usage_error (Printf.sprintf "invalid --ec %d,%d (m must be >= 0)" k m);
+      if m > 2 then
+        usage_error (Printf.sprintf "invalid --ec %d,%d (m must be <= 2)" k m);
+      if k + m > nodes then
+        usage_error
+          (Printf.sprintf
+             "invalid --ec %d,%d with %d node(s) (k + m must be <= nodes)" k m
+             nodes);
+      if m = 0 && k = 1 && nodes = 1 then Mira_sim.Cluster.spec_default
+      else Mira_sim.Cluster.ec ~nodes ~k ~m []
+  in
   if wname = "kv" then
     serve_kv ratio tenants requests verbose json_out trace_out flame_out
       cpath_out
@@ -250,7 +287,12 @@ let compare_systems wname ratio iterations threads tenants requests
   let opts =
     { (C.options_default ~local_budget:budget ~far_capacity) with
       C.params = w.params; max_iterations = iterations; nthreads = threads;
-      tenants; dataplane; verbose }
+      tenants; dataplane; cluster; verbose;
+      placement_candidates =
+        (* Non-trivial data planes let the controller search the
+           stripe-to-node layout like any other dimension. *)
+        (if cluster = Mira_sim.Cluster.spec_default then []
+         else [ Mira_sim.Cluster.Flat; Mira_sim.Cluster.Rotate ]) }
   in
   let compiled = C.optimize opts w.program in
   let rt, machine = C.instantiate compiled in
@@ -410,6 +452,20 @@ let net_coalesce_arg =
            ~doc:"enable doorbell batching: adjacent same-kind transfers \
                  (e.g. a readahead cluster) merge into one network message")
 
+let nodes_arg =
+  Arg.(value & opt int 1
+       & info [ "nodes" ]
+           ~doc:"far-memory cluster size; without $(b,--ec) the data is \
+                 mirrored across all nodes (1 = single node, no \
+                 redundancy)")
+
+let ec_arg =
+  Arg.(value & opt (some string) None
+       & info [ "ec" ] ~docv:"K,M"
+           ~doc:"erasure-code the far tier into stripes of $(i,K) data + \
+                 $(i,M) parity chunks (requires K+M <= $(b,--nodes); M <= \
+                 2); mirroring is the special case K=1")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"controller log")
 
 let json_arg =
@@ -447,8 +503,8 @@ let cmd =
   Cmd.v (Cmd.info "mira_compare" ~doc)
     Term.(const compare_systems $ workload_arg $ ratio_arg $ iter_arg
           $ threads_arg $ tenants_arg $ requests_arg $ net_window_arg
-          $ net_coalesce_arg $ verbose_arg $ json_arg $ trace_arg
-          $ flame_arg $ cpath_arg)
+          $ net_coalesce_arg $ nodes_arg $ ec_arg $ verbose_arg $ json_arg
+          $ trace_arg $ flame_arg $ cpath_arg)
 
 (* Exit 0 on success/help, 2 on any command-line error (Cmdliner has
    already printed the error and usage line to stderr), 125 on an

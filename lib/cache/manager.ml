@@ -72,13 +72,20 @@ let check_cluster t ~clock =
     List.iter
       (fun incident ->
         match incident with
-        | Mira_sim.Cluster.Failover { failed; new_primary; epoch; _ } ->
+        | Mira_sim.Cluster.Failover { failed; epoch; down; _ } ->
           (* Requests in flight to the dead node fail now (epoch fence);
-             still-dirty lines are re-issued to the new primary and the
-             writeback fence is waited out — recovery time is simulated
-             time, charged to the run. *)
+             still-dirty lines are re-issued — reads of the dead node's
+             chunks will reconstruct from survivors — and the writeback
+             fence is waited out; recovery time is simulated time,
+             charged to the run.  Traffic aimed at the dead node while
+             it is down stalls on its per-node outage window. *)
           let start = Mira_sim.Clock.now clock in
           ignore (Mira_sim.Net.fail_inflight t.net ~now:start);
+          let until =
+            Mira_sim.Cluster.node_down_until t.cluster ~node:failed
+          in
+          if until > start then
+            Mira_sim.Net.set_node_down t.net ~node:failed ~until;
           List.iter (fun h -> Cache_section.flush_all h ~clock) (handles t);
           let done_at =
             Mira_sim.Net.fence ~dir:Mira_sim.Net.Request.Write t.net
@@ -106,16 +113,19 @@ let check_cluster t ~clock =
                ~args:
                  [
                    ("failed_node", Mira_telemetry.Json.Int failed);
-                   ("new_primary", Mira_telemetry.Json.Int new_primary);
+                   ("serving_node",
+                    Mira_telemetry.Json.Int
+                      (Mira_sim.Cluster.serving_node t.cluster));
                    ("epoch", Mira_telemetry.Json.Int epoch);
+                   ("down", Mira_telemetry.Json.Int down);
                  ]
                ();
              Tr.end_span ~name:"failover" ~cat:"cluster" ~lane:"cluster"
                ~ts_ns:(start +. recovery_ns) ~trace ~span ()
            end)
-        | Mira_sim.Cluster.Primary_lost { node; lost_bytes; epoch; _ } ->
-          (* No failover target: in-flight requests fail, and until the
-             node returns every post completes [Node_down] after the
+        | Mira_sim.Cluster.Data_lost { node; lost_bytes; epoch; down; _ } ->
+          (* Past quorum: in-flight requests fail, and until enough
+             nodes return every post completes [Node_down] after the
              detection timer.  The run continues degraded; the runtime
              drains [take_lost_extents] for per-object accounting. *)
           ignore (Mira_sim.Net.fail_inflight t.net ~now:(Mira_sim.Clock.now clock));
@@ -130,22 +140,16 @@ let check_cluster t ~clock =
                   ("node", Mira_telemetry.Json.Int node);
                   ("lost_bytes", Mira_telemetry.Json.Int lost_bytes);
                   ("epoch", Mira_telemetry.Json.Int epoch);
+                  ("down", Mira_telemetry.Json.Int down);
                 ]
               ()
-        | Mira_sim.Cluster.Backup_lost { node; _ } ->
-          if Mira_telemetry.Trace.enabled () then
-            Mira_telemetry.Trace.instant ~name:"backup-lost" ~cat:"cluster"
-              ~lane:"cluster"
-              ~ts_ns:(Mira_sim.Clock.now clock)
-              ~args:[ ("node", Mira_telemetry.Json.Int node) ]
-              ()
-        | Mira_sim.Cluster.Recovered { node; resync_bytes; now_backup; _ } ->
-          (* Resync traffic rides the data plane asynchronously: the
-             returning backup is repopulated from the primary without
-             stalling the application. *)
-          if now_backup && resync_bytes > 0 then begin
+        | Mira_sim.Cluster.Recovered { node; resync_bytes; whole; _ } ->
+          (* Rebuild traffic rides the data plane asynchronously: the
+             returning node is repopulated by decoding survivors
+             without stalling the application. *)
+          if resync_bytes > 0 then begin
             let req =
-              Mira_sim.Net.Request.write ~side:Mira_sim.Net.One_sided
+              Mira_sim.Net.Request.write ~node ~side:Mira_sim.Net.One_sided
                 ~purpose:Mira_sim.Net.Writeback resync_bytes
             in
             let sqe =
@@ -162,7 +166,7 @@ let check_cluster t ~clock =
                 [
                   ("node", Mira_telemetry.Json.Int node);
                   ("resync_bytes", Mira_telemetry.Json.Int resync_bytes);
-                  ("now_backup", Mira_telemetry.Json.Bool now_backup);
+                  ("whole", Mira_telemetry.Json.Bool whole);
                 ]
               ())
       incidents;

@@ -236,9 +236,10 @@ let child_ctx ~flow =
     | None -> None
   else None
 
-let post_writeback t ~clock ~sync =
+let post_writeback t ~clock ~base ~sync =
+  let node = Mira_sim.Cluster.node_of_addr t.far ~addr:base in
   let req ~flow =
-    Mira_sim.Net.Request.write ?ctx:(child_ctx ~flow) ~side:t.cfg.side
+    Mira_sim.Net.Request.write ~node ?ctx:(child_ctx ~flow) ~side:t.cfg.side
       ~purpose:Mira_sim.Net.Writeback t.cfg.line
   in
   let now = Mira_sim.Clock.now clock in
@@ -257,9 +258,32 @@ let post_writeback t ~clock ~sync =
     let sq = Mira_sim.Net.submit t.net ~now ~detached:true (req ~flow:true) in
     Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns
   end;
-  if Mira_sim.Cluster.replicated t.far then begin
+  (* Parity/copy fan-out: one detached write per live parity row, sized
+     to the scheme's true bytes-on-wire for this line (a mirror pays a
+     full copy per replica; EC pays the touched chunk union per row). *)
+  List.iter
+    (fun (rnode, bytes) ->
+      let now = Mira_sim.Clock.now clock in
+      let sq =
+        Mira_sim.Net.submit t.net ~now ~detached:true
+          (Mira_sim.Net.Request.write ~node:rnode ?ctx:(child_ctx ~flow:true)
+             ~side:t.cfg.side ~purpose:Mira_sim.Net.Writeback bytes)
+      in
+      Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns)
+    (Mira_sim.Cluster.replica_payloads t.far ~addr:base ~len:t.cfg.line);
+  (* If the data chunk's node was down, the write had to decode the old
+     contents from survivors; that extra read traffic rides detached
+     (the writeback itself is not blocked on it). *)
+  let rb = Mira_sim.Cluster.take_reconstruction t.far in
+  if rb > 0 then begin
     let now = Mira_sim.Clock.now clock in
-    let sq = Mira_sim.Net.submit t.net ~now ~detached:true (req ~flow:true) in
+    let sq =
+      Mira_sim.Net.submit t.net ~now ~detached:true
+        (Mira_sim.Net.Request.read
+           ~node:(Mira_sim.Cluster.serving_node t.far)
+           ?ctx:(child_ctx ~flow:true) ~side:t.cfg.side
+           ~purpose:Mira_sim.Net.Demand rb)
+    in
     Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns
   end
 
@@ -269,7 +293,7 @@ let writeback_victim t ~clock line =
   if line.dirty then begin
     let base = line.tag * t.cfg.line in
     Mira_sim.Cluster.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
-    post_writeback t ~clock ~sync:false;
+    post_writeback t ~clock ~base ~sync:false;
     t.stats.writebacks <- t.stats.writebacks + 1
   end;
   line.dirty <- false
@@ -363,11 +387,43 @@ let allocate_slot t ~clock tag =
       release_slot t ~clock slot;
       slot)
 
+(* A fill that had to erasure-decode (its data node down, group within
+   quorum) read k survivor chunk ranges instead of one: model the
+   extra (k-1)*c bytes as an urgent demand read and charge the wait to
+   the [Reconstruct] attribution cause. *)
+let charge_reconstruction t ~clock =
+  let rb = Mira_sim.Cluster.take_reconstruction t.far in
+  if rb > 0 then begin
+    let now = Mira_sim.Clock.now clock in
+    let sq =
+      Mira_sim.Net.submit t.net ~now ~urgent:true
+        (Mira_sim.Net.Request.read
+           ~node:(Mira_sim.Cluster.serving_node t.far)
+           ?ctx:(child_ctx ~flow:false) ~side:t.cfg.side
+           ~purpose:Mira_sim.Net.Demand rb)
+    in
+    Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
+    let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
+    let stall =
+      Mira_sim.Clock.wait_event clock
+        ~ev:(Mira_sim.Clock.Net_completion sq.Mira_sim.Net.id)
+        c.Mira_sim.Net.done_at
+    in
+    charge_stall t Mira_telemetry.Attribution.Reconstruct stall;
+    if Mira_telemetry.Trace.enabled () then
+      Mira_telemetry.Trace.complete ~name:"reconstruct" ~cat:"cluster"
+        ~lane:(Mira_sim.Cluster.service_lane t.far) ~ts_ns:now
+        ~dur_ns:(Mira_sim.Clock.now clock -. now)
+        ~args:[ ("bytes", Mira_telemetry.Json.Int rb) ]
+        ()
+  end
+
 let install t ~clock ~tag ~ready_at =
   let slot = allocate_slot t ~clock tag in
   let line = t.lines.(slot) in
   let base = tag * t.cfg.line in
   Mira_sim.Cluster.read t.far ~addr:base ~len:t.cfg.line ~dst:line.data ~dst_off:0;
+  charge_reconstruction t ~clock;
   line.tag <- tag;
   line.dirty <- false;
   line.ready_at <- ready_at;
@@ -479,7 +535,9 @@ let ensure t ~clock ~addr ~for_write =
         let now = Mira_sim.Clock.now clock in
         let sq =
           Mira_sim.Net.submit t.net ~now ~urgent:true
-            (Mira_sim.Net.Request.read ?ctx:fill_ctx ~side:t.cfg.side
+            (Mira_sim.Net.Request.read
+               ~node:(Mira_sim.Cluster.node_of_addr t.far ~addr:(tag * t.cfg.line))
+               ?ctx:fill_ctx ~side:t.cfg.side
                ~purpose:Mira_sim.Net.Demand (payload_bytes t))
         in
         Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
@@ -587,9 +645,10 @@ let iter_tags t ~addr ~len fn =
     fn tag
   done
 
-let prefetch_req ?ctx t =
-  Mira_sim.Net.Request.read ?ctx ~side:t.cfg.side
-    ~purpose:Mira_sim.Net.Prefetch (payload_bytes t)
+let prefetch_req ?ctx t ~tag =
+  Mira_sim.Net.Request.read
+    ~node:(Mira_sim.Cluster.node_of_addr t.far ~addr:(tag * t.cfg.line))
+    ?ctx ~side:t.cfg.side ~purpose:Mira_sim.Net.Prefetch (payload_bytes t)
 
 (* Tag is worth prefetching: inside the far address space (loop
    preambles may over-prefetch near object ends) and not resident. *)
@@ -607,7 +666,7 @@ let prefetch t ~clock ~addr ~len =
     iter_tags t ~addr ~len (fun tag ->
         if want_prefetch t tag then begin
           let now = Mira_sim.Clock.now clock in
-          let sq = Mira_sim.Net.submit t.net ~now (prefetch_req ?ctx t) in
+          let sq = Mira_sim.Net.submit t.net ~now (prefetch_req ?ctx t ~tag) in
           Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
           t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
           let c = Mira_sim.Net.await t.net ~now ~id:sq.Mira_sim.Net.id in
@@ -622,7 +681,7 @@ let prefetch t ~clock ~addr ~len =
         if want_prefetch t tag then begin
           let sq =
             Mira_sim.Net.submit t.net ~now:(Mira_sim.Clock.now clock)
-              (prefetch_req ?ctx t)
+              (prefetch_req ?ctx t ~tag)
           in
           Mira_sim.Clock.advance clock sq.Mira_sim.Net.issue_cpu_ns;
           t.stats.bytes_fetched <- t.stats.bytes_fetched + payload_bytes t;
@@ -642,7 +701,7 @@ let flush_slot t ~clock slot ~sync =
   if line.dirty then begin
     let base = line.tag * t.cfg.line in
     Mira_sim.Cluster.write t.far ~addr:base ~len:t.cfg.line ~src:line.data ~src_off:0;
-    post_writeback t ~clock ~sync;
+    post_writeback t ~clock ~base ~sync;
     line.dirty <- false;
     t.stats.writebacks <- t.stats.writebacks + 1
   end

@@ -144,8 +144,9 @@ let writeback t ~clock frame ~sync =
   if frame.dirty then begin
     let base = frame.pno * t.cfg.page in
     Mira_sim.Cluster.write t.far ~addr:base ~len:t.cfg.page ~src:frame.data ~src_off:0;
+    let node = Mira_sim.Cluster.node_of_addr t.far ~addr:base in
     let req ~flow =
-      Mira_sim.Net.Request.write ?ctx:(child_ctx ~flow) ~side:t.cfg.side
+      Mira_sim.Net.Request.write ~node ?ctx:(child_ctx ~flow) ~side:t.cfg.side
         ~purpose:Mira_sim.Net.Writeback t.cfg.page
     in
     let now = Mira_sim.Clock.now clock in
@@ -164,12 +165,33 @@ let writeback t ~clock frame ~sync =
       let x = Mira_sim.Net.submit t.net ~now ~detached:true (req ~flow:true) in
       Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns
     end;
-    (* Replication: the backup copy always rides an asynchronous,
-       batchable message — durability is eventual, consistency is the
-       cluster's eager mirror above. *)
-    if Mira_sim.Cluster.replicated t.far then begin
+    (* Redundancy fan-out: each live parity row's update (a full copy
+       for mirrors, the touched chunk union for EC) rides an
+       asynchronous, batchable message — durability is eventual,
+       consistency is the cluster's eager parity above. *)
+    List.iter
+      (fun (rnode, bytes) ->
+        let now = Mira_sim.Clock.now clock in
+        let x =
+          Mira_sim.Net.submit t.net ~now ~detached:true
+            (Mira_sim.Net.Request.write ~node:rnode
+               ?ctx:(child_ctx ~flow:true) ~side:t.cfg.side
+               ~purpose:Mira_sim.Net.Writeback bytes)
+        in
+        Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns)
+      (Mira_sim.Cluster.replica_payloads t.far ~addr:base ~len:t.cfg.page);
+    (* A write landing on a down data node decoded the old contents
+       from survivors; that read traffic rides detached. *)
+    let rb = Mira_sim.Cluster.take_reconstruction t.far in
+    if rb > 0 then begin
       let now = Mira_sim.Clock.now clock in
-      let x = Mira_sim.Net.submit t.net ~now ~detached:true (req ~flow:true) in
+      let x =
+        Mira_sim.Net.submit t.net ~now ~detached:true
+          (Mira_sim.Net.Request.read
+             ~node:(Mira_sim.Cluster.serving_node t.far)
+             ?ctx:(child_ctx ~flow:true) ~side:t.cfg.side
+             ~purpose:Mira_sim.Net.Demand rb)
+      in
       Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns
     end;
     frame.dirty <- false;
@@ -223,11 +245,43 @@ let allocate_frame t ~clock =
     release_frame t ~clock idx;
     idx
 
+(* A fill that had to erasure-decode (its data node down, group within
+   quorum) read k survivor chunk ranges instead of one: model the
+   extra (k-1)*c bytes as an urgent demand read and charge the wait to
+   the [Reconstruct] attribution cause. *)
+let charge_reconstruction t ~clock =
+  let rb = Mira_sim.Cluster.take_reconstruction t.far in
+  if rb > 0 then begin
+    let now = Mira_sim.Clock.now clock in
+    let x =
+      Mira_sim.Net.submit t.net ~now ~urgent:true
+        (Mira_sim.Net.Request.read
+           ~node:(Mira_sim.Cluster.serving_node t.far)
+           ?ctx:(child_ctx ~flow:false) ~side:t.cfg.side
+           ~purpose:Mira_sim.Net.Demand rb)
+    in
+    Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
+    let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in
+    let stall =
+      Mira_sim.Clock.wait_event clock
+        ~ev:(Mira_sim.Clock.Net_completion x.Mira_sim.Net.id)
+        c.Mira_sim.Net.done_at
+    in
+    charge_stall t Mira_telemetry.Attribution.Reconstruct stall;
+    if Mira_telemetry.Trace.enabled () then
+      Mira_telemetry.Trace.complete ~name:"reconstruct" ~cat:"cluster"
+        ~lane:(Mira_sim.Cluster.service_lane t.far) ~ts_ns:now
+        ~dur_ns:(Mira_sim.Clock.now clock -. now)
+        ~args:[ ("bytes", Mira_telemetry.Json.Int rb) ]
+        ()
+  end
+
 let install t ~clock ~pno ~ready_at =
   let idx = allocate_frame t ~clock in
   let frame = t.frames.(idx) in
   Mira_sim.Cluster.read t.far ~addr:(pno * t.cfg.page) ~len:t.cfg.page ~dst:frame.data
     ~dst_off:0;
+  charge_reconstruction t ~clock;
   frame.pno <- pno;
   frame.dirty <- false;
   frame.ready_at <- ready_at;
@@ -237,15 +291,16 @@ let install t ~clock ~pno ~ready_at =
   t.used <- t.used + 1;
   idx
 
-let prefetch_req ?ctx t =
-  Mira_sim.Net.Request.read ?ctx ~side:t.cfg.side
-    ~purpose:Mira_sim.Net.Prefetch t.cfg.page
+let prefetch_req ?ctx t ~page =
+  Mira_sim.Net.Request.read
+    ~node:(Mira_sim.Cluster.node_of_addr t.far ~addr:(page * t.cfg.page))
+    ?ctx ~side:t.cfg.side ~purpose:Mira_sim.Net.Prefetch t.cfg.page
 
 let prefetch_page t ~clock ~page =
   if not (Hashtbl.mem t.table page) then begin
     let ctx = child_ctx ~flow:true in
     let now = Mira_sim.Clock.now clock in
-    let x = Mira_sim.Net.submit t.net ~now (prefetch_req ?ctx t) in
+    let x = Mira_sim.Net.submit t.net ~now (prefetch_req ?ctx t ~page) in
     Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
     t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
     t.stats.readahead_pages <- t.stats.readahead_pages + 1;
@@ -268,7 +323,7 @@ let prefetch_cluster t ~clock pages =
         (fun page ->
           let x =
             Mira_sim.Net.submit t.net ~now:(Mira_sim.Clock.now clock)
-              (prefetch_req ?ctx t)
+              (prefetch_req ?ctx t ~page)
           in
           Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
           t.stats.bytes_fetched <- t.stats.bytes_fetched + t.cfg.page;
@@ -319,8 +374,10 @@ let fault t ~clock ~pno =
   let now = Mira_sim.Clock.now clock in
   let x =
     Mira_sim.Net.submit t.net ~now ~urgent:true
-      (Mira_sim.Net.Request.read ?ctx:fill_ctx ~side:t.cfg.side
-         ~purpose:Mira_sim.Net.Demand t.cfg.page)
+      (Mira_sim.Net.Request.read
+         ~node:(Mira_sim.Cluster.node_of_addr t.far ~addr:(pno * t.cfg.page))
+         ?ctx:fill_ctx ~side:t.cfg.side ~purpose:Mira_sim.Net.Demand
+         t.cfg.page)
   in
   Mira_sim.Clock.advance clock x.Mira_sim.Net.issue_cpu_ns;
   let c = Mira_sim.Net.await t.net ~now ~id:x.Mira_sim.Net.id in

@@ -21,6 +21,7 @@ type options = {
   far_capacity : int;
   dataplane : Mira_sim.Net.dp_config;
   cluster : Mira_sim.Cluster.spec;
+  placement_candidates : Mira_sim.Cluster.placement list;
   max_iterations : int;
   size_samples : float list;
   nthreads : int;
@@ -43,6 +44,7 @@ let options_default ~local_budget ~far_capacity =
     far_capacity;
     dataplane = Mira_sim.Net.dp_default;
     cluster = Mira_sim.Cluster.spec_default;
+    placement_candidates = [];
     max_iterations = 3;
     size_samples = [ 0.15; 0.35; 0.7 ];
     nthreads = 1;
@@ -528,6 +530,41 @@ let optimize opts original =
   let prog0 = Instrument.run original in
   let _, base_ns, rt0 = eval opts prog0 [] in
   decide (Decision.Profile_run { iteration = 0; work_ns = base_ns });
+  (* Placement axis: how stripes map to cluster nodes is searched like
+     section sizing — measure the instrumented baseline under each
+     candidate layout and keep the fastest one for every subsequent
+     compile and the final runtime. *)
+  let opts =
+    match opts.placement_candidates with
+    | [] -> opts
+    | cands ->
+      phase "placement";
+      let scored =
+        List.map
+          (fun pl ->
+            let o =
+              { opts with
+                cluster =
+                  { opts.cluster with Mira_sim.Cluster.placement = pl } }
+            in
+            let _, ns, _ = eval o prog0 [] in
+            decide
+              (Decision.Placement_sample
+                 {
+                   iteration = 0;
+                   placement = Mira_sim.Cluster.placement_name pl;
+                   work_ns = ns;
+                 });
+            (ns, o))
+          cands
+      in
+      let _, best_o =
+        List.fold_left
+          (fun (bn, bo) (n, o) -> if n < bn then (n, o) else (bn, bo))
+          (List.hd scored) (List.tl scored)
+      in
+      best_o
+  in
   let profile0 = Runtime.profile rt0 in
   let heap = heap_sites original in
   (* Scope selection to the measured function's dynamic call tree:

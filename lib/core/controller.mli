@@ -20,6 +20,11 @@ type options = {
   cluster : Mira_sim.Cluster.spec;
       (** far-memory cluster topology and crash schedule for every
           runtime the controller creates *)
+  placement_candidates : Mira_sim.Cluster.placement list;
+      (** data-plane layouts to sample during optimization (searched
+          like section sizes; the fastest wins and is carried into the
+          final runtime).  Empty (the default) keeps [cluster]'s own
+          placement with no extra measurement runs. *)
   max_iterations : int;
   size_samples : float list;  (** budget fractions sampled for non-
                                   sequential sections *)

@@ -205,6 +205,11 @@ let runtime_stats rt =
          (cl.Mira_sim.Cluster.replication_bytes / 1024)
          (cl.Mira_sim.Cluster.resync_bytes / 1024)
          cl.Mira_sim.Cluster.lost_bytes net.Mira_sim.Net.node_down);
+    let k, m = Mira_sim.Cluster.scheme (Runtime.cluster rt) in
+    Buffer.add_string buf
+      (Printf.sprintf "scheme   ec=(%d,%d) reconstructions=%d decoded=%dKB\n" k
+         m cl.Mira_sim.Cluster.reconstructions
+         (cl.Mira_sim.Cluster.reconstructed_bytes / 1024));
     if Mira_sim.Cluster.degraded (Runtime.cluster rt) then begin
       Buffer.add_string buf "degraded mode: far data lost; per-object bytes:\n";
       List.iter

@@ -399,16 +399,23 @@ let local_store_v t ~clock:c ~addr ~len v =
   Sim.Clock.advance c t.cfg.params.Sim.Params.native_mem_ns;
   Sim.Far_store.write_le t.local_store ~addr ~len v
 
-(* Far-node-local access while executing an offloaded function. *)
+(* Far-node-local access while executing an offloaded function.  If
+   the access lands on a down node and decodes from survivors, the
+   extra reads stay on the far-side fabric: drain the reconstruction
+   debt so it is not billed to the compute link later (the cluster's
+   ec.* stats still count it). *)
 let offload_load t ~clock:c ~addr ~len =
   let p = t.cfg.params in
   Sim.Clock.advance c (p.Sim.Params.native_mem_ns *. p.Sim.Params.remote_compute_slowdown);
-  Sim.Cluster.read_le t.cluster ~addr ~len
+  let v = Sim.Cluster.read_le t.cluster ~addr ~len in
+  ignore (Sim.Cluster.take_reconstruction t.cluster);
+  v
 
 let offload_store t ~clock:c ~addr ~len v =
   let p = t.cfg.params in
   Sim.Clock.advance c (p.Sim.Params.native_mem_ns *. p.Sim.Params.remote_compute_slowdown);
-  Sim.Cluster.write_le t.cluster ~addr ~len v
+  Sim.Cluster.write_le t.cluster ~addr ~len v;
+  ignore (Sim.Cluster.take_reconstruction t.cluster)
 
 (* Per-object data-loss accounting: wiped far extents (a primary crash
    with no surviving replica) are intersected with the live allocation

@@ -18,21 +18,24 @@ module Request = struct
     side : side;
     purpose : purpose;
     bytes : int;
+    node : int;
+        (* far node the transfer targets; per-node outage windows
+           ([set_node_down]) only stall requests aimed at that node *)
     deadline_ns : float option;
     ctx : Trace.span_ctx option;
         (* causal origin: rides through submit/ring/post/poll/await so
            the reaped completion can be attributed to its access *)
   }
 
-  let make ?deadline_ns ?ctx ~dir ~side ~purpose bytes =
+  let make ?(node = 0) ?deadline_ns ?ctx ~dir ~side ~purpose bytes =
     assert (bytes > 0);
-    { dir; side; purpose; bytes; deadline_ns; ctx }
+    { dir; side; purpose; bytes; node; deadline_ns; ctx }
 
-  let read ?deadline_ns ?ctx ~side ~purpose bytes =
-    make ?deadline_ns ?ctx ~dir:Read ~side ~purpose bytes
+  let read ?node ?deadline_ns ?ctx ~side ~purpose bytes =
+    make ?node ?deadline_ns ?ctx ~dir:Read ~side ~purpose bytes
 
-  let write ?deadline_ns ?ctx ~side ~purpose bytes =
-    make ?deadline_ns ?ctx ~dir:Write ~side ~purpose bytes
+  let write ?node ?deadline_ns ?ctx ~side ~purpose bytes =
+    make ?node ?deadline_ns ?ctx ~dir:Write ~side ~purpose bytes
 end
 
 let ctx_trace (req : Request.t) =
@@ -189,7 +192,7 @@ type stats = {
 (* One un-rung doorbell batch: same-kind submissions buffered in
    submission order (members kept newest-first). *)
 type batch = {
-  key : Request.dir * side * purpose;
+  key : Request.dir * side * purpose * int;  (* ... * target node *)
   mutable members : (int * Request.t * float * bool) list;
       (* id, request, submitted_at, detached *)
 }
@@ -228,6 +231,9 @@ type t = {
   mutable down_until : float;
       (* far node unreachable until this instant: messages posted before
          it fail with [Node_down] after the loss-detection timer *)
+  node_down_until : (int, float) Hashtbl.t;
+      (* per-node outage windows: only requests targeting that node
+         stall; the global [down_until] applies to every request *)
   stats : stats;
 }
 
@@ -264,6 +270,7 @@ let create ?(dp = dp_default) params =
     cq_idx = Heap.create ~le:le_cq;
     pending = None;
     down_until = 0.0;
+    node_down_until = Hashtbl.create 8;
     stats = empty_stats ();
   }
 
@@ -316,7 +323,8 @@ let reset_link t =
   Hashtbl.reset t.cq_tbl;
   Heap.clear t.cq_idx;
   t.pending <- None;
-  t.down_until <- 0.0
+  t.down_until <- 0.0;
+  Hashtbl.reset t.node_down_until
 
 let publish t reg =
   let s = t.stats in
@@ -498,7 +506,13 @@ let post t ~now members =
   retire t ~now;
   let gate = gate_time t ~now in
   let issue_at = Float.max now gate in
-  if issue_at < t.down_until then begin
+  let down_until =
+    Float.max t.down_until
+      (match Hashtbl.find_opt t.node_down_until r0.Request.node with
+      | Some u -> u
+      | None -> 0.0)
+  in
+  if issue_at < down_until then begin
     (* Far node down with no failover target: the message never touches
        the wire; the requester detects the failure after its loss
        timer.  Not a [Timed_out] — nothing was dropped, the node is
@@ -614,7 +628,9 @@ let submit t ~now ?(urgent = false) ?(detached = false) (req : Request.t) =
     { id; issue_cpu_ns = p.Params.async_post_ns }
   end
   else begin
-    let key = (req.Request.dir, req.Request.side, req.Request.purpose) in
+    let key =
+      (req.Request.dir, req.Request.side, req.Request.purpose, req.Request.node)
+    in
     match t.pending with
     | Some b when b.key = key && List.length b.members < t.dp.coalesce_limit ->
       b.members <- (id, req, now, detached) :: b.members;
@@ -725,4 +741,14 @@ let fail_inflight t ~now =
    timer instead of transferring.  Used for degraded outages where no
    failover target exists. *)
 let set_down t ~until = t.down_until <- Float.max t.down_until until
+
+(* Declare a single far node unreachable until [until]: only messages
+   targeting it ([Request.node]) stall; traffic to live nodes flows. *)
+let set_node_down t ~node ~until =
+  let cur =
+    match Hashtbl.find_opt t.node_down_until node with
+    | Some u -> u
+    | None -> 0.0
+  in
+  Hashtbl.replace t.node_down_until node (Float.max cur until)
 

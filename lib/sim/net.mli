@@ -54,6 +54,10 @@ module Request : sig
     side : side;
     purpose : purpose;
     bytes : int;
+    node : int;
+        (** far node the transfer targets (default 0); per-node outage
+            windows ([set_node_down]) only stall requests aimed at that
+            node, and batching never coalesces across nodes *)
     deadline_ns : float option;
         (** per-request loss-detection timer; [None] uses the fault
             model's [timeout_ns].  Ignored when no faults are
@@ -67,12 +71,12 @@ module Request : sig
   }
 
   val read :
-    ?deadline_ns:float -> ?ctx:Mira_telemetry.Trace.span_ctx ->
+    ?node:int -> ?deadline_ns:float -> ?ctx:Mira_telemetry.Trace.span_ctx ->
     side:side -> purpose:purpose -> int -> t
   (** [read ~side ~purpose bytes] — an inbound transfer request. *)
 
   val write :
-    ?deadline_ns:float -> ?ctx:Mira_telemetry.Trace.span_ctx ->
+    ?node:int -> ?deadline_ns:float -> ?ctx:Mira_telemetry.Trace.span_ctx ->
     side:side -> purpose:purpose -> int -> t
   (** [write ~side ~purpose bytes] — an outbound transfer request. *)
 end
@@ -263,6 +267,12 @@ val set_down : t -> until:float -> unit
     complete as [Node_down] after the loss-detection timer (the fault
     model's [timeout_ns], or one RTT without faults) without touching
     the wire. *)
+
+val set_node_down : t -> node:int -> until:float -> unit
+(** Same as [set_down], scoped to one far node: only messages whose
+    [Request.node] targets it stall; traffic to live nodes is
+    unaffected.  Windows for distinct nodes are independent and
+    cleared by [reset_link]. *)
 
 val reset_link : t -> unit
 (** Forget link occupancy and all queue state (between independent

@@ -22,9 +22,11 @@ type cause =
   | Writeback
   | Failover_recovery
   | Reconfig
+  | Reconstruct
 
 let causes =
-  [ Demand_wire; Queueing; Retry; Fence; Writeback; Failover_recovery; Reconfig ]
+  [ Demand_wire; Queueing; Retry; Fence; Writeback; Failover_recovery; Reconfig;
+    Reconstruct ]
 
 let cause_name = function
   | Demand_wire -> "demand_wire"
@@ -34,6 +36,7 @@ let cause_name = function
   | Writeback -> "writeback"
   | Failover_recovery -> "failover_recovery"
   | Reconfig -> "reconfig"
+  | Reconstruct -> "reconstruct"
 
 let cause_index = function
   | Demand_wire -> 0
@@ -43,8 +46,9 @@ let cause_index = function
   | Writeback -> 4
   | Failover_recovery -> 5
   | Reconfig -> 6
+  | Reconstruct -> 7
 
-let ncauses = 7
+let ncauses = 8
 let cause_of_index i = List.nth causes i
 
 (* 2^16 fixed-point units per nanosecond. *)

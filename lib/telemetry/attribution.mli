@@ -16,6 +16,9 @@ type cause =
   | Writeback  (** synchronous writeback backpressure *)
   | Failover_recovery  (** node-failure detection and failover recovery *)
   | Reconfig  (** reconfiguration barriers between program sections *)
+  | Reconstruct
+      (** degraded reads served by erasure-decoding k survivor chunks
+          while a far node is down *)
 
 type t
 

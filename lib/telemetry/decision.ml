@@ -19,6 +19,7 @@ type t =
     }
   | Size_sample of { iteration : int; sec_id : int; size : int; work_ns : float }
   | Joint_sample of { iteration : int; work_ns : float }
+  | Placement_sample of { iteration : int; placement : string; work_ns : float }
   | Measure of { iteration : int; work_ns : float; best_ns : float }
   | Accept of { iteration : int; work_ns : float }
   | Rollback of { iteration : int; reason : string }
@@ -30,6 +31,7 @@ let iteration = function
   | Plan_section { iteration; _ }
   | Size_sample { iteration; _ }
   | Joint_sample { iteration; _ }
+  | Placement_sample { iteration; _ }
   | Measure { iteration; _ }
   | Accept { iteration; _ }
   | Rollback { iteration; _ } ->
@@ -42,6 +44,7 @@ let name = function
   | Plan_section _ -> "plan_section"
   | Size_sample _ -> "size_sample"
   | Joint_sample _ -> "joint_sample"
+  | Placement_sample _ -> "placement_sample"
   | Measure _ -> "measure"
   | Accept _ -> "accept"
   | Rollback _ -> "rollback"
@@ -67,6 +70,9 @@ let render = function
       (work_ns /. 1e6)
   | Joint_sample { work_ns; _ } ->
     Printf.sprintf "  joint allocation: work=%.2fms" (work_ns /. 1e6)
+  | Placement_sample { placement; work_ns; _ } ->
+    Printf.sprintf "  sample placement=%s work=%.2fms" placement
+      (work_ns /. 1e6)
   | Measure { iteration; work_ns; best_ns } ->
     Printf.sprintf "iteration %d: work=%.3f ms (best %.3f ms)" iteration
       (work_ns /. 1e6) (best_ns /. 1e6)
@@ -114,6 +120,9 @@ let to_json d =
       ]
   | Joint_sample { work_ns; _ } ->
     tag "joint_sample" [ ("work_ns", Json.Float work_ns) ]
+  | Placement_sample { placement; work_ns; _ } ->
+    tag "placement_sample"
+      [ ("placement", Json.Str placement); ("work_ns", Json.Float work_ns) ]
   | Measure { work_ns; best_ns; _ } ->
     tag "measure"
       [ ("work_ns", Json.Float work_ns); ("best_ns", Json.Float best_ns) ]

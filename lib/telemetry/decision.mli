@@ -36,6 +36,9 @@ type t =
       (** one sampled (section, size) profiling run *)
   | Joint_sample of { iteration : int; work_ns : float }
       (** one whole-allocation candidate measurement *)
+  | Placement_sample of { iteration : int; placement : string; work_ns : float }
+      (** one sampled cluster data-plane layout (stripe-to-node
+          placement) measurement *)
   | Measure of { iteration : int; work_ns : float; best_ns : float }
       (** the compiled candidate's measured work time vs best so far *)
   | Accept of { iteration : int; work_ns : float }

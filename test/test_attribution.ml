@@ -40,9 +40,9 @@ let test_charge_and_check () =
   | Error m -> Alcotest.fail m);
   Alcotest.(check (float 0.0)) "no unattributed remainder" 0.0
     (Attribution.unattributed_ns a);
-  (* by_cause always lists all seven buckets and sums to the total *)
+  (* by_cause always lists all eight buckets and sums to the total *)
   let by_cause = Attribution.by_cause a in
-  Alcotest.(check int) "seven buckets" 7 (List.length by_cause);
+  Alcotest.(check int) "eight buckets" 8 (List.length by_cause);
   let sum = List.fold_left (fun acc (_, ns) -> acc +. ns) 0.0 by_cause in
   Alcotest.(check (float 0.0)) "buckets sum to total exactly"
     (Attribution.total_ns a) sum;
@@ -134,7 +134,7 @@ let test_attribution_json () =
     | _ -> Alcotest.fail "conserved flag missing or false");
     (match Json.member "by_cause" doc with
     | Some (Json.Obj fields) ->
-      Alcotest.(check int) "all seven causes in json" 7 (List.length fields)
+      Alcotest.(check int) "all eight causes in json" 8 (List.length fields)
     | _ -> Alcotest.fail "by_cause missing")
 
 (* --- duplicate metric names ----------------------------------------------- *)
@@ -247,16 +247,15 @@ let qcheck_conservation =
       (* random failure domain: sometimes quiet, sometimes a replicated
          pair with crashes, sometimes an unreplicated crash (degraded) *)
       let nodes = 1 + (seed mod 2) in
-      let replication = nodes in
       let schedule =
         if seed mod 3 = 0 then []
         else
-          Cluster.schedule_of_seed ~seed ~nodes
+          Cluster.schedule_of_seed ~overlap:false ~seed ~nodes
             ~crashes:(1 + (seed mod 2))
             ~horizon_ns:2e5 ~down_ns:2e4
       in
       let work_ns, rt =
-        run_workload { Cluster.nodes; replication; schedule }
+        run_workload (Cluster.mirror ~nodes ~copies:nodes schedule)
       in
       let attr = Runtime.attribution rt in
       let total = Attribution.total_ns attr in
