@@ -61,8 +61,8 @@ let usage_error msg =
    it drives Mira's runtime directly with N open-loop serving loops
    interleaved on the discrete-event scheduler, and reports tail
    latency against an SLO instead of a systems comparison. *)
-let serve_kv ratio tenants requests verbose json_out trace_out flame_out
-    cpath_out =
+let serve_kv ratio tenants requests net_window net_coalesce timeline_out
+    verbose json_out trace_out flame_out cpath_out =
   let module K = Mira_workloads.Kv_serving in
   let module Table = Mira_util.Table in
   if not (Float.is_finite ratio) || ratio <= 0.0 || ratio > 1.0 then
@@ -80,8 +80,43 @@ let serve_kv ratio tenants requests verbose json_out trace_out flame_out
     tenants cfg.K.requests cfg.K.keys cfg.K.value_bytes (ratio *. 100.0)
     (cfg.K.slo_ns /. 1e3);
   if trace_out <> None || cpath_out <> None then Trace.enable ();
-  let rt = Mira_runtime.Runtime.create (K.runtime_config cfg) in
-  let r = K.run_on rt cfg in
+  let rt_cfg =
+    K.runtime_config cfg
+    |> Mira_runtime.Runtime.Config.with_dataplane
+         { Mira_sim.Net.dp_default with
+           Mira_sim.Net.window = net_window; coalesce = net_coalesce }
+  in
+  let rt = Mira_runtime.Runtime.create rt_cfg in
+  let timeline = Option.map (fun _ -> K.Timeline.make ()) timeline_out in
+  let r = K.run_on ?timeline rt cfg in
+  (match (timeline_out, timeline) with
+   | Some path, Some tl ->
+     let lines = K.Timeline.jsonl tl ~rt in
+     (try
+        let oc = open_out path in
+        List.iter
+          (fun j ->
+            output_string oc (Json.to_string j);
+            output_char oc '\n')
+          lines;
+        close_out oc;
+        let sat =
+          match K.Timeline.saturation_onset_ns tl with
+          | Some ns -> Printf.sprintf "saturation onset %.0f us" (ns /. 1e3)
+          | None -> "no saturated window"
+        in
+        let burn =
+          match K.Timeline.first_burn_ns tl with
+          | Some ns -> Printf.sprintf "first SLO burn %.0f us" (ns /. 1e3)
+          | None -> "no SLO burn"
+        in
+        Printf.printf "timeline written to %s (%d window(s); %s; %s)\n" path
+          (List.length lines - 1)
+          sat burn
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write timeline: %s\n" msg;
+        exit 1)
+   | _ -> ());
   let t =
     Table.create
       ~header:[ "tenant"; "p50 us"; "p99 us"; "p999 us"; "SLO miss" ]
@@ -187,10 +222,16 @@ let serve_kv ratio tenants requests verbose json_out trace_out flame_out
        exit 1)
 
 let compare_systems wname ratio iterations threads tenants requests
-    net_window net_coalesce nodes ec verbose json_out trace_out flame_out
-    cpath_out =
+    net_window net_coalesce nodes ec timeline_out verbose json_out trace_out
+    flame_out cpath_out =
   if not (Float.is_finite ratio) || ratio <= 0.0 then
     usage_error (Printf.sprintf "invalid ratio %g (need a finite value > 0)" ratio);
+  if timeline_out <> None && wname <> "kv" then
+    usage_error
+      (Printf.sprintf
+         "--timeline requires the kv workload (the '%s' workload emits no \
+          windows; windowed telemetry comes from the serving loops)"
+         wname);
   if iterations < 1 then
     usage_error (Printf.sprintf "invalid iterations %d (need >= 1)" iterations);
   if threads < 1 then
@@ -238,8 +279,8 @@ let compare_systems wname ratio iterations threads tenants requests
       else Mira_sim.Cluster.ec ~nodes ~k ~m []
   in
   if wname = "kv" then
-    serve_kv ratio tenants requests verbose json_out trace_out flame_out
-      cpath_out
+    serve_kv ratio tenants requests net_window net_coalesce timeline_out
+      verbose json_out trace_out flame_out cpath_out
   else begin
   let w = workload_of wname in
   let far_capacity = 4 * w.far_bytes in
@@ -466,6 +507,16 @@ let ec_arg =
                  $(i,M) parity chunks (requires K+M <= $(b,--nodes); M <= \
                  2); mirroring is the special case K=1")
 
+let timeline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "timeline" ] ~docv:"FILE"
+           ~doc:"kv workload only: write time-resolved telemetry to $(docv) \
+                 as JSONL — one object per simulated-time window (per-tenant \
+                 latency percentiles and SLO burn, net occupancy and wire \
+                 bytes, tenant interference rows, top-K hot keys and miss \
+                 sites) plus a trailing summary with the saturation-onset \
+                 and first-burn windows; see docs/OBSERVABILITY.md")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"controller log")
 
 let json_arg =
@@ -503,8 +554,8 @@ let cmd =
   Cmd.v (Cmd.info "mira_compare" ~doc)
     Term.(const compare_systems $ workload_arg $ ratio_arg $ iter_arg
           $ threads_arg $ tenants_arg $ requests_arg $ net_window_arg
-          $ net_coalesce_arg $ nodes_arg $ ec_arg $ verbose_arg $ json_arg
-          $ trace_arg $ flame_arg $ cpath_arg)
+          $ net_coalesce_arg $ nodes_arg $ ec_arg $ timeline_arg $ verbose_arg
+          $ json_arg $ trace_arg $ flame_arg $ cpath_arg)
 
 (* Exit 0 on success/help, 2 on any command-line error (Cmdliner has
    already printed the error and usage line to stderr), 125 on an

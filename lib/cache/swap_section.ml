@@ -87,6 +87,7 @@ let charge_split t (c : Mira_sim.Net.completion) stall =
   | None -> ()
   | Some a ->
     Mira_telemetry.Attribution.charge_parts a ~section:"swap"
+      ~holders:c.Mira_sim.Net.holders
       (Mira_telemetry.Attribution.split_stall ~stall
          ~wire_ns:c.Mira_sim.Net.wire_ns ~queue_ns:c.Mira_sim.Net.queue_ns
          ~retry_ns:c.Mira_sim.Net.retry_ns)

@@ -121,6 +121,9 @@ type t = {
   lost_bytes : (int, int) Hashtbl.t;  (* site -> far bytes lost to crashes *)
   profile : Profile.t;
   attribution : Mira_telemetry.Attribution.t;
+  miss_sites : Mira_telemetry.Sketch.t;
+      (* hot miss sites across the whole run (Space-Saving top-K),
+         sampled per window by the timeline exporter *)
   mutable nthreads : int;
 }
 
@@ -148,6 +151,25 @@ let create cfg =
         List.init (cfg.swap_readahead - 1) (fun i -> pno + i + 1));
   let attribution = Mira_telemetry.Attribution.create () in
   Cache.Manager.set_attribution manager attribution;
+  (* Every Queueing nanosecond the ledger charges flows on into the
+     net's tenant interference matrix — same guard, same fixed-point
+     amount — so matrix rows equal queue-stall buckets exactly. *)
+  Mira_telemetry.Attribution.set_queue_sink attribution (fun ~tenant ~holders fp ->
+      Sim.Net.record_interference net ~tenant ~holders fp);
+  let sched = Sim.Sched.create () in
+  (* The attribution context and the net's tenant stamp are ambient
+     process state like the trace context: snapshot them when a task
+     parks and reinstall on resume, or a resumed tenant's stalls would
+     be charged under whatever context the previously-running tenant
+     left behind. *)
+  Sim.Sched.add_tls sched (fun () ->
+      let fn, site = Mira_telemetry.Attribution.context attribution in
+      let attr_tn = Mira_telemetry.Attribution.context_tenant attribution in
+      let net_tn = Sim.Net.tenant net in
+      fun () ->
+        Mira_telemetry.Attribution.set_context attribution ~fn ~site;
+        Mira_telemetry.Attribution.set_tenant attribution attr_tn;
+        Sim.Net.set_tenant net net_tn);
   {
     cfg;
     net;
@@ -157,7 +179,7 @@ let create cfg =
     local_space = Sim.Remote_alloc.create ~base:local_base ~limit:cfg.local_capacity;
     remote_space;
     local_alloc = Local_alloc.create remote_space ~chunk:cfg.alloc_chunk;
-    sched = Sim.Sched.create ();
+    sched;
     clocks = Hashtbl.create 8;
     offload_depth = Hashtbl.create 8;
     site_ranges = Hashtbl.create 32;
@@ -165,12 +187,14 @@ let create cfg =
     lost_bytes = Hashtbl.create 8;
     profile = Profile.create ();
     attribution;
+    miss_sites = Mira_telemetry.Sketch.create ~k:16;
     nthreads = 1;
   }
 
 let manager t = t.manager
 let net t = t.net
 let attribution t = t.attribution
+let miss_sites t = t.miss_sites
 let cluster t = t.cluster
 let far_store t = Sim.Cluster.primary t.cluster
 let profile t = t.profile
@@ -240,7 +264,9 @@ let set_attr_context t ~tid ~site =
   let fn =
     Option.value ~default:"(runtime)" (Profile.current t.profile ~tid)
   in
-  Mira_telemetry.Attribution.set_context t.attribution ~fn ~site
+  Mira_telemetry.Attribution.set_context t.attribution ~fn ~site;
+  Mira_telemetry.Attribution.set_tenant t.attribution tid;
+  Sim.Net.set_tenant t.net tid
 
 (* Root span of one far access.  Trace and span ids are minted up
    front and installed as the ambient context so any child span (cache
@@ -349,6 +375,7 @@ let alloc t ~tid ~site ~bytes ~heap =
       in
       set_attr_context t ~tid ~site;
       Mira_telemetry.Attribution.charge_parts t.attribution
+        ~holders:comp.Sim.Net.holders
         (Mira_telemetry.Attribution.split_stall ~stall
            ~wire_ns:comp.Sim.Net.wire_ns ~queue_ns:comp.Sim.Net.queue_ns
            ~retry_ns:comp.Sim.Net.retry_ns);
@@ -458,7 +485,12 @@ let attribute t ~tid ~site ~before ~after ~hits_before ~misses_before ~hits ~mis
     Profile.add_site_overhead t.profile ~site ~ns:overhead
   end;
   if hits > hits_before then Profile.add_event t.profile ~tid ~hit:true;
-  if misses > misses_before then Profile.add_event t.profile ~tid ~hit:false
+  if misses > misses_before then begin
+    Profile.add_event t.profile ~tid ~hit:false;
+    Mira_telemetry.Sketch.touch t.miss_sites
+      ~weight:(Int64.of_int (misses - misses_before))
+      (Printf.sprintf "site%d" site)
+  end
 
 let load t ~tid ~(ptr : Memsys.ptr) ~len ~native =
   let c = clock t tid in
@@ -572,7 +604,8 @@ let reset_timing t =
   Sim.Net.reset_link t.net;
   Cache.Manager.reset_stats t.manager;
   Profile.reset t.profile;
-  Mira_telemetry.Attribution.reset t.attribution
+  Mira_telemetry.Attribution.reset t.attribution;
+  Mira_telemetry.Sketch.reset t.miss_sites
 
 let elapsed t =
   Hashtbl.fold (fun _ c acc -> Float.max acc (Sim.Clock.now c)) t.clocks 0.0

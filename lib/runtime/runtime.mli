@@ -91,7 +91,17 @@ val attribution : t -> Mira_telemetry.Attribution.t
 (** The runtime's stall-attribution ledger.  Wired into every stall
     site at [create] time (sections, swap, manager fences, alloc RPCs,
     offload RPC waits via [Memsys.attribution]); [reset_timing] clears
-    it alongside the other statistics. *)
+    it alongside the other statistics.  Its queue sink feeds the net's
+    tenant {!Mira_sim.Net.Interference} matrix, and the scheduler
+    carries the attribution context (and the net's tenant stamp)
+    across task parks via a TLS hook, so multi-tenant charges land
+    under the tenant that actually stalled. *)
+
+val miss_sites : t -> Mira_telemetry.Sketch.t
+(** Hot miss sites across the run: a Space-Saving top-K over
+    ["site<N>"] keys, touched on every recorded demand miss and
+    cleared by [reset_timing].  Sampled per window by the timeline
+    exporter. *)
 
 val clock_stall_ns : t -> float
 (** Sum of [Mira_sim.Clock.stalled_ns] over all thread clocks — the

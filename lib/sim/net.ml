@@ -123,6 +123,10 @@ type completion = {
   wire_ns : float;  (* successful attempt's wire + propagation time *)
   queue_ns : float;  (* batching + window gating + link queueing *)
   retry_ns : float;  (* loss-detection timeouts + retransmit backoff *)
+  holders : (int * int) list;
+      (* (tenant, in-flight slots) held when this post found the window
+         full — the tenants the queue stall is charged against in the
+         interference matrix; empty when the window never gated *)
 }
 
 type sqe = { id : int; issue_cpu_ns : float }
@@ -193,8 +197,8 @@ type stats = {
    submission order (members kept newest-first). *)
 type batch = {
   key : Request.dir * side * purpose * int;  (* ... * target node *)
-  mutable members : (int * Request.t * float * bool) list;
-      (* id, request, submitted_at, detached *)
+  mutable members : (int * Request.t * float * bool * int) list;
+      (* id, request, submitted_at, detached, submitting tenant *)
 }
 
 module Heap = Mira_util.Min_heap
@@ -203,20 +207,106 @@ module Heap = Mira_util.Min_heap
    irrelevant: retirement, counting and fencing are set operations);
    the completion index is made strict by the unique id so [poll]'s
    reap order is exactly the old [(done_at, id)] sort. *)
-let le_done (a, _) (b, _) = (a : float) <= b
+let le_done (a, _, _) (b, _, _) = (a : float) <= b
 let le_gate (a : float) b = a <= b
 
 let le_cq (d1, i1) (d2, i2) =
   (d1 : float) < d2 || (d1 = d2 && (i1 : int) <= i2)
+
+(* --- tenant interference matrix ------------------------------------------ *)
+
+(* Who made whom wait on the in-flight window.  Every [Queueing]
+   nanosecond the attribution ledger charges to a tenant is forwarded
+   here (via the ledger's queue sink) in the ledger's own fixed point,
+   split pro-rata across the tenants that held window slots when the
+   stalled request was posted.  Because the split is exact in int64 —
+   remainder to the last holder — and a chargeback with no recorded
+   holders self-charges, each waiter row sums to exactly that tenant's
+   queue-stall ledger bucket, by construction rather than by sampling. *)
+module Interference = struct
+  type t = {
+    cells : (int * int, int64 ref) Hashtbl.t;  (* (waiter, holder) -> fp *)
+    row_totals : (int, int64 ref) Hashtbl.t;  (* waiter -> fp *)
+  }
+
+  let create () = { cells = Hashtbl.create 16; row_totals = Hashtbl.create 8 }
+
+  let bump tbl key fp =
+    match Hashtbl.find_opt tbl key with
+    | Some cell -> cell := Int64.add !cell fp
+    | None -> Hashtbl.replace tbl key (ref fp)
+
+  (* Charge [fp] (ledger fixed point, > 0) of tenant [tenant]'s queue
+     stall against [holders] = [(tenant, slots)] pairs.  Pro-rata by
+     slot count with the division remainder going to the last holder in
+     the given (tenant-sorted) order; no holders = a self-charge (link
+     backlog or doorbell batching, not window contention). *)
+  let record t ~tenant ~holders fp =
+    if fp > 0L then begin
+      bump t.row_totals tenant fp;
+      match holders with
+      | [] -> bump t.cells (tenant, tenant) fp
+      | holders ->
+        let slots =
+          List.fold_left (fun a (_, n) -> a + n) 0 holders |> Int64.of_int
+        in
+        let rec go spent = function
+          | [] -> ()
+          | [ (h, _) ] -> bump t.cells (tenant, h) (Int64.sub fp spent)
+          | (h, n) :: rest ->
+            let share = Int64.div (Int64.mul fp (Int64.of_int n)) slots in
+            bump t.cells (tenant, h) share;
+            go (Int64.add spent share) rest
+        in
+        go 0L holders
+    end
+
+  let row_fp t ~tenant =
+    match Hashtbl.find_opt t.row_totals tenant with Some r -> !r | None -> 0L
+
+  let rows t =
+    Hashtbl.fold (fun w r acc -> (w, !r) :: acc) t.row_totals []
+    |> List.sort compare
+
+  let cells t =
+    Hashtbl.fold (fun (w, h) r acc -> (w, h, !r) :: acc) t.cells []
+    |> List.sort compare
+
+  let reset t =
+    Hashtbl.reset t.cells;
+    Hashtbl.reset t.row_totals
+
+  let tenant_label tn = if tn < 0 then "-" else Printf.sprintf "t%d" tn
+
+  let to_json t =
+    let module J = Mira_telemetry.Json in
+    J.Obj
+      (List.map
+         (fun (w, row) ->
+           let row_cells =
+             List.filter_map
+               (fun (w', h, fp) ->
+                 if w' = w then
+                   Some (tenant_label h, J.Str (Int64.to_string fp))
+                 else None)
+               (cells t)
+           in
+           ( tenant_label w,
+             J.Obj
+               (("total_fp", J.Str (Int64.to_string row)) :: row_cells) ))
+         (rows t))
+end
 
 type t = {
   params : Params.t;
   mutable dp : dp_config;
   mutable link_free_at : float;
   mutable next_id : int;
-  inflight : (float * Request.dir) Heap.t;
-      (* done_at of every posted message not yet known-complete,
-         min-keyed by done_at so retirement pops instead of filtering *)
+  inflight : (float * Request.dir * int) Heap.t;
+      (* (done_at, dir, tenant) of every posted message not yet
+         known-complete, min-keyed by done_at so retirement pops
+         instead of filtering; the tenant stamp feeds window-holder
+         snapshots for the interference matrix *)
   window_q : float Heap.t;
       (* the largest min(n, window) in-flight done_ats (maintained only
          when a window is configured).  Invariant: every in-flight
@@ -235,6 +325,11 @@ type t = {
       (* per-node outage windows: only requests targeting that node
          stall; the global [down_until] applies to every request *)
   stats : stats;
+  mutable cur_tenant : int;
+      (* tenant on whose behalf the next submit runs (-1 = unbound);
+         ambient state saved/restored across task parks via the
+         scheduler's TLS hooks *)
+  interference : Interference.t;
 }
 
 let empty_stats () =
@@ -272,11 +367,19 @@ let create ?(dp = dp_default) params =
     down_until = 0.0;
     node_down_until = Hashtbl.create 8;
     stats = empty_stats ();
+    cur_tenant = -1;
+    interference = Interference.create ();
   }
 
 let params t = t.params
 let stats t = t.stats
 let dataplane t = t.dp
+let set_tenant t tenant = t.cur_tenant <- tenant
+let tenant t = t.cur_tenant
+let interference t = t.interference
+
+let record_interference t ~tenant ~holders fp =
+  Interference.record t.interference ~tenant ~holders fp
 
 (* Rebuild [window_q] as the largest min(n, window) in-flight done_ats
    (bounded-heap selection: push, then drop the minimum on overflow).
@@ -286,7 +389,7 @@ let rebuild_window t =
   let w = t.dp.window in
   if w > 0 then
     Heap.iter
-      (fun (d, _) ->
+      (fun (d, _, _) ->
         Heap.push t.window_q d;
         if Heap.length t.window_q > w then ignore (Heap.pop t.window_q))
       t.inflight
@@ -313,7 +416,9 @@ let reset_stats t =
   Metrics.hist_reset s.lat_fetch;
   Metrics.hist_reset s.lat_rtt;
   Metrics.hist_reset s.lat_attempt;
-  Metrics.hist_reset s.occupancy
+  Metrics.hist_reset s.occupancy;
+  Interference.reset t.interference;
+  t.cur_tenant <- -1
 
 let reset_link t =
   t.link_free_at <- 0.0;
@@ -367,7 +472,7 @@ let record t ~purpose ~inbound bytes =
 let retire t ~now =
   let rec drop () =
     match Heap.peek t.inflight with
-    | Some (d, _) when d <= now ->
+    | Some (d, _, _) when d <= now ->
       ignore (Heap.pop t.inflight);
       drop ()
     | _ -> ()
@@ -385,13 +490,25 @@ let retire t ~now =
 (* Non-destructive by design: tests and telemetry probe arbitrary
    (including past) instants, so this counts rather than retires. *)
 let in_flight t ~now =
-  Heap.fold (fun n (d, _) -> if d > now then n + 1 else n) 0 t.inflight
+  Heap.fold (fun n (d, _, _) -> if d > now then n + 1 else n) 0 t.inflight
+
+(* Who holds window slots right now: the in-flight population grouped
+   as tenant-sorted [(tenant, slots)] pairs.  Callers retire first, so
+   every heap entry is live. *)
+let holders_snapshot t =
+  let counts = Hashtbl.create 8 in
+  Heap.iter
+    (fun (_, _, tn) ->
+      Hashtbl.replace counts tn
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts tn)))
+    t.inflight;
+  Hashtbl.fold (fun tn n acc -> (tn, n) :: acc) counts [] |> List.sort compare
 
 (* Track a newly posted message.  The bounded push keeps [window_q] the
    largest min(n, window) live done_ats, so the admission gate below
    never sorts. *)
-let add_inflight t ~done_at ~dir =
-  Heap.push t.inflight (done_at, dir);
+let add_inflight t ~done_at ~dir ~tenant =
+  Heap.push t.inflight (done_at, dir, tenant);
   let w = t.dp.window in
   if w > 0 then begin
     Heap.push t.window_q done_at;
@@ -499,13 +616,19 @@ let detect_ns t =
    submission order) at time [now]. *)
 let post t ~now members =
   let members = List.rev members in
-  let (id0, (r0 : Request.t), _, _) = List.hd members in
+  let (id0, (r0 : Request.t), _, _, t0) = List.hd members in
   let n = List.length members in
-  let bytes = List.fold_left (fun a (_, (r : Request.t), _, _) -> a + r.Request.bytes) 0 members in
+  let bytes = List.fold_left (fun a (_, (r : Request.t), _, _, _) -> a + r.Request.bytes) 0 members in
   let inbound = r0.Request.dir = Request.Read in
   retire t ~now;
   let gate = gate_time t ~now in
   let issue_at = Float.max now gate in
+  (* Snapshot the window holders only when the window actually gated
+     this post — these tenants are who the resulting queue stall gets
+     charged against in the interference matrix. *)
+  let holders =
+    if t.dp.window > 0 && gate > now then holders_snapshot t else []
+  in
   let down_until =
     Float.max t.down_until
       (match Hashtbl.find_opt t.node_down_until r0.Request.node with
@@ -518,7 +641,7 @@ let post t ~now members =
        timer.  Not a [Timed_out] — nothing was dropped, the node is
        gone — and no bytes are accounted. *)
     let done_at = issue_at +. detect_ns t in
-    add_inflight t ~done_at ~dir:r0.Request.dir;
+    add_inflight t ~done_at ~dir:r0.Request.dir ~tenant:t0;
     let s = t.stats in
     s.doorbells <- s.doorbells + 1;
     s.node_down <- s.node_down + n;
@@ -529,14 +652,15 @@ let post t ~now members =
                 ("bytes", Mira_telemetry.Json.Int bytes) ]
         ();
     List.iter
-      (fun (id, req, submitted_at, detached) ->
+      (fun (id, req, submitted_at, detached, _) ->
         (* Outage: no wire time; the loss-detection timer is charged
            as retry, time buffered before the post as queueing. *)
         let c =
           { id; req; submitted_at; posted_at = now; done_at; attempts = 1;
             status = Node_down; coalesced = n > 1;
             wire_ns = 0.0; retry_ns = detect_ns t;
-            queue_ns = Float.max 0.0 (issue_at -. submitted_at) }
+            queue_ns = Float.max 0.0 (issue_at -. submitted_at);
+            holders }
         in
         if detached then emit_member_span c else enqueue_completion t c)
       members
@@ -546,7 +670,7 @@ let post t ~now members =
     run_attempts t ~id:id0 ~posted_at:issue_at ~bytes ~side:r0.Request.side
       ~purpose:r0.Request.purpose ~inbound ~deadline:r0.Request.deadline_ns
   in
-  add_inflight t ~done_at ~dir:r0.Request.dir;
+  add_inflight t ~done_at ~dir:r0.Request.dir ~tenant:t0;
   let s = t.stats in
   s.doorbells <- s.doorbells + 1;
   if n > 1 then s.coalesced <- s.coalesced + (n - 1);
@@ -581,7 +705,7 @@ let post t ~now members =
       ~ts_ns:now ~dur_ns:(done_at -. now) ~args:(base_args @ extra_args) ()
   end;
   List.iter
-    (fun (id, req, submitted_at, detached) ->
+    (fun (id, req, submitted_at, detached, _) ->
       (* Telescoping: done_at - submitted_at = queueing (doorbell
          batching + window gating + link backlog) + retry windows +
          the successful attempt's wire span, so the queueing residual
@@ -600,6 +724,7 @@ let post t ~now members =
           retry_ns;
           queue_ns =
             Float.max 0.0 (done_at -. submitted_at -. wire_ns -. retry_ns);
+          holders;
         }
       in
       if detached then emit_member_span c else enqueue_completion t c)
@@ -616,15 +741,16 @@ let ring t ~now =
 let submit t ~now ?(urgent = false) ?(detached = false) (req : Request.t) =
   let id = t.next_id in
   t.next_id <- id + 1;
+  let tn = t.cur_tenant in
   let p = t.params in
   if urgent then begin
     ring t ~now;
-    post t ~now [ (id, req, now, detached) ];
+    post t ~now [ (id, req, now, detached, tn) ];
     { id; issue_cpu_ns = p.Params.msg_cpu_ns }
   end
   else if not t.dp.coalesce then begin
     ring t ~now;
-    post t ~now [ (id, req, now, detached) ];
+    post t ~now [ (id, req, now, detached, tn) ];
     { id; issue_cpu_ns = p.Params.async_post_ns }
   end
   else begin
@@ -633,14 +759,14 @@ let submit t ~now ?(urgent = false) ?(detached = false) (req : Request.t) =
     in
     match t.pending with
     | Some b when b.key = key && List.length b.members < t.dp.coalesce_limit ->
-      b.members <- (id, req, now, detached) :: b.members;
+      b.members <- (id, req, now, detached, tn) :: b.members;
       { id; issue_cpu_ns = 0.0 }
     | Some _ ->
       ring t ~now;
-      t.pending <- Some { key; members = [ (id, req, now, detached) ] };
+      t.pending <- Some { key; members = [ (id, req, now, detached, tn) ] };
       { id; issue_cpu_ns = p.Params.async_post_ns }
     | None ->
-      t.pending <- Some { key; members = [ (id, req, now, detached) ] };
+      t.pending <- Some { key; members = [ (id, req, now, detached, tn) ] };
       { id; issue_cpu_ns = p.Params.async_post_ns }
   end
 
@@ -679,7 +805,7 @@ let await t ~now ~id =
 let fence ?dir t ~now =
   ring t ~now;
   Heap.fold
-    (fun acc (done_at, d) ->
+    (fun acc (done_at, d, _) ->
       match dir with
       | Some want when d <> want -> acc
       | _ -> Float.max acc done_at)
@@ -729,7 +855,7 @@ let fail_inflight t ~now =
   (* Clamping down to [now] is monotone, so both heaps keep their
      invariants in place — no re-heapify. *)
   Heap.map_monotone
-    (fun (d, dir) -> ((if d > now then now else d), dir))
+    (fun (d, dir, tn) -> ((if d > now then now else d), dir, tn))
     t.inflight;
   Heap.map_monotone (fun d -> if d > now then now else d) t.window_q;
   if t.link_free_at > now then t.link_free_at <- now;

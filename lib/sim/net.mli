@@ -154,6 +154,12 @@ type completion = {
           failed attempts.  The three parts telescope exactly:
           [wire_ns + queue_ns + retry_ns = done_at - submitted_at]
           (for [Node_down], [retry_ns] is the detection timer). *)
+  holders : (int * int) list;
+      (** [(tenant, in-flight slots)] held when this post found the
+          in-flight window full, tenant-sorted; empty when the window
+          never gated the post.  The queue stall observed at the await
+          site is charged pro-rata against these tenants in the
+          {!Interference} matrix. *)
 }
 
 type sqe = {
@@ -249,6 +255,56 @@ val fence : ?dir:Request.dir -> t -> now:float -> float
 
 val in_flight : t -> now:float -> int
 (** Posted messages not yet complete at [now] (testing/telemetry). *)
+
+(** {1 Tenant interference} *)
+
+val set_tenant : t -> int -> unit
+(** Stamp subsequent submissions with this tenant id ([-1] = unbound,
+    the initial state).  Ambient state: the runtime sets it on task
+    switch (and registers a scheduler TLS hook so it survives parks). *)
+
+val tenant : t -> int
+
+(** Who made whom wait on the in-flight window.  Cells are
+    [(waiter, holder) -> int64] in the attribution ledger's fixed point
+    (2{^-16} ns): every [Queueing] nanosecond the ledger charges to a
+    tenant is forwarded here via the ledger's queue sink and split
+    pro-rata (exact int64, remainder to the last holder) across the
+    tenants that held window slots when the stalled request was
+    posted; a stall with no recorded holders (link backlog, doorbell
+    batching — not window contention) self-charges.  Each waiter row
+    therefore sums to {e exactly} that tenant's queue-stall ledger
+    bucket ([Attribution.tenant_cause_fp ~tenant Queueing]), by
+    construction. *)
+module Interference : sig
+  type t
+
+  val record : t -> tenant:int -> holders:(int * int) list -> int64 -> unit
+  (** Charge [fp] fixed-point units of [tenant]'s queue stall against
+      [holders]; non-positive amounts are ignored. *)
+
+  val row_fp : t -> tenant:int -> int64
+  (** Total fixed-point queue stall recorded for one waiter. *)
+
+  val rows : t -> (int * int64) list
+  (** [(waiter, total_fp)], tenant-sorted. *)
+
+  val cells : t -> (int * int * int64) list
+  (** [(waiter, holder, fp)], sorted. *)
+
+  val reset : t -> unit
+  val to_json : t -> Mira_telemetry.Json.t
+  (** Rows keyed ["t<N>"] (["-"] = unbound), each an object of
+      [total_fp] plus per-holder fixed-point cells, all as decimal
+      strings (int64-exact). *)
+end
+
+val interference : t -> Interference.t
+val record_interference : t -> tenant:int -> holders:(int * int) list -> int64 -> unit
+(** The queue-sink entry point ([Interference.record] on this net's
+    matrix); wired to [Attribution.set_queue_sink] by the runtime.
+    Reset by [reset_stats] (with the rest of the counters), not by
+    [reset_link]. *)
 
 (** {1 Node failures} *)
 

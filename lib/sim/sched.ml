@@ -47,6 +47,7 @@ type entry = {
   seq : int;
   resume : resume;
   ctx : Mira_telemetry.Trace.span_ctx option;
+  tls : (unit -> unit) list;  (* restore thunks from the TLS hooks *)
 }
 
 (* Strict total order: earliest tick first, ties by tenant id, then by
@@ -66,6 +67,7 @@ type t = {
   mutable dispatched : int;
   clocks : (int, Clock.t) Hashtbl.t;
   blocks : (string, int) Hashtbl.t;  (* yields per event kind *)
+  mutable tls_hooks : (unit -> unit -> unit) list;  (* newest first *)
 }
 
 type _ Effect.t += Yield : { at : int64; ev : event } -> unit Effect.t
@@ -79,9 +81,20 @@ let create () =
     dispatched = 0;
     clocks = Hashtbl.create 8;
     blocks = Hashtbl.create 8;
+    tls_hooks = [];
   }
 
 let tenants t = Hashtbl.length t.clocks
+let live t = t.live
+
+(* Ambient process state beyond the trace context (attribution fn/site,
+   the net's current tenant) needs the same park/resume save-restore
+   discipline; components register a save hook that snapshots their
+   state and returns the matching restore thunk. *)
+let add_tls t hook = t.tls_hooks <- hook :: t.tls_hooks
+
+let save_tls t = List.map (fun hook -> hook ()) t.tls_hooks
+let restore_tls entry = List.iter (fun restore -> restore ()) entry.tls
 
 let clock t ~tenant =
   match Hashtbl.find_opt t.clocks tenant with
@@ -113,7 +126,7 @@ let spawn ?at_ns t ~tenant f =
     | None -> ticks_of_ns (Clock.now (clock t ~tenant))
   in
   t.live <- t.live + 1;
-  push t { at; tenant; seq = next_seq t; resume = Start f; ctx = None }
+  push t { at; tenant; seq = next_seq t; resume = Start f; ctx = None; tls = [] }
 
 let pop_earliest t = Mira_util.Min_heap.pop t.queue
 
@@ -146,6 +159,7 @@ let run t =
                     seq = next_seq t;
                     resume = Resume k;
                     ctx = Mira_telemetry.Trace.current_ctx ();
+                    tls = save_tls t;
                   })
           | _ -> None);
     }
@@ -156,6 +170,7 @@ let run t =
     | Some e ->
       t.dispatched <- t.dispatched + 1;
       Mira_telemetry.Trace.set_ctx e.ctx;
+      restore_tls e;
       (match e.resume with
       | Start f -> Effect.Deep.match_with f () (handler e.tenant)
       | Resume k -> Effect.Deep.continue k ());

@@ -50,6 +50,21 @@ val clock : t -> tenant:int -> Clock.t
 val tenants : t -> int
 (** Number of tenant clocks created so far. *)
 
+val live : t -> int
+(** Spawned tasks that have not yet returned.  A telemetry sampler
+    task loops while [live t > 1] — i.e. while any task other than
+    itself is still running. *)
+
+val add_tls : t -> (unit -> unit -> unit) -> unit
+(** Register a task-local-state hook.  The trace context is already
+    saved when a task parks and reinstalled when it resumes; any other
+    ambient process state (attribution context, the net's current
+    tenant) needs the same discipline.  On park, each hook is called
+    to snapshot its state and return the matching restore thunk; on
+    resume the thunks run after the trace context is reinstalled.
+    Freshly started tasks restore nothing — they establish their own
+    context. *)
+
 val spawn : ?at_ns:float -> t -> tenant:int -> (unit -> unit) -> unit
 (** Register a task for [tenant], runnable at [at_ns] (default: the
     tenant clock's current time).  Tasks may spawn further tasks while

@@ -1,6 +1,6 @@
 (* Cross-layer stall attribution: every simulated nanosecond a thread
    spends stalled on far memory is charged to exactly one cause bucket
-   and to the (function, alloc site, section) it happened under.
+   and to the (function, alloc site, section, tenant) it happened under.
 
    Conservation is the design center.  Floating-point addition is not
    associative, so deriving "total" and "per-bucket" sums from floats
@@ -10,9 +10,10 @@
    headroom): integer addition is associative, so the per-cause totals,
    the per-key cells, and the online grand total agree bit-exactly no
    matter the iteration order.  [check] is a double-entry audit — every
-   charge adds to one cell and to the running total, and a dropped or
-   duplicated cell update (a context-key aliasing bug, a reset bug)
-   shows up as a non-zero remainder. *)
+   charge adds to one cell, one per-cause running total, and the grand
+   total, and a dropped or duplicated cell update (a context-key
+   aliasing bug, a reset bug) shows up as a non-zero remainder in a
+   {e named} bucket. *)
 
 type cause =
   | Demand_wire
@@ -57,19 +58,33 @@ let fp_scale = 65536.0
 let fp_of_ns ns = Int64.of_float (ns *. fp_scale)
 let ns_of_fp fp = Int64.to_float fp /. fp_scale
 
+(* [k_tenant] is deliberately the last field: cells that used to be one
+   per (fn, site, section, cause) may now split per tenant, but the
+   polymorphic-compare sort in [fold] keeps those splits adjacent, so
+   every grouped view ([by_section], [by_site], [by_function], the
+   folded flame stacks) emits labels in exactly the pre-tenant order. *)
 type key = {
   k_fn : string;  (* innermost profiled function, "(runtime)" if none *)
   k_site : int;  (* allocation site, -1 when not site-bound *)
   k_section : string;  (* cache section name, "-" outside any section *)
   k_cause : int;
+  k_tenant : int;  (* tenant context, -1 when not tenant-bound *)
 }
 
 type t = {
   cells : (key, int64 ref) Hashtbl.t;
   mutable total : int64;  (* online double-entry mirror of the cells *)
+  cause_fp : int64 array;  (* online per-cause mirror, for named audits *)
   mutable enabled : bool;
   mutable ctx_fn : string;
   mutable ctx_site : int;
+  mutable ctx_tenant : int;
+  mutable queue_sink :
+    (tenant:int -> holders:(int * int) list -> int64 -> unit) option;
+      (* invoked with the exact fixed-point amount of every [Queueing]
+         charge — the hook the net interference matrix hangs off, so
+         matrix rows sum to the ledger's queue-stall buckets by
+         construction.  Survives [reset]. *)
 }
 
 let no_fn = "(runtime)"
@@ -79,9 +94,12 @@ let create () =
   {
     cells = Hashtbl.create 64;
     total = 0L;
+    cause_fp = Array.make ncauses 0L;
     enabled = true;
     ctx_fn = no_fn;
     ctx_site = -1;
+    ctx_tenant = -1;
+    queue_sink = None;
   }
 
 let set_enabled t on = t.enabled <- on
@@ -91,36 +109,55 @@ let set_context t ~fn ~site =
   t.ctx_fn <- fn;
   t.ctx_site <- site
 
+let set_tenant t tenant = t.ctx_tenant <- tenant
+
 let clear_context t =
   t.ctx_fn <- no_fn;
-  t.ctx_site <- -1
+  t.ctx_site <- -1;
+  t.ctx_tenant <- -1
 
 let context t = (t.ctx_fn, t.ctx_site)
+let context_tenant t = t.ctx_tenant
+
+let set_queue_sink t sink = t.queue_sink <- Some sink
 
 let reset t =
   Hashtbl.reset t.cells;
   t.total <- 0L;
+  Array.fill t.cause_fp 0 ncauses 0L;
   t.ctx_fn <- no_fn;
-  t.ctx_site <- -1
+  t.ctx_site <- -1;
+  t.ctx_tenant <- -1
 
 let add_cell t key fp =
   (match Hashtbl.find_opt t.cells key with
   | Some cell -> cell := Int64.add !cell fp
   | None -> Hashtbl.replace t.cells key (ref fp));
+  t.cause_fp.(key.k_cause) <- Int64.add t.cause_fp.(key.k_cause) fp;
   t.total <- Int64.add t.total fp
 
-let charge t ?(section = no_section) cause ns =
+let queueing_index = cause_index Queueing
+
+let charge t ?(section = no_section) ?(holders = []) cause ns =
   if t.enabled && ns > 0.0 then begin
     let fp = fp_of_ns ns in
-    if fp > 0L then
+    if fp > 0L then begin
+      let idx = cause_index cause in
       add_cell t
         { k_fn = t.ctx_fn; k_site = t.ctx_site; k_section = section;
-          k_cause = cause_index cause }
-        fp
+          k_cause = idx; k_tenant = t.ctx_tenant }
+        fp;
+      (* Same guard, same fixed-point amount: whatever lands in the
+         queueing bucket is exactly what the sink sees. *)
+      if idx = queueing_index then
+        match t.queue_sink with
+        | Some sink -> sink ~tenant:t.ctx_tenant ~holders fp
+        | None -> ()
+    end
   end
 
-let charge_parts t ?section parts =
-  List.iter (fun (cause, ns) -> charge t ?section cause ns) parts
+let charge_parts t ?section ?holders parts =
+  List.iter (fun (cause, ns) -> charge t ?section ?holders cause ns) parts
 
 (* Split a measured stall over the completion's latency components,
    tail-first: the stall is the final [stall] ns of the request's
@@ -137,6 +174,13 @@ let split_stall ~stall ~wire_ns ~queue_ns ~retry_ns =
     let queue = rem -. retry in
     [ (Demand_wire, wire); (Retry, retry); (Queueing, queue) ]
   end
+
+(* Test hook: unbalance the online totals without touching any cell, so
+   the audit-failure path (unreachable through [charge]) can be
+   exercised and its error message pinned. *)
+let unbalance_for_test t cause fp =
+  t.cause_fp.(cause_index cause) <- Int64.add t.cause_fp.(cause_index cause) fp;
+  t.total <- Int64.add t.total fp
 
 (* --- derived views -------------------------------------------------------- *)
 
@@ -163,22 +207,49 @@ let by_cause t =
 
 let check t =
   let sums = cause_totals_fp t in
-  let cells_total = Array.fold_left Int64.add 0L sums in
-  if Int64.equal cells_total t.total then Ok ()
-  else
+  let mismatch =
+    List.find_opt (fun c -> sums.(cause_index c) <> t.cause_fp.(cause_index c))
+      causes
+  in
+  match mismatch with
+  | Some c ->
+    let i = cause_index c in
+    let delta = Int64.sub t.cause_fp.(i) sums.(i) in
     Error
       (Printf.sprintf
-         "attribution ledger out of balance: cells sum to %.6f ns but %.6f ns \
-          were charged (unattributed remainder %.6f ns)"
-         (ns_of_fp cells_total) (ns_of_fp t.total)
-         (ns_of_fp (Int64.sub t.total cells_total)))
+         "attribution ledger out of balance in bucket '%s': cells sum to %Ld \
+          fp but %Ld fp were charged (unattributed remainder %Ld fp = %.6f ns)"
+         (cause_name c) sums.(i) t.cause_fp.(i) delta (ns_of_fp delta))
+  | None ->
+    let cells_total = Array.fold_left Int64.add 0L sums in
+    if Int64.equal cells_total t.total then Ok ()
+    else
+      let delta = Int64.sub t.total cells_total in
+      Error
+        (Printf.sprintf
+           "attribution ledger out of balance: per-cause totals agree but the \
+            grand total differs by %Ld fp = %.6f ns"
+           delta (ns_of_fp delta))
 
 let unattributed_ns t =
   let sums = cause_totals_fp t in
   let cells_total = Array.fold_left Int64.add 0L sums in
   ns_of_fp (Int64.sub t.total cells_total)
 
+let tenant_cause_fp t ~tenant cause =
+  let idx = cause_index cause in
+  Hashtbl.fold
+    (fun k v acc ->
+      if k.k_tenant = tenant && k.k_cause = idx then Int64.add acc !v else acc)
+    t.cells 0L
+
+let tenants_seen t =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace seen k.k_tenant ()) t.cells;
+  Hashtbl.fold (fun tn () acc -> tn :: acc) seen [] |> List.sort compare
+
 let site_label site = if site < 0 then "-" else Printf.sprintf "site%d" site
+let tenant_label tn = if tn < 0 then "-" else Printf.sprintf "t%d" tn
 
 (* Group cells under an outer label, keeping per-cause fixed-point sums. *)
 let grouped t label_of =
@@ -212,6 +283,7 @@ let group_rows t label_of =
 let by_section t = group_rows t (fun k -> k.k_section)
 let by_site t = group_rows t (fun k -> site_label k.k_site)
 let by_function t = group_rows t (fun k -> k.k_fn)
+let by_tenant t = group_rows t (fun k -> tenant_label k.k_tenant)
 
 (* --- folded flame stacks -------------------------------------------------- *)
 
@@ -271,6 +343,7 @@ let to_json t =
       ("by_section", rows_json (by_section t));
       ("by_site", rows_json (by_site t));
       ("by_function", rows_json (by_function t));
+      ("by_tenant", rows_json (by_tenant t));
     ]
 
 let publish t reg =

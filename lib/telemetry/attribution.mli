@@ -1,12 +1,13 @@
 (** Cross-layer stall attribution.
 
     A ledger charging every simulated nanosecond of runtime stall to
-    exactly one cause bucket and a [(function, alloc site, section)]
-    key.  Cells are stored fixed-point (2^-16 ns units) so the
+    exactly one cause bucket and a [(function, alloc site, section,
+    tenant)] key.  Cells are stored fixed-point (2^-16 ns units) so the
     conservation invariant — the per-cause totals sum to exactly what
     was charged — holds bit-exactly regardless of aggregation order.
     [check] performs the double-entry audit and is asserted by tests
-    and at report time. *)
+    and at report time; on failure it names the offending bucket and
+    the exact fixed-point remainder. *)
 
 type cause =
   | Demand_wire  (** wire + propagation time of the successful transfer *)
@@ -28,6 +29,11 @@ val causes : cause list
 val cause_name : cause -> string
 (** Stable snake_case name, as used in metric names and flame stacks. *)
 
+val fp_of_ns : float -> int64
+(** Nanoseconds to ledger fixed point (2^-16 ns units). *)
+
+val ns_of_fp : int64 -> float
+
 val create : unit -> t
 (** A fresh, enabled ledger with empty context. *)
 
@@ -40,17 +46,39 @@ val enabled : t -> bool
 val set_context : t -> fn:string -> site:int -> unit
 (** Set the attribution context subsequent charges are keyed under:
     the innermost profiled function and the allocation site being
-    accessed ([site = -1] when not site-bound). *)
+    accessed ([site = -1] when not site-bound).  Leaves the tenant
+    untouched — tenants change on task switches, fn/site change within
+    a task. *)
+
+val set_tenant : t -> int -> unit
+(** Set the tenant subsequent charges are keyed under ([-1] = not
+    tenant-bound, the initial state). *)
 
 val clear_context : t -> unit
 val context : t -> string * int
+val context_tenant : t -> int
 
-val charge : t -> ?section:string -> cause -> float -> unit
+val set_queue_sink :
+  t -> (tenant:int -> holders:(int * int) list -> int64 -> unit) -> unit
+(** Install the queue-stall observer: every [Queueing] charge that
+    passes the positivity guard invokes it with the context tenant,
+    the charge's [holders] list, and the {e exact} fixed-point amount
+    added to the ledger — the hook the net interference matrix hangs
+    off, making its row sums equal the queue-stall buckets by
+    construction.  At most one sink; survives [reset]. *)
+
+val charge :
+  t -> ?section:string -> ?holders:(int * int) list -> cause -> float -> unit
 (** [charge t ~section cause ns] adds [ns] (simulated nanoseconds;
     non-positive amounts are ignored) under the current context.
-    [section] defaults to ["-"]. *)
+    [section] defaults to ["-"].  [holders] (default empty) is
+    forwarded to the queue sink for [Queueing] charges: the
+    [(tenant, in-flight slots)] pairs that held the net window while
+    this stall accrued. *)
 
-val charge_parts : t -> ?section:string -> (cause * float) list -> unit
+val charge_parts :
+  t -> ?section:string -> ?holders:(int * int) list ->
+  (cause * float) list -> unit
 
 val split_stall :
   stall:float ->
@@ -63,23 +91,41 @@ val split_stall :
     across [Demand_wire]/[Retry]/[Queueing] tail-first.  The returned
     parts sum exactly to [stall]. *)
 
+val unbalance_for_test : t -> cause -> int64 -> unit
+(** Corrupt the online totals without touching any cell — the audit
+    failure is unreachable through [charge], so tests use this to pin
+    [check]'s named-bucket error message.  Never call outside tests. *)
+
 val total_ns : t -> float
 (** Everything charged since the last [reset], in ns. *)
 
 val cause_ns : t -> cause -> float
 val by_cause : t -> (cause * float) list
 
+val tenant_cause_fp : t -> tenant:int -> cause -> int64
+(** Exact fixed-point sum over all cells of one tenant and cause —
+    e.g. [tenant_cause_fp t ~tenant Queueing] is the queue-stall
+    bucket the interference matrix row must equal. *)
+
+val tenants_seen : t -> int list
+(** Distinct tenant keys with at least one cell, sorted ([-1] = the
+    not-tenant-bound context). *)
+
 val by_section : t -> (string * float * (cause * float) list) list
 (** Per-section rows: [(section, total_ns, per-cause breakdown)], in
-    deterministic order.  Likewise [by_site] ([site<N>] labels) and
-    [by_function]. *)
+    deterministic order.  Likewise [by_site] ([site<N>] labels),
+    [by_function], and [by_tenant] ([t<N>] labels, ["-"] for
+    non-tenant-bound cells). *)
 
 val by_site : t -> (string * float * (cause * float) list) list
 val by_function : t -> (string * float * (cause * float) list) list
+val by_tenant : t -> (string * float * (cause * float) list) list
 
 val check : t -> (unit, string) result
-(** Double-entry audit: the sum over all cells must equal the online
-    total accumulated by [charge]. *)
+(** Double-entry audit: the cells must sum, per cause and in total, to
+    the online totals accumulated by [charge].  The error message
+    names the first offending bucket and its exact fixed-point
+    remainder. *)
 
 val unattributed_ns : t -> float
 (** The audit remainder; exactly [0.] when [check] passes. *)
@@ -93,4 +139,5 @@ val publish : t -> Metrics.t -> unit
 (** Publish per-cause gauges [stall.<cause>_ns]. *)
 
 val reset : t -> unit
-(** Clear all cells, the total, and the context. *)
+(** Clear all cells, the totals, and the context (the queue sink
+    survives). *)

@@ -22,6 +22,20 @@
 
 type hist
 
+val nbuckets : int
+(** Number of quarter-octave histogram buckets (bucket [i] covers
+    [[2^(i/4), 2^((i+1)/4))] ns); shared by [Timeseries]' sparse
+    per-window histograms so window percentiles use the same scale. *)
+
+val bucket_of : float -> int
+(** Bucket index for a sample (clamped to [[0, nbuckets-1]]). *)
+
+val bucket_lo : int -> float
+(** Lower edge of bucket [i], in ns. *)
+
+val bucket_hi : int -> float
+(** Upper edge of bucket [i] (the lower edge of bucket [i+1]). *)
+
 type exemplar = {
   ex_value_ns : float;
   ex_trace : int;  (** trace id carried by the observation; 0 = untraced *)

@@ -9,6 +9,10 @@ module Trace = Mira_telemetry.Trace
 module Json = Mira_telemetry.Json
 module Prng = Mira_util.Prng
 module Stats = Mira_util.Stats
+module Timeseries = Mira_telemetry.Timeseries
+module Sketch = Mira_telemetry.Sketch
+module Attribution = Mira_telemetry.Attribution
+module Net = Mira_sim.Net
 
 type config = {
   tenants : int;
@@ -160,10 +164,345 @@ type tenant_state = {
 
 let serving_lane i = Printf.sprintf "serving.t%d" i
 
+(* --- time-resolved telemetry --------------------------------------------- *)
+
+(* Windowed observability over a serving run: a sampler task on the
+   scheduler rolls a [Timeseries] at fixed simulated-time boundaries,
+   and the per-request path records into the current window.  Entirely
+   host-side — the sampler only reads shared state, and its clock is a
+   scheduler clock outside the runtime's registry — so a run with a
+   timeline attached is byte-identical (checksum, latencies, report)
+   to one without. *)
+module Timeline = struct
+  type t = {
+    interval : float;
+    burn_threshold : float;  (* a window "burns" when miss_frac exceeds it *)
+    topk : int;
+    ts : Timeseries.t;
+    keys : Sketch.t;  (* hot keys of the current window; reset per boundary *)
+    (* wired by [attach], before the sampler runs *)
+    mutable net : Net.t option;
+    mutable miss_sites : Sketch.t option;
+    mutable bandwidth : float;  (* bytes/ns, for the wire-busy fraction *)
+    mutable window_cap : int;
+    mutable ntenants : int;
+    (* cumulative snapshots diffed at each boundary *)
+    mutable prev_bytes : int;
+    mutable prev_miss_sites : (string * int64) list;
+    prev_ifr : (int * int, int64) Hashtbl.t;
+  }
+
+  let make ?(interval_ns = 250_000.0) ?(cap = 256) ?(burn_threshold = 0.01)
+      ?(topk = 8) () =
+    if not (burn_threshold >= 0.0) then
+      fail "Timeline: burn_threshold must be >= 0 (got %g)" burn_threshold;
+    {
+      interval = interval_ns;
+      burn_threshold;
+      topk;
+      ts = Timeseries.create ~cap ~topk ~interval_ns ();
+      keys = Sketch.create ~k:topk;
+      net = None;
+      miss_sites = None;
+      bandwidth = 0.0;
+      window_cap = 0;
+      ntenants = 0;
+      prev_bytes = 0;
+      prev_miss_sites = [];
+      prev_ifr = Hashtbl.create 16;
+    }
+
+  let interval_ns t = t.interval
+
+  let attach t rt cfg =
+    t.net <- Some (Runtime.net rt);
+    t.miss_sites <- Some (Runtime.miss_sites rt);
+    t.bandwidth <- (Runtime.params rt).Mira_sim.Params.bandwidth_bytes_per_ns;
+    t.window_cap <- (Net.dataplane (Runtime.net rt)).Net.window;
+    t.ntenants <- cfg.tenants
+
+  (* Per-request instrumentation, called from the serving loop. *)
+  let on_request t ~tenant ~key ~lat ~miss =
+    Timeseries.add t.ts (Printf.sprintf "t%d.requests" tenant) 1L;
+    Timeseries.observe t.ts (Printf.sprintf "t%d.lat" tenant) lat;
+    if miss then Timeseries.add t.ts (Printf.sprintf "t%d.slo_miss" tenant) 1L;
+    Sketch.touch t.keys (Printf.sprintf "t%d:k%d" tenant key)
+
+  let entry_order (ka, ca) (kb, cb) =
+    match Int64.compare cb ca with 0 -> String.compare ka kb | c -> c
+
+  (* Per-window view of a cumulative sketch snapshot: count deltas of
+     the currently monitored keys (keys evicted between boundaries are
+     lost — the usual sketch approximation, still deterministic). *)
+  let diff_snapshot prev cur =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (k, c) -> Hashtbl.replace tbl k c) prev;
+    List.filter_map
+      (fun (k, c) ->
+        let p = Option.value ~default:0L (Hashtbl.find_opt tbl k) in
+        if Int64.compare c p > 0 then Some (k, Int64.sub c p) else None)
+      cur
+    |> List.sort entry_order
+
+  (* Close the window ending at [now]: sample the net, convert the
+     cumulative counters (bytes, interference cells, miss sites) into
+     per-window deltas, install the top-K snapshots, and roll. *)
+  let boundary t ~now =
+    (match t.net with
+    | None -> ()
+    | Some net ->
+      Timeseries.sample t.ts "net.inflight"
+        (float_of_int (Net.in_flight net ~now));
+      let s = Net.stats net in
+      let bytes = s.Net.bytes_in + s.Net.bytes_out in
+      Timeseries.add t.ts "net.bytes" (Int64.of_int (bytes - t.prev_bytes));
+      t.prev_bytes <- bytes;
+      List.iter
+        (fun (w, h, fp) ->
+          let prev =
+            Option.value ~default:0L (Hashtbl.find_opt t.prev_ifr (w, h))
+          in
+          let d = Int64.sub fp prev in
+          if d > 0L then begin
+            Timeseries.add t.ts (Printf.sprintf "ifr.%d.%d" w h) d;
+            Hashtbl.replace t.prev_ifr (w, h) fp
+          end)
+        (Net.Interference.cells (Net.interference net)));
+    (match t.miss_sites with
+    | None -> ()
+    | Some sk ->
+      let cur = Sketch.snapshot sk in
+      let delta = diff_snapshot t.prev_miss_sites cur in
+      if delta <> [] then Timeseries.set_top t.ts "miss_sites" delta;
+      t.prev_miss_sites <- cur);
+    let keys = Sketch.snapshot t.keys in
+    if keys <> [] then Timeseries.set_top t.ts "keys" keys;
+    Sketch.reset t.keys;
+    Timeseries.roll t.ts ~now_ns:now
+
+  (* End of run: flush whatever accumulated past the last boundary.
+     The net/interference flush only happens when the partial window
+     actually served requests (the key sketch is non-empty), so an
+     idle tail never resurrects an empty window. *)
+  let finish t ~now =
+    let keys = Sketch.snapshot t.keys in
+    if keys <> [] then begin
+      Timeseries.set_top t.ts "keys" keys;
+      Sketch.reset t.keys;
+      (match t.miss_sites with
+      | None -> ()
+      | Some sk ->
+        let cur = Sketch.snapshot sk in
+        let delta = diff_snapshot t.prev_miss_sites cur in
+        if delta <> [] then Timeseries.set_top t.ts "miss_sites" delta;
+        t.prev_miss_sites <- cur);
+      (match t.net with
+      | None -> ()
+      | Some net ->
+        Timeseries.sample t.ts "net.inflight"
+          (float_of_int (Net.in_flight net ~now));
+        let s = Net.stats net in
+        let bytes = s.Net.bytes_in + s.Net.bytes_out in
+        Timeseries.add t.ts "net.bytes" (Int64.of_int (bytes - t.prev_bytes));
+        t.prev_bytes <- bytes;
+        List.iter
+          (fun (w, h, fp) ->
+            let prev =
+              Option.value ~default:0L (Hashtbl.find_opt t.prev_ifr (w, h))
+            in
+            let d = Int64.sub fp prev in
+            if d > 0L then begin
+              Timeseries.add t.ts (Printf.sprintf "ifr.%d.%d" w h) d;
+              Hashtbl.replace t.prev_ifr (w, h) fp
+            end)
+          (Net.Interference.cells (Net.interference net)))
+    end;
+    Timeseries.finish t.ts ~now_ns:now
+
+  (* --- per-window derived figures ---------------------------------------- *)
+
+  let counter s name =
+    Option.value ~default:0L (List.assoc_opt name s.Timeseries.s_counters)
+
+  let window_requests t s =
+    let req = ref 0L and miss = ref 0L in
+    for i = 0 to t.ntenants - 1 do
+      req := Int64.add !req (counter s (Printf.sprintf "t%d.requests" i));
+      miss := Int64.add !miss (counter s (Printf.sprintf "t%d.slo_miss" i))
+    done;
+    (!req, !miss)
+
+  let miss_frac t s =
+    let req, miss = window_requests t s in
+    if req = 0L then 0.0 else Int64.to_float miss /. Int64.to_float req
+
+  let burning t s = miss_frac t s > t.burn_threshold
+
+  let wire_busy t s =
+    if t.bandwidth > 0.0 && s.Timeseries.s_span_ns > 0.0 then
+      Int64.to_float (counter s "net.bytes")
+      /. t.bandwidth /. s.Timeseries.s_span_ns
+    else 0.0
+
+  (* Saturation: with a bounded in-flight window, occupancy pinned at
+     the cap; with an unbounded window, the wire >= 95% busy. *)
+  let saturated t s =
+    if t.window_cap > 0 then
+      match List.assoc_opt "net.inflight" s.Timeseries.s_gauges with
+      | Some g -> g.Timeseries.g_max >= float_of_int t.window_cap
+      | None -> false
+    else wire_busy t s >= 0.95
+
+  let first_start p t =
+    List.find_map
+      (fun s -> if p t s then Some s.Timeseries.s_start_ns else None)
+      (Timeseries.snapshots t.ts)
+
+  let saturation_onset_ns t = first_start saturated t
+  let first_burn_ns t = first_start burning t
+
+  (* --- JSONL export ------------------------------------------------------- *)
+
+  let tenant_label w = if w < 0 then "-" else Printf.sprintf "t%d" w
+
+  let top_json entries =
+    Json.List
+      (List.map
+         (fun (k, c) ->
+           Json.Obj
+             [ ("key", Json.Str k); ("count", Json.Str (Int64.to_string c)) ])
+         entries)
+
+  (* Regroup the flat "ifr.<w>.<h>" window counters into nested rows;
+     fixed-point values export as decimal strings (int64-exact). *)
+  let interference_json s =
+    let cells =
+      List.filter_map
+        (fun (name, v) ->
+          match String.split_on_char '.' name with
+          | [ "ifr"; w; h ] ->
+            (try Some (int_of_string w, int_of_string h, v)
+             with Failure _ -> None)
+          | _ -> None)
+        s.Timeseries.s_counters
+      |> List.sort compare
+    in
+    let waiters = List.sort_uniq compare (List.map (fun (w, _, _) -> w) cells) in
+    Json.Obj
+      (List.map
+         (fun w ->
+           ( tenant_label w,
+             Json.Obj
+               (List.filter_map
+                  (fun (w', h, v) ->
+                    if w' = w then
+                      Some (tenant_label h, Json.Str (Int64.to_string v))
+                    else None)
+                  cells) ))
+         waiters)
+
+  let window_json t s =
+    let tenant_json i =
+      let h = List.assoc_opt (Printf.sprintf "t%d.lat" i) s.Timeseries.s_hists in
+      ( Printf.sprintf "t%d" i,
+        Json.Obj
+          [
+            ( "requests",
+              Json.Int (Int64.to_int (counter s (Printf.sprintf "t%d.requests" i))) );
+            ( "slo_miss",
+              Json.Int (Int64.to_int (counter s (Printf.sprintf "t%d.slo_miss" i))) );
+            ( "p50_ns",
+              Json.Float
+                (match h with Some h -> h.Timeseries.h_p50_ns | None -> 0.0) );
+            ( "p99_ns",
+              Json.Float
+                (match h with Some h -> h.Timeseries.h_p99_ns | None -> 0.0) );
+          ] )
+    in
+    let inflight =
+      match List.assoc_opt "net.inflight" s.Timeseries.s_gauges with
+      | Some g -> [ ("inflight_max", Json.Float g.Timeseries.g_max);
+                    ("inflight_last", Json.Float g.Timeseries.g_last) ]
+      | None -> []
+    in
+    Json.Obj
+      [
+        ("type", Json.Str "window");
+        ("start_ns", Json.Float s.Timeseries.s_start_ns);
+        ("span_ns", Json.Float s.Timeseries.s_span_ns);
+        ( "net",
+          Json.Obj
+            (inflight
+            @ [
+                ("bytes", Json.Str (Int64.to_string (counter s "net.bytes")));
+                ("wire_busy", Json.Float (wire_busy t s));
+              ]) );
+        ( "tenants",
+          Json.Obj (List.init t.ntenants tenant_json) );
+        ( "burn",
+          Json.Obj
+            [
+              ("miss_frac", Json.Float (miss_frac t s));
+              ("burning", Json.Bool (burning t s));
+            ] );
+        ("saturated", Json.Bool (saturated t s));
+        ( "top_keys",
+          top_json
+            (Option.value ~default:[]
+               (List.assoc_opt "keys" s.Timeseries.s_tops)) );
+        ( "top_miss_sites",
+          top_json
+            (Option.value ~default:[]
+               (List.assoc_opt "miss_sites" s.Timeseries.s_tops)) );
+        ("interference", interference_json s);
+      ]
+
+  (* Trailing summary line: onset figures plus the exact fixed-point
+     row-sum audit material (interference rows vs queue-stall ledger
+     buckets), so a consumer can assert the invariant from the JSONL
+     alone. *)
+  let summary_json t ~rt =
+    let attr = Runtime.attribution rt in
+    let rows =
+      match t.net with
+      | None -> []
+      | Some net ->
+        List.map
+          (fun (w, fp) ->
+            ( tenant_label w,
+              Json.Obj
+                [
+                  ("interference_fp", Json.Str (Int64.to_string fp));
+                  ( "queueing_fp",
+                    Json.Str
+                      (Int64.to_string
+                         (Attribution.tenant_cause_fp attr ~tenant:w
+                            Attribution.Queueing)) );
+                ] ))
+          (Net.Interference.rows (Net.interference net))
+    in
+    let opt_ns = function Some v -> Json.Float v | None -> Json.Null in
+    Json.Obj
+      [
+        ("type", Json.Str "summary");
+        ("interval_ns", Json.Float t.interval);
+        ("nwindows", Json.Int (Timeseries.nwindows t.ts));
+        ("merges", Json.Int (Timeseries.merges t.ts));
+        ("window_cap", Json.Int t.window_cap);
+        ("burn_threshold", Json.Float t.burn_threshold);
+        ("sat_onset_ns", opt_ns (saturation_onset_ns t));
+        ("first_burn_ns", opt_ns (first_burn_ns t));
+        ("tenant_rows", Json.Obj rows);
+      ]
+
+  let jsonl t ~rt =
+    List.map (window_json t) (Timeseries.snapshots t.ts) @ [ summary_json t ~rt ]
+end
+
 (* One tenant's open-loop serving task.  Runs as a scheduler task; every
    clock movement inside (waits, access costs, net stalls) yields to the
    globally earliest tenant. *)
-let run_tenant cfg (ms : Memsys.t) ~base ~tenant:i rng gen st =
+let run_tenant ?timeline cfg (ms : Memsys.t) ~base ~tenant:i rng gen st =
   let c = ms.Memsys.clock ~tid:i in
   let site = site_of_tenant i in
   let fn = Printf.sprintf "kv_t%d" i in
@@ -232,11 +571,15 @@ let run_tenant cfg (ms : Memsys.t) ~base ~tenant:i rng gen st =
     let lat = finish -. !arrival in
     st.ts_lats.(r) <- lat;
     Metrics.hist_observe ~trace:(if emitted then trace else 0) st.ts_hist lat;
-    if lat > cfg.slo_ns then st.ts_slo_miss <- st.ts_slo_miss + 1
+    let miss = lat > cfg.slo_ns in
+    if miss then st.ts_slo_miss <- st.ts_slo_miss + 1;
+    (match timeline with
+    | Some tl -> Timeline.on_request tl ~tenant:i ~key ~lat ~miss
+    | None -> ())
   done;
   ms.Memsys.exit_ ~tid:i fn
 
-let run_on rt cfg =
+let run_on ?timeline rt cfg =
   validate cfg;
   if Runtime.tenants rt <> cfg.tenants then
     fail "runtime has %d tenants but config wants %d" (Runtime.tenants rt)
@@ -280,10 +623,35 @@ let run_on rt cfg =
   let rngs = Array.init cfg.tenants (fun _ -> Prng.split master) in
   for i = 0 to cfg.tenants - 1 do
     Sched.spawn sched ~tenant:i (fun () ->
-        run_tenant cfg ms ~base:bases.(i) ~tenant:i rngs.(i) gen states.(i))
+        run_tenant ?timeline cfg ms ~base:bases.(i) ~tenant:i rngs.(i) gen
+          states.(i))
   done;
+  (* The window sampler: one extra task, one tenant id past the real
+     ones, on a scheduler clock that is NOT in the runtime's clock
+     registry — so [elapsed]/[clock_stall_ns] and every reported
+     figure are untouched by its presence.  It wakes at each window
+     boundary (after all earlier events have dispatched — the
+     scheduler is earliest-first), flushes the closing window, and
+     exits once every serving task has returned; the trailing partial
+     window is flushed below at the run's true elapsed time. *)
+  (match timeline with
+  | None -> ()
+  | Some tl ->
+    Timeline.attach tl rt cfg;
+    let sc = Sched.clock sched ~tenant:cfg.tenants in
+    Sched.spawn sched ~tenant:cfg.tenants (fun () ->
+        let k = ref 1 in
+        while Sched.live sched > 1 do
+          let b = float_of_int !k *. Timeline.interval_ns tl in
+          ignore (Clock.wait_until sc b);
+          if Sched.live sched > 1 then Timeline.boundary tl ~now:(Clock.now sc);
+          incr k
+        done));
   Sched.run sched;
   let elapsed = ms.Memsys.elapsed () in
+  (match timeline with
+  | Some tl -> Timeline.finish tl ~now:elapsed
+  | None -> ());
   let per_tenant =
     Array.mapi
       (fun i st ->

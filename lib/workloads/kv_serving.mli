@@ -83,6 +83,51 @@ type report = {
   checksum : int64;  (** order-sensitive digest of every observed value *)
 }
 
+(** Time-resolved telemetry over a serving run.
+
+    A [Timeline] attaches a windowed {!Mira_telemetry.Timeseries} to
+    the run: a sampler task on the scheduler wakes at every
+    [interval_ns] boundary of simulated time and closes the window —
+    per-tenant request/SLO-miss counters and latency percentiles, net
+    in-flight occupancy and wire bytes, per-window interference-matrix
+    deltas, and top-K hot keys / hot miss sites.  The sampler only
+    reads shared state and its clock lives outside the runtime's
+    registry, so a run with a timeline attached is byte-identical
+    (checksum, latencies, report JSON) to one without.
+
+    Derived per window: the SLO {e burn rate} (window miss fraction vs
+    [burn_threshold]) and a {e saturation} flag — occupancy pinned at
+    the in-flight cap when a bounded window is configured, wire >= 95%
+    busy otherwise.  [saturation_onset_ns]/[first_burn_ns] are the
+    starts of the first such windows. *)
+module Timeline : sig
+  type t
+
+  val make :
+    ?interval_ns:float -> ?cap:int -> ?burn_threshold:float -> ?topk:int ->
+    unit -> t
+  (** Defaults: 250 us windows, a 256-window ring (older windows merge
+      pairwise when it fills — see {!Mira_telemetry.Timeseries}), burn
+      threshold 0.01, top-8 sketches. *)
+
+  val interval_ns : t -> float
+
+  val saturation_onset_ns : t -> float option
+  (** Start of the first saturated window (after the run). *)
+
+  val first_burn_ns : t -> float option
+  (** Start of the first window whose miss fraction exceeded the burn
+      threshold. *)
+
+  val jsonl : t -> rt:Mira_runtime.Runtime.t -> Mira_telemetry.Json.t list
+  (** One object per window (type ["window"]) plus a trailing summary
+      (type ["summary"]) carrying onset figures and, per tenant, the
+      exact fixed-point interference row total next to the queue-stall
+      ledger bucket — equal by construction, so consumers can audit
+      the invariant from the JSONL alone.  All fixed-point values are
+      decimal strings (int64-exact). *)
+end
+
 val runtime_config : config -> Mira_runtime.Runtime.config
 (** The runtime sizing [run] uses: per-tenant section bytes
     ([local_ratio] of the data, line-rounded) plus slack as the local
@@ -97,12 +142,14 @@ val run : config -> report
     scheduler, and report.  Setup (allocation, section creation) is
     excluded from the measured window via [reset_timing]. *)
 
-val run_on : Mira_runtime.Runtime.t -> config -> report
+val run_on : ?timeline:Timeline.t -> Mira_runtime.Runtime.t -> config -> report
 (** Same, on a caller-provided runtime — the runtime's tenant count
     must match [config.tenants] (raises [Invalid_argument] otherwise).
     The caller is responsible for sizing [local_budget]/[far_capacity]
     and may pre-configure the data plane or cluster spec; sections and
-    site routes are still created here. *)
+    site routes are still created here.  [timeline] attaches the
+    window sampler (tenant id [config.tenants], one past the serving
+    tasks) for the duration of the run. *)
 
 val publish : report -> Mira_telemetry.Metrics.t -> unit
 (** Export [serving.requests], [serving.slo_miss], and per tenant

@@ -19,5 +19,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("critical-path", Test_critical_path.suite);
       ("attribution", Test_attribution.suite);
+      ("timeline", Test_timeline.suite);
       ("random-programs", Test_random_programs.suite);
     ]

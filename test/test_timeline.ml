@@ -1,0 +1,464 @@
+(* Time-resolved telemetry: the Space-Saving sketch's guarantees, the
+   windowed time-series ring (telescoping counters, percentile
+   clamping, pairwise downsampling at the cap), Json boundary
+   round-trips for int64-exact values, the scheduler's TLS
+   save/restore across parks, the interference-matrix == queue-stall
+   ledger invariant (as a QCheck property over random serving
+   configs), zero perturbation of an instrumented run, the named
+   audit-failure message, the 8-tenant saturation-onset acceptance
+   run, and a drift guard for docs/OBSERVABILITY.md's time-resolved
+   telemetry section. *)
+module Sketch = Mira_telemetry.Sketch
+module Timeseries = Mira_telemetry.Timeseries
+module Attribution = Mira_telemetry.Attribution
+module Json = Mira_telemetry.Json
+module Net = Mira_sim.Net
+module Sched = Mira_sim.Sched
+module Clock = Mira_sim.Clock
+module Runtime = Mira_runtime.Runtime
+module K = Mira_workloads.Kv_serving
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Space-Saving sketch -------------------------------------------------- *)
+
+let test_sketch () =
+  let s = Sketch.create ~k:3 in
+  Sketch.touch s "a";
+  Sketch.touch s "a";
+  Sketch.touch s "b";
+  (* under capacity: all counts exact, error bound 0 *)
+  Alcotest.(check int64) "exact while under capacity" 0L (Sketch.error_bound s);
+  Sketch.touch s ~weight:5L "c";
+  Alcotest.(check int64) "total" 8L (Sketch.total s);
+  (match Sketch.top s with
+  | (k1, c1, e1) :: (k2, c2, _) :: _ ->
+    Alcotest.(check string) "heaviest first" "c" k1;
+    Alcotest.(check int64) "weighted count" 5L c1;
+    Alcotest.(check int64) "no error yet" 0L e1;
+    Alcotest.(check string) "then a" "a" k2;
+    Alcotest.(check int64) "a count" 2L c2
+  | _ -> Alcotest.fail "expected >= 2 entries");
+  (* a 4th key evicts the min entry (b, count 1) and inherits its count *)
+  Sketch.touch s "d";
+  let keys = List.map (fun (k, _, _) -> k) (Sketch.top s) in
+  Alcotest.(check (list string)) "b evicted" [ "c"; "a"; "d" ] keys;
+  (match List.find (fun (k, _, _) -> k = "d") (Sketch.top s) with
+  | _, c, e ->
+    Alcotest.(check int64) "inherited count + 1" 2L c;
+    Alcotest.(check int64) "err = inherited count" 1L e);
+  Alcotest.(check int64) "error bound total/k" 3L (Sketch.error_bound s);
+  Sketch.reset s;
+  Alcotest.(check int64) "reset" 0L (Sketch.total s)
+
+let test_sketch_deterministic_ties () =
+  (* all-equal counts: eviction must pick the lexicographically
+     greatest key, so two identically-fed sketches agree exactly *)
+  let feed () =
+    let s = Sketch.create ~k:2 in
+    List.iter (Sketch.touch s) [ "x"; "y"; "z" ];
+    Sketch.snapshot s
+  in
+  Alcotest.(check (list (pair string int64))) "replays" (feed ()) (feed ());
+  let keys = List.map fst (feed ()) in
+  Alcotest.(check bool) "greatest key evicted on tie" false
+    (List.mem "y" keys && List.mem "z" keys && List.mem "x" keys)
+
+let test_sketch_merge () =
+  let a = [ ("k1", 10L); ("k2", 3L) ] in
+  let b = [ ("k2", 4L); ("k3", 9L) ] in
+  let m = Sketch.merge_snapshots ~k:2 a b in
+  Alcotest.(check (list (pair string int64)))
+    "sum per key, keep heaviest k" [ ("k1", 10L); ("k3", 9L) ] m
+
+(* --- windowed time-series ------------------------------------------------- *)
+
+let test_timeseries_telescoping () =
+  let ts = Timeseries.create ~interval_ns:100.0 () in
+  Timeseries.add ts "reqs" 3L;
+  Timeseries.sample ts "occ" 2.0;
+  Timeseries.sample ts "occ" 6.0;
+  Timeseries.roll ts ~now_ns:100.0;
+  Timeseries.add ts "reqs" 4L;
+  Timeseries.add ts "reqs" (-1L);
+  Timeseries.roll ts ~now_ns:200.0;
+  (* empty trailing window: finish drops it *)
+  Timeseries.finish ts ~now_ns:250.0;
+  let snaps = Timeseries.snapshots ts in
+  Alcotest.(check int) "empty tail dropped" 2 (List.length snaps);
+  let total =
+    List.fold_left
+      (fun acc (s : Timeseries.snapshot) ->
+        List.fold_left
+          (fun acc (name, v) -> if name = "reqs" then Int64.add acc v else acc)
+          acc s.Timeseries.s_counters)
+      0L snaps
+  in
+  Alcotest.(check int64) "window deltas telescope to aggregate" 6L total;
+  (match snaps with
+  | first :: _ ->
+    Alcotest.(check (float 0.0)) "span" 100.0 first.Timeseries.s_span_ns;
+    (match List.assoc_opt "occ" first.Timeseries.s_gauges with
+    | Some g ->
+      Alcotest.(check int) "gauge samples" 2 g.Timeseries.g_count;
+      Alcotest.(check (float 1e-9)) "gauge mean" 4.0 g.Timeseries.g_mean;
+      Alcotest.(check (float 0.0)) "gauge max" 6.0 g.Timeseries.g_max;
+      Alcotest.(check (float 0.0)) "gauge last" 6.0 g.Timeseries.g_last
+    | None -> Alcotest.fail "gauge missing")
+  | [] -> Alcotest.fail "no windows")
+
+let test_timeseries_percentiles () =
+  let ts = Timeseries.create ~interval_ns:100.0 () in
+  (* a single observation: every percentile clamps to the exact max *)
+  Timeseries.observe ts "lat" 777.0;
+  Timeseries.roll ts ~now_ns:100.0;
+  (* 99 fast + 1 slow: p50 stays in the fast bucket, max is exact *)
+  for _ = 1 to 99 do Timeseries.observe ts "lat" 100.0 done;
+  Timeseries.observe ts "lat" 10_000.0;
+  Timeseries.roll ts ~now_ns:200.0;
+  match Timeseries.snapshots ts with
+  | [ w1; w2 ] ->
+    let h1 = List.assoc "lat" w1.Timeseries.s_hists in
+    Alcotest.(check (float 0.0)) "single obs p50 exact" 777.0
+      h1.Timeseries.h_p50_ns;
+    Alcotest.(check (float 0.0)) "single obs p99 exact" 777.0
+      h1.Timeseries.h_p99_ns;
+    let h2 = List.assoc "lat" w2.Timeseries.s_hists in
+    Alcotest.(check int) "count" 100 h2.Timeseries.h_count;
+    Alcotest.(check (float 0.0)) "max exact" 10_000.0 h2.Timeseries.h_max_ns;
+    Alcotest.(check bool) "p50 conservative (upper bucket edge)" true
+      (h2.Timeseries.h_p50_ns >= 100.0 && h2.Timeseries.h_p50_ns < 150.0);
+    Alcotest.(check bool) "p99 below the outlier" true
+      (h2.Timeseries.h_p99_ns < 10_000.0)
+  | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws)
+
+let test_timeseries_downsample () =
+  let ts = Timeseries.create ~cap:4 ~interval_ns:10.0 () in
+  for i = 1 to 16 do
+    Timeseries.add ts "c" 1L;
+    Timeseries.observe ts "lat" 50.0;
+    Timeseries.roll ts ~now_ns:(float_of_int i *. 10.0)
+  done;
+  let snaps = Timeseries.snapshots ts in
+  Alcotest.(check bool) "ring bounded" true (List.length snaps <= 4);
+  Alcotest.(check bool) "merged at least once" true (Timeseries.merges ts > 0);
+  let sum_c =
+    List.fold_left
+      (fun acc (s : Timeseries.snapshot) ->
+        Int64.add acc (List.assoc "c" s.Timeseries.s_counters))
+      0L snaps
+  in
+  Alcotest.(check int64) "counters survive merging" 16L sum_c;
+  let span =
+    List.fold_left
+      (fun acc (s : Timeseries.snapshot) -> acc +. s.Timeseries.s_span_ns)
+      0.0 snaps
+  in
+  Alcotest.(check (float 1e-9)) "spans add to full coverage" 160.0 span;
+  (* windows stay contiguous oldest-first after merging *)
+  let rec contiguous = function
+    | (a : Timeseries.snapshot) :: (b : Timeseries.snapshot) :: rest ->
+      Alcotest.(check (float 1e-9))
+        "contiguous" (a.Timeseries.s_start_ns +. a.Timeseries.s_span_ns)
+        b.Timeseries.s_start_ns;
+      contiguous (b :: rest)
+    | _ -> ()
+  in
+  contiguous snaps
+
+(* --- Json boundary round-trips -------------------------------------------- *)
+
+(* Fixed-point int64 values ride as decimal strings (OCaml's Json.Int
+   is a 63-bit native int): Int64.max_int must survive a round-trip
+   exactly, as must negative counter deltas and empty-window
+   objects. *)
+let test_json_roundtrips () =
+  let rt j =
+    match Json.parse (Json.to_string j) with
+    | Ok j' -> Alcotest.(check string) "round-trip" (Json.to_string j)
+                 (Json.to_string j')
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  let maxs = Int64.to_string Int64.max_int in
+  rt (Json.Obj [ ("tick", Json.Str maxs) ]);
+  (match Json.parse (Json.to_string (Json.Obj [ ("tick", Json.Str maxs) ])) with
+  | Ok j ->
+    (match Json.member "tick" j with
+    | Some (Json.Str s) ->
+      Alcotest.(check int64) "int64-exact through the string codec"
+        Int64.max_int (Int64.of_string s)
+    | _ -> Alcotest.fail "tick not a string")
+  | Error m -> Alcotest.fail m);
+  rt (Json.Obj [ ("delta", Json.Int (-42)) ]);
+  rt (Json.Obj [ ("min_delta", Json.Str (Int64.to_string Int64.min_int)) ]);
+  rt (Json.Obj []);
+  rt (Json.List [ Json.Obj []; Json.Obj [ ("w", Json.Obj []) ] ]);
+  (* an empty window object keeps its (empty) sub-objects distinct *)
+  let w =
+    Json.Obj
+      [
+        ("type", Json.Str "window"); ("tenants", Json.Obj []);
+        ("interference", Json.Obj []); ("top_keys", Json.List []);
+      ]
+  in
+  rt w;
+  (* a bare number at Int64.max_int magnitude must not crash the
+     parser (precision may degrade — which is exactly why fixed-point
+     values are exported as strings) *)
+  match Json.parse "9223372036854775807" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "big literal rejected: %s" m
+
+(* --- scheduler TLS -------------------------------------------------------- *)
+
+let test_sched_tls () =
+  let sched = Sched.create () in
+  let ambient = ref (-1) in
+  Sched.add_tls sched (fun () ->
+      let saved = !ambient in
+      fun () -> ambient := saved);
+  let failures = ref [] in
+  let task tenant stop =
+    let clock = Sched.clock sched ~tenant in
+    fun () ->
+      ambient := tenant;
+      let t = ref (float_of_int (10 + tenant)) in
+      while Clock.now clock < stop do
+        ignore (Clock.wait_until clock !t);
+        (* the park/resume must restore this task's ambient value even
+           though the other task overwrote it while we slept *)
+        if !ambient <> tenant then
+          failures := (tenant, !ambient) :: !failures;
+        t := !t +. 10.0
+      done
+  in
+  Sched.spawn sched ~tenant:0 (task 0 200.0);
+  Sched.spawn sched ~tenant:1 (task 1 170.0);
+  Sched.run sched;
+  Alcotest.(check (list (pair int int))) "ambient state restored per task" []
+    !failures
+
+(* --- serving timeline ----------------------------------------------------- *)
+
+let small_cfg ?(tenants = 3) ?(requests = 150) ?(seed = 7) () =
+  {
+    K.config_default with
+    K.tenants;
+    requests;
+    keys = 512;
+    value_bytes = 64;
+    local_ratio = 0.25;
+    seed;
+  }
+
+let run_with_window ?timeline cfg window =
+  let rt_cfg =
+    K.runtime_config cfg
+    |> Runtime.Config.with_dataplane
+         { Net.dp_default with Net.window }
+  in
+  let rt = Runtime.create rt_cfg in
+  let r = K.run_on ?timeline rt cfg in
+  (rt, r)
+
+let test_zero_perturbation () =
+  let cfg = small_cfg () in
+  let _, plain = run_with_window cfg 4 in
+  let tl = K.Timeline.make () in
+  let _, timed = run_with_window ~timeline:tl cfg 4 in
+  Alcotest.(check int64) "checksum unchanged" plain.K.checksum timed.K.checksum;
+  Alcotest.(check (float 0.0)) "elapsed unchanged" plain.K.elapsed_ns
+    timed.K.elapsed_ns;
+  Alcotest.(check string) "report json unchanged"
+    (Json.to_string (K.report_json plain))
+    (Json.to_string (K.report_json timed))
+
+(* Find the per-window per-tenant counter sums and the summary rows in
+   the exported JSONL. *)
+let jsonl_parts lines =
+  let windows, summaries =
+    List.partition
+      (fun j ->
+        match Json.member "type" j with Some (Json.Str "window") -> true | _ -> false)
+      lines
+  in
+  match summaries with
+  | [ s ] -> (windows, s)
+  | _ -> Alcotest.fail "expected exactly one summary line"
+
+let window_tenant_sum windows ~tenant field =
+  List.fold_left
+    (fun acc w ->
+      match Json.member "tenants" w with
+      | Some tenants -> (
+        match Json.member (Printf.sprintf "t%d" tenant) tenants with
+        | Some row -> (
+          match Json.member field row with
+          | Some (Json.Int n) -> acc + n
+          | _ -> acc)
+        | None -> acc)
+      | None -> Alcotest.fail "window without tenants object")
+    0 windows
+
+(* The tentpole invariant, checked two ways: directly against the
+   in-memory matrix/ledger (int64-exact) and through the exported
+   summary (decimal strings), over random configurations.  Plus the
+   telescoping property: per-window request counters sum to each
+   tenant's end-of-run completion count. *)
+let qcheck_interference_invariant =
+  QCheck.Test.make ~name:"interference rows = queue-stall buckets; telescoping"
+    ~count:6
+    QCheck.(triple (int_range 2 4) (int_range 80 200) (int_range 1 1000))
+    (fun (tenants, requests, seed) ->
+      let cfg = small_cfg ~tenants ~requests ~seed () in
+      let tl = K.Timeline.make ~interval_ns:50_000.0 () in
+      let rt, r = run_with_window ~timeline:tl cfg 2 in
+      let net = Runtime.net rt in
+      let attr = Runtime.attribution rt in
+      let ifr = Net.interference net in
+      for w = 0 to tenants - 1 do
+        let row = Net.Interference.row_fp ifr ~tenant:w in
+        let ledger = Attribution.tenant_cause_fp attr ~tenant:w Attribution.Queueing in
+        if row <> ledger then
+          QCheck.Test.fail_reportf
+            "tenant %d: interference row %Ld fp <> queue-stall bucket %Ld fp"
+            w row ledger;
+        (* each row also balances against its own cells *)
+        let cells =
+          List.fold_left
+            (fun acc (waiter, _, v) -> if waiter = w then Int64.add acc v else acc)
+            0L
+            (Net.Interference.cells ifr)
+        in
+        if cells <> row then
+          QCheck.Test.fail_reportf "tenant %d: cells %Ld <> row total %Ld" w
+            cells row
+      done;
+      let windows, summary = jsonl_parts (K.Timeline.jsonl tl ~rt) in
+      (* summary repeats the invariant in the export *)
+      (match Json.member "tenant_rows" summary with
+      | Some (Json.Obj rows) ->
+        List.iter
+          (fun (_, row) ->
+            match (Json.member "interference_fp" row, Json.member "queueing_fp" row) with
+            | Some (Json.Str a), Some (Json.Str b) ->
+              if a <> b then
+                QCheck.Test.fail_reportf "summary rows differ: %s <> %s" a b
+            | _ -> QCheck.Test.fail_report "summary row missing fp fields")
+          rows
+      | _ -> QCheck.Test.fail_report "summary without tenant_rows");
+      Array.iter
+        (fun (tr : K.tenant_report) ->
+          let sum = window_tenant_sum windows ~tenant:tr.K.tenant "requests" in
+          if sum <> tr.K.completed then
+            QCheck.Test.fail_reportf
+              "tenant %d: window counters sum to %d, completed %d" tr.K.tenant
+              sum tr.K.completed)
+        r.K.per_tenant;
+      true)
+
+(* Acceptance: an oversubscribed 8-tenant run on a tight in-flight
+   window.  The timeline must find a saturated window no later than
+   the first SLO-burn window, and the hot-key sketch must name
+   per-tenant keys. *)
+let test_saturation_acceptance () =
+  let cfg =
+    { (small_cfg ~tenants:8 ~requests:400 ()) with K.local_ratio = 0.05 }
+  in
+  let tl = K.Timeline.make () in
+  let rt, r = run_with_window ~timeline:tl cfg 2 in
+  Alcotest.(check bool) "run actually misses its SLO" true
+    (r.K.agg_slo_miss_frac > 0.01);
+  let sat =
+    match K.Timeline.saturation_onset_ns tl with
+    | Some ns -> ns
+    | None -> Alcotest.fail "no saturated window found"
+  in
+  let burn =
+    match K.Timeline.first_burn_ns tl with
+    | Some ns -> ns
+    | None -> Alcotest.fail "no burning window found"
+  in
+  Alcotest.(check bool) "occupancy pins before (or as) the SLO burns" true
+    (sat <= burn);
+  let windows, _ = jsonl_parts (K.Timeline.jsonl tl ~rt) in
+  let some_keys =
+    List.exists
+      (fun w ->
+        match Json.member "top_keys" w with
+        | Some (Json.List (entry :: _)) -> (
+          match Json.member "key" entry with
+          | Some (Json.Str k) -> contains k ":k"
+          | _ -> false)
+        | _ -> false)
+      windows
+  in
+  Alcotest.(check bool) "top keys name tenant:key pairs" true some_keys;
+  let some_interference =
+    List.exists
+      (fun w ->
+        match Json.member "interference" w with
+        | Some (Json.Obj (_ :: _)) -> true
+        | _ -> false)
+      windows
+  in
+  Alcotest.(check bool) "interference rows present under contention" true
+    some_interference
+
+(* --- audit failure message ------------------------------------------------ *)
+
+let test_audit_names_bucket () =
+  let a = Attribution.create () in
+  Attribution.set_context a ~fn:"work" ~site:1;
+  Attribution.charge a Attribution.Queueing 10.0;
+  Attribution.unbalance_for_test a Attribution.Queueing 7L;
+  match Attribution.check a with
+  | Ok () -> Alcotest.fail "expected audit failure"
+  | Error msg ->
+    Alcotest.(check bool) "names the bucket" true (contains msg "queueing");
+    Alcotest.(check bool) "exact fp delta" true (contains msg "7 fp")
+
+(* --- doc drift guard ------------------------------------------------------ *)
+
+let test_doc_drift () =
+  let doc =
+    In_channel.with_open_bin "../docs/OBSERVABILITY.md" In_channel.input_all
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "docs/OBSERVABILITY.md mentions %S" needle)
+        true (contains doc needle))
+    [
+      "Time-resolved telemetry"; "--timeline"; "Space-Saving"; "total/k";
+      "pairwise"; "queue-stall"; "interference"; "sat_onset_ms";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "sketch counts/eviction/error bound" `Quick test_sketch;
+    Alcotest.test_case "sketch deterministic ties" `Quick
+      test_sketch_deterministic_ties;
+    Alcotest.test_case "sketch snapshot merge" `Quick test_sketch_merge;
+    Alcotest.test_case "timeseries telescoping + gauges" `Quick
+      test_timeseries_telescoping;
+    Alcotest.test_case "timeseries percentiles" `Quick
+      test_timeseries_percentiles;
+    Alcotest.test_case "timeseries ring downsampling" `Quick
+      test_timeseries_downsample;
+    Alcotest.test_case "json int64/negative/empty round-trips" `Quick
+      test_json_roundtrips;
+    Alcotest.test_case "sched TLS save/restore across parks" `Quick
+      test_sched_tls;
+    Alcotest.test_case "timeline is zero-perturbation" `Quick
+      test_zero_perturbation;
+    QCheck_alcotest.to_alcotest qcheck_interference_invariant;
+    Alcotest.test_case "8-tenant saturation precedes burn" `Quick
+      test_saturation_acceptance;
+    Alcotest.test_case "audit failure names bucket + fp delta" `Quick
+      test_audit_names_bucket;
+    Alcotest.test_case "OBSERVABILITY.md stays in sync" `Quick test_doc_drift;
+  ]
